@@ -1,0 +1,373 @@
+//! Statement-level program representation.
+//!
+//! A [`Module`] is an ordered list of statements: labels, directives and
+//! instructions whose operands are still symbolic [`Expr`]s. Modules are
+//! what the instrumentation passes (SwapRAM's static pass, the block-cache
+//! pass) transform: they insert, replace and rewrite statements, then hand
+//! the module back to the assembler.
+
+use crate::expr::Expr;
+use msp430_sim::isa::{Opcode, Reg, Size};
+use std::fmt;
+
+/// An operand whose address/immediate fields are unresolved expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AsmOperand {
+    /// Register direct.
+    Reg(Reg),
+    /// Indexed `expr(Rn)`.
+    Indexed(Expr, Reg),
+    /// Absolute `&expr` (also used for bare symbols; see crate docs).
+    Absolute(Expr),
+    /// Register indirect `@Rn`.
+    Indirect(Reg),
+    /// Indirect auto-increment `@Rn+`.
+    IndirectInc(Reg),
+    /// Immediate `#expr`.
+    Imm(Expr),
+}
+
+impl AsmOperand {
+    /// Whether this operand occupies an extension word.
+    ///
+    /// Immediates that are literal constant-generator values (`0, 1, 2, 4,
+    /// 8, -1`) cost nothing; immediates written as symbolic expressions are
+    /// conservatively assigned an extension word so operand sizes are fixed
+    /// before symbol resolution.
+    pub fn ext_words(&self) -> u16 {
+        match self {
+            AsmOperand::Reg(_) | AsmOperand::Indirect(_) | AsmOperand::IndirectInc(_) => 0,
+            AsmOperand::Indexed(..) | AsmOperand::Absolute(_) => 1,
+            AsmOperand::Imm(e) => match e.as_literal() {
+                Some(v) if (-1..=8).contains(&v) && msp430_sim::isa::is_cg_const(v as u16) => 0,
+                _ => 1,
+            },
+        }
+    }
+
+    /// True if the operand's immediate must be force-encoded as an
+    /// extension word (symbolic immediates).
+    pub fn forces_imm_ext(&self) -> bool {
+        matches!(self, AsmOperand::Imm(e) if e.as_literal().is_none())
+    }
+}
+
+impl fmt::Display for AsmOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmOperand::Reg(r) => write!(f, "{r}"),
+            AsmOperand::Indexed(e, r) => write!(f, "{e}({r})"),
+            AsmOperand::Absolute(e) => write!(f, "&{e}"),
+            AsmOperand::Indirect(r) => write!(f, "@{r}"),
+            AsmOperand::IndirectInc(r) => write!(f, "@{r}+"),
+            AsmOperand::Imm(e) => write!(f, "#{e}"),
+        }
+    }
+}
+
+/// An instruction statement (operands still symbolic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Insn {
+    /// Double-operand instruction.
+    FormatI {
+        /// Operation.
+        op: Opcode,
+        /// Width.
+        size: Size,
+        /// Source operand.
+        src: AsmOperand,
+        /// Destination operand.
+        dst: AsmOperand,
+    },
+    /// Single-operand instruction (`RETI` uses `Reg(CG)` by convention).
+    FormatII {
+        /// Operation.
+        op: Opcode,
+        /// Width.
+        size: Size,
+        /// Operand.
+        dst: AsmOperand,
+    },
+    /// PC-relative jump to a symbolic target address.
+    Jump {
+        /// Condition.
+        op: Opcode,
+        /// Target address expression.
+        target: Expr,
+    },
+}
+
+impl Insn {
+    /// Encoded size in bytes (fixed before symbol resolution).
+    pub fn len_bytes(&self) -> u16 {
+        match self {
+            Insn::FormatI { src, dst, .. } => 2 + 2 * (src.ext_words() + dst.ext_words()),
+            Insn::FormatII { op: Opcode::Reti, .. } => 2,
+            Insn::FormatII { dst, .. } => 2 + 2 * dst.ext_words(),
+            Insn::Jump { .. } => 2,
+        }
+    }
+
+    /// If this is a direct call (`CALL #target`), the target expression.
+    pub fn call_target(&self) -> Option<&Expr> {
+        match self {
+            Insn::FormatII { op: Opcode::Call, dst: AsmOperand::Imm(e), .. } => Some(e),
+            _ => None,
+        }
+    }
+
+    /// If this is an absolute branch (`MOV #target, PC`, i.e. `BR #target`),
+    /// the target expression.
+    pub fn absolute_branch_target(&self) -> Option<&Expr> {
+        match self {
+            Insn::FormatI {
+                op: Opcode::Mov,
+                src: AsmOperand::Imm(e),
+                dst: AsmOperand::Reg(r),
+                ..
+            } if *r == Reg::PC => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True for instructions that end a basic block (jumps, calls and any
+    /// write to the PC).
+    pub fn is_control_flow(&self) -> bool {
+        match self {
+            Insn::Jump { .. } => true,
+            Insn::FormatII { op: Opcode::Call | Opcode::Reti, .. } => true,
+            Insn::FormatI { dst: AsmOperand::Reg(r), .. } => *r == Reg::PC,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let suffix = |s: &Size| if matches!(s, Size::Byte) { ".b" } else { "" };
+        match self {
+            Insn::FormatI { op, size, src, dst } => {
+                write!(f, "{op}{} {src}, {dst}", suffix(size))
+            }
+            Insn::FormatII { op: Opcode::Reti, .. } => write!(f, "reti"),
+            Insn::FormatII { op, size, dst } => write!(f, "{op}{} {dst}", suffix(size)),
+            Insn::Jump { op, target } => write!(f, "{op} {target}"),
+        }
+    }
+}
+
+/// A single `.byte` initialiser: an expression or a string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ByteInit {
+    /// One byte from an expression.
+    Expr(Expr),
+    /// A run of bytes from a string literal.
+    Str(Vec<u8>),
+}
+
+/// One statement of a module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `name:` — define a label at the current location.
+    Label(String),
+    /// `.global name` — mark a symbol as externally visible.
+    Global(String),
+    /// `.func name` — start of a function (used by instrumentation passes).
+    FuncStart(String),
+    /// `.endfunc` — end of the innermost open function.
+    FuncEnd,
+    /// `.section name` (or `.text` / `.data`) — switch output section.
+    Section(String),
+    /// `.word e, e, ...` — emit 16-bit words.
+    Word(Vec<Expr>),
+    /// `.byte ...` — emit bytes and strings.
+    Byte(Vec<ByteInit>),
+    /// `.space n[, fill]` — emit `n` fill bytes.
+    Space(Expr, u8),
+    /// `.align n` — pad to an `n`-byte boundary.
+    Align(u16),
+    /// `.equ name, expr` — define a constant symbol.
+    Equ(String, Expr),
+    /// An instruction.
+    Insn(Insn),
+}
+
+/// A statement with its source line (0 for synthesised statements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement.
+    pub item: Item,
+    /// 1-based source line, 0 if generated by a pass.
+    pub line: u32,
+}
+
+impl Stmt {
+    /// Wraps an item with no source line (pass-generated code).
+    pub fn synth(item: Item) -> Stmt {
+        Stmt { item, line: 0 }
+    }
+}
+
+/// An ordered list of statements — the unit the assembler and the
+/// instrumentation passes operate on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// The statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Appends a synthesised statement.
+    pub fn push(&mut self, item: Item) {
+        self.stmts.push(Stmt::synth(item));
+    }
+
+    /// Renders the module back to assembly text (useful for debugging
+    /// instrumented output).
+    pub fn to_asm(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for s in &self.stmts {
+            match &s.item {
+                Item::Label(l) => {
+                    let _ = writeln!(out, "{l}:");
+                }
+                Item::Global(g) => {
+                    let _ = writeln!(out, "    .global {g}");
+                }
+                Item::FuncStart(n) => {
+                    let _ = writeln!(out, "    .func {n}");
+                }
+                Item::FuncEnd => {
+                    let _ = writeln!(out, "    .endfunc");
+                }
+                Item::Section(name) => {
+                    let _ = writeln!(out, "    .section {name}");
+                }
+                Item::Word(es) => {
+                    let list: Vec<String> = es.iter().map(|e| e.to_string()).collect();
+                    let _ = writeln!(out, "    .word {}", list.join(", "));
+                }
+                Item::Byte(bs) => {
+                    let list: Vec<String> = bs
+                        .iter()
+                        .map(|b| match b {
+                            ByteInit::Expr(e) => e.to_string(),
+                            ByteInit::Str(s) => {
+                                format!("\"{}\"", String::from_utf8_lossy(s))
+                            }
+                        })
+                        .collect();
+                    let _ = writeln!(out, "    .byte {}", list.join(", "));
+                }
+                Item::Space(n, fill) => {
+                    let _ = writeln!(out, "    .space {n}, {fill}");
+                }
+                Item::Align(n) => {
+                    let _ = writeln!(out, "    .align {n}");
+                }
+                Item::Equ(n, e) => {
+                    let _ = writeln!(out, "    .equ {n}, {e}");
+                }
+                Item::Insn(i) => {
+                    let _ = writeln!(out, "    {i}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insn_sizes() {
+        // MOV R4, R5 — one word.
+        let i = Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Reg(Reg::r(4)),
+            dst: AsmOperand::Reg(Reg::r(5)),
+        };
+        assert_eq!(i.len_bytes(), 2);
+        // MOV #1 (CG literal), R5 — still one word.
+        let i = Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Imm(Expr::num(1)),
+            dst: AsmOperand::Reg(Reg::r(5)),
+        };
+        assert_eq!(i.len_bytes(), 2);
+        // MOV #sym, R5 — symbolic immediate is conservatively two words.
+        let i = Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Imm(Expr::sym("label")),
+            dst: AsmOperand::Reg(Reg::r(5)),
+        };
+        assert_eq!(i.len_bytes(), 4);
+        // MOV &a, &b — three words.
+        let i = Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Absolute(Expr::sym("a")),
+            dst: AsmOperand::Absolute(Expr::sym("b")),
+        };
+        assert_eq!(i.len_bytes(), 6);
+    }
+
+    #[test]
+    fn call_target_detection() {
+        let call = Insn::FormatII {
+            op: Opcode::Call,
+            size: Size::Word,
+            dst: AsmOperand::Imm(Expr::sym("f")),
+        };
+        assert_eq!(call.call_target().and_then(|e| e.as_symbol().map(str::to_owned)),
+                   Some("f".to_string()));
+        let indirect = Insn::FormatII {
+            op: Opcode::Call,
+            size: Size::Word,
+            dst: AsmOperand::Absolute(Expr::sym("redir")),
+        };
+        assert!(indirect.call_target().is_none());
+    }
+
+    #[test]
+    fn absolute_branch_detection() {
+        let br = Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Imm(Expr::sym("target")),
+            dst: AsmOperand::Reg(Reg::PC),
+        };
+        assert!(br.absolute_branch_target().is_some());
+        assert!(br.is_control_flow());
+        let ret = Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::IndirectInc(Reg::SP),
+            dst: AsmOperand::Reg(Reg::PC),
+        };
+        assert!(ret.absolute_branch_target().is_none());
+        assert!(ret.is_control_flow());
+    }
+
+    #[test]
+    fn roundtrip_display() {
+        let mut m = Module::new();
+        m.push(Item::Section("text".into()));
+        m.push(Item::Label("main".into()));
+        m.push(Item::Insn(Insn::Jump { op: Opcode::Jmp, target: Expr::sym("main") }));
+        let text = m.to_asm();
+        assert!(text.contains("main:"));
+        assert!(text.contains("jmp main"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Assembler error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias for assembler operations.
+pub type AsmResult<T> = Result<T, AsmError>;
+
+/// An assembly error with source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line, or 0 when the error is not tied to a line
+    /// (e.g. a missing entry symbol).
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl AsmError {
+    /// Creates an error at `line`.
+    pub fn at(line: u32, msg: impl Into<String>) -> AsmError {
+        AsmError { line, msg: msg.into() }
+    }
+
+    /// Creates an error not tied to a source line.
+    pub fn global(msg: impl Into<String>) -> AsmError {
+        AsmError { line: 0, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.msg)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+impl From<msp430_sim::SimError> for AsmError {
+    fn from(e: msp430_sim::SimError) -> AsmError {
+        AsmError::global(e.to_string())
+    }
+}

@@ -1,0 +1,506 @@
+//! Constant expressions over symbols.
+//!
+//! Operand fields and data directives accept expressions built from
+//! integers, character literals, symbols and the usual C-style operators.
+//! Expressions are evaluated once all symbol addresses are known (after
+//! layout), which is what lets the SwapRAM static pass emit metadata like
+//! `.word fn_end - fn_start` and have the linker fill in final sizes —
+//! mirroring the paper's two-pass flow (§4).
+
+use crate::error::{AsmError, AsmResult};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A symbol table mapping names to 16-bit values.
+pub type SymTab = BTreeMap<String, i64>;
+
+/// Binary operators, lowest precedence first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Bitwise OR `|`
+    Or,
+    /// Bitwise XOR `^`
+    Xor,
+    /// Bitwise AND `&`
+    And,
+    /// Left shift `<<`
+    Shl,
+    /// Logical right shift `>>`
+    Shr,
+    /// Addition `+`
+    Add,
+    /// Subtraction `-`
+    Sub,
+    /// Multiplication `*`
+    Mul,
+    /// Truncating division `/`
+    Div,
+    /// Remainder `%`
+    Rem,
+}
+
+/// A constant expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Symbol reference, resolved at layout time.
+    Sym(String),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Unary bitwise complement.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a literal.
+    pub fn num(n: i64) -> Expr {
+        Expr::Num(n)
+    }
+
+    /// Shorthand for a symbol reference.
+    pub fn sym(name: impl Into<String>) -> Expr {
+        Expr::Sym(name.into())
+    }
+
+    /// `a - b`, the common "size of" idiom.
+    pub fn diff(a: impl Into<String>, b: impl Into<String>) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(Expr::sym(a)), Box::new(Expr::sym(b)))
+    }
+
+    /// If the expression is a plain literal, its value.
+    pub fn as_literal(&self) -> Option<i64> {
+        match self {
+            Expr::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// If the expression is a plain symbol, its name.
+    pub fn as_symbol(&self) -> Option<&str> {
+        match self {
+            Expr::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Evaluates against `syms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming any undefined symbol, or on division by
+    /// zero.
+    pub fn eval(&self, syms: &SymTab) -> AsmResult<i64> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Sym(s) => syms
+                .get(s)
+                .copied()
+                .ok_or_else(|| AsmError::global(format!("undefined symbol `{s}`"))),
+            Expr::Neg(e) => Ok(-e.eval(syms)?),
+            Expr::Not(e) => Ok(!e.eval(syms)?),
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(syms)?;
+                let b = b.eval(syms)?;
+                Ok(match op {
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::And => a & b,
+                    BinOp::Shl => a << (b & 31),
+                    BinOp::Shr => ((a as u64) >> (b & 31) as u64) as i64,
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(AsmError::global("division by zero in expression"));
+                        }
+                        a / b
+                    }
+                    BinOp::Rem => {
+                        if b == 0 {
+                            return Err(AsmError::global("remainder by zero in expression"));
+                        }
+                        a % b
+                    }
+                })
+            }
+        }
+    }
+
+    /// Evaluates and truncates to a 16-bit word (two's complement).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Expr::eval`], plus a range check: values
+    /// outside `-0x8000..=0xFFFF` are rejected.
+    pub fn eval_u16(&self, syms: &SymTab) -> AsmResult<u16> {
+        let v = self.eval(syms)?;
+        if !(-0x8000..=0xFFFF).contains(&v) {
+            return Err(AsmError::global(format!("value {v} does not fit in 16 bits")));
+        }
+        Ok(v as u16)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(n) => write!(f, "{n}"),
+            Expr::Sym(s) => write!(f, "{s}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Not(e) => write!(f, "~({e})"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::And => "&",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+/// Parses an expression from `src`, consuming as much as possible.
+/// Returns the expression and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns an error describing the first syntax problem.
+pub fn parse_expr(src: &str) -> AsmResult<(Expr, usize)> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    let e = p.or_expr()?;
+    Ok((e, p.pos))
+}
+
+/// Parses a complete expression; trailing non-space input is an error.
+///
+/// # Errors
+///
+/// Returns an error on syntax problems or trailing garbage.
+pub fn parse_expr_full(src: &str) -> AsmResult<Expr> {
+    let (e, used) = parse_expr(src)?;
+    if !src[used..].trim().is_empty() {
+        return Err(AsmError::global(format!(
+            "unexpected trailing input `{}` in expression",
+            src[used..].trim()
+        )));
+    }
+    Ok(e)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn starts_with(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn or_expr(&mut self) -> AsmResult<Expr> {
+        let mut a = self.xor_expr()?;
+        while self.peek() == Some(b'|') {
+            self.pos += 1;
+            let b = self.xor_expr()?;
+            a = Expr::Bin(BinOp::Or, Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn xor_expr(&mut self) -> AsmResult<Expr> {
+        let mut a = self.and_expr()?;
+        while self.peek() == Some(b'^') {
+            self.pos += 1;
+            let b = self.and_expr()?;
+            a = Expr::Bin(BinOp::Xor, Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn and_expr(&mut self) -> AsmResult<Expr> {
+        let mut a = self.shift_expr()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            let b = self.shift_expr()?;
+            a = Expr::Bin(BinOp::And, Box::new(a), Box::new(b));
+        }
+        Ok(a)
+    }
+
+    fn shift_expr(&mut self) -> AsmResult<Expr> {
+        let mut a = self.add_expr()?;
+        loop {
+            if self.starts_with("<<") {
+                self.pos += 2;
+                let b = self.add_expr()?;
+                a = Expr::Bin(BinOp::Shl, Box::new(a), Box::new(b));
+            } else if self.starts_with(">>") {
+                self.pos += 2;
+                let b = self.add_expr()?;
+                a = Expr::Bin(BinOp::Shr, Box::new(a), Box::new(b));
+            } else {
+                break;
+            }
+        }
+        Ok(a)
+    }
+
+    fn add_expr(&mut self) -> AsmResult<Expr> {
+        let mut a = self.mul_expr()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let b = self.mul_expr()?;
+                    a = Expr::Bin(BinOp::Add, Box::new(a), Box::new(b));
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let b = self.mul_expr()?;
+                    a = Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b));
+                }
+                _ => break,
+            }
+        }
+        Ok(a)
+    }
+
+    fn mul_expr(&mut self) -> AsmResult<Expr> {
+        let mut a = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    let b = self.unary()?;
+                    a = Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let b = self.unary()?;
+                    a = Expr::Bin(BinOp::Div, Box::new(a), Box::new(b));
+                }
+                Some(b'%') => {
+                    self.pos += 1;
+                    let b = self.unary()?;
+                    a = Expr::Bin(BinOp::Rem, Box::new(a), Box::new(b));
+                }
+                _ => break,
+            }
+        }
+        Ok(a)
+    }
+
+    fn unary(&mut self) -> AsmResult<Expr> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                // Fold negated literals so `#-1` is a literal and can use
+                // the constant generator.
+                Ok(match self.unary()? {
+                    Expr::Num(n) => Expr::Num(-n),
+                    e => Expr::Neg(Box::new(e)),
+                })
+            }
+            Some(b'~') => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.unary()?)))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.or_expr()?;
+                if self.peek() != Some(b')') {
+                    return Err(AsmError::global("expected `)` in expression"));
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(b'\'') => self.char_literal(),
+            Some(c) if c.is_ascii_digit() => self.number(),
+            Some(c) if c == b'_' || c == b'.' || (c as char).is_ascii_alphabetic() => {
+                self.symbol()
+            }
+            other => Err(AsmError::global(format!(
+                "unexpected {} in expression",
+                other.map_or("end of input".to_string(), |c| format!("`{}`", c as char))
+            ))),
+        }
+    }
+
+    fn char_literal(&mut self) -> AsmResult<Expr> {
+        // self.peek() already positioned us at the quote.
+        self.pos += 1;
+        let c = *self
+            .src
+            .get(self.pos)
+            .ok_or_else(|| AsmError::global("unterminated character literal"))?;
+        let value = if c == b'\\' {
+            self.pos += 1;
+            let esc = *self
+                .src
+                .get(self.pos)
+                .ok_or_else(|| AsmError::global("unterminated escape"))?;
+            match esc {
+                b'n' => 10,
+                b't' => 9,
+                b'r' => 13,
+                b'0' => 0,
+                b'\\' => b'\\' as i64,
+                b'\'' => b'\'' as i64,
+                other => return Err(AsmError::global(format!("unknown escape \\{}", other as char))),
+            }
+        } else {
+            i64::from(c)
+        };
+        self.pos += 1;
+        if self.src.get(self.pos) != Some(&b'\'') {
+            return Err(AsmError::global("unterminated character literal"));
+        }
+        self.pos += 1;
+        Ok(Expr::Num(value))
+    }
+
+    fn number(&mut self) -> AsmResult<Expr> {
+        self.skip_ws();
+        let start = self.pos;
+        let (radix, digits_start) = if self.src[self.pos..].starts_with(b"0x")
+            || self.src[self.pos..].starts_with(b"0X")
+        {
+            (16, self.pos + 2)
+        } else if self.src[self.pos..].starts_with(b"0b") || self.src[self.pos..].starts_with(b"0B")
+        {
+            (2, self.pos + 2)
+        } else {
+            (10, self.pos)
+        };
+        self.pos = digits_start;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .expect("ascii")
+            .replace('_', "");
+        i64::from_str_radix(&text, radix)
+            .map(Expr::Num)
+            .map_err(|_| {
+                AsmError::global(format!(
+                    "bad number literal `{}`",
+                    std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("?")
+                ))
+            })
+    }
+
+    fn symbol(&mut self) -> AsmResult<Expr> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == b'_' || c == b'.' || c == b'$' || c.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii");
+        Ok(Expr::Sym(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(src: &str) -> i64 {
+        parse_expr_full(src).unwrap().eval(&SymTab::new()).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(eval("42"), 42);
+        assert_eq!(eval("0x2a"), 42);
+        assert_eq!(eval("0b101010"), 42);
+        assert_eq!(eval("'a'"), 97);
+        assert_eq!(eval("'\\n'"), 10);
+        assert_eq!(eval("'\\0'"), 0);
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("2 + 3 * 4"), 14);
+        assert_eq!(eval("(2 + 3) * 4"), 20);
+        assert_eq!(eval("1 << 4 | 3"), 19);
+        assert_eq!(eval("0xFF & 0x0F"), 0x0F);
+        assert_eq!(eval("7 % 3"), 1);
+        assert_eq!(eval("~0 & 0xFFFF"), 0xFFFF);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("-5 + 10"), 5);
+        assert_eq!(eval("--5"), 5);
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let mut syms = SymTab::new();
+        syms.insert("start".into(), 0x4000);
+        syms.insert("end".into(), 0x4100);
+        let e = parse_expr_full("end - start").unwrap();
+        assert_eq!(e.eval(&syms).unwrap(), 0x100);
+    }
+
+    #[test]
+    fn undefined_symbol_is_error() {
+        let e = parse_expr_full("missing + 1").unwrap();
+        assert!(e.eval(&SymTab::new()).is_err());
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert!(parse_expr_full("1 / 0").unwrap().eval(&SymTab::new()).is_err());
+    }
+
+    #[test]
+    fn eval_u16_range_check() {
+        assert_eq!(parse_expr_full("0xFFFF").unwrap().eval_u16(&SymTab::new()).unwrap(), 0xFFFF);
+        assert_eq!(parse_expr_full("-1").unwrap().eval_u16(&SymTab::new()).unwrap(), 0xFFFF);
+        assert!(parse_expr_full("0x10000").unwrap().eval_u16(&SymTab::new()).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_expr_full("1 + 2 )").is_err());
+    }
+
+    #[test]
+    fn partial_parse_reports_consumed() {
+        let (e, used) = parse_expr("12, next").unwrap();
+        assert_eq!(e, Expr::Num(12));
+        assert_eq!(&"12, next"[used..], ", next");
+    }
+}

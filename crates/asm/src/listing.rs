@@ -1,0 +1,115 @@
+//! Listing generation: a human-readable view of an assembled program —
+//! address, encoded bytes and source text per statement, like the `.lst`
+//! files classic toolchains emit. Useful when debugging instrumentation
+//! passes (the transformed module can be inspected exactly as laid out).
+
+use crate::ast::{ByteInit, Item};
+use crate::object::Assembly;
+use std::fmt::Write as _;
+
+/// Renders a listing of `assembly`.
+///
+/// Each line shows the statement's address (when it has one), up to six
+/// encoded bytes, and the statement rendered back to assembly text.
+pub fn render(assembly: &Assembly) -> String {
+    let mut out = String::new();
+    let mut section = "text".to_string();
+    for (i, stmt) in assembly.module.stmts.iter().enumerate() {
+        let addr = assembly.stmt_addrs.get(i).copied().flatten();
+        let bytes = addr
+            .map(|a| stmt_bytes(assembly, &section, a, &stmt.item))
+            .unwrap_or_default();
+        let hex: String = bytes.iter().map(|b| format!("{b:02x} ")).collect();
+        let text = match &stmt.item {
+            Item::Section(name) => {
+                section = name.clone();
+                format!(".section {name}")
+            }
+            Item::Label(l) => format!("{l}:"),
+            Item::Global(g) => format!(".global {g}"),
+            Item::FuncStart(n) => format!(".func {n}"),
+            Item::FuncEnd => ".endfunc".to_string(),
+            Item::Word(es) => {
+                format!(".word {}", es.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", "))
+            }
+            Item::Byte(_) => ".byte …".to_string(),
+            Item::Space(n, fill) => format!(".space {n}, {fill}"),
+            Item::Align(n) => format!(".align {n}"),
+            Item::Equ(n, e) => format!(".equ {n}, {e}"),
+            Item::Insn(insn) => insn.to_string(),
+        };
+        match addr {
+            Some(a) => {
+                let _ = writeln!(out, "{a:04x}  {hex:<19} {text}");
+            }
+            None => {
+                let _ = writeln!(out, "      {:<19} {text}", "");
+            }
+        }
+    }
+    out
+}
+
+/// Fetches up to six bytes of the statement's encoding from the image.
+fn stmt_bytes(assembly: &Assembly, section: &str, addr: u16, item: &Item) -> Vec<u8> {
+    let len = match item {
+        Item::Insn(i) => usize::from(i.len_bytes()),
+        Item::Word(es) => 2 * es.len(),
+        Item::Byte(bs) => bs
+            .iter()
+            .map(|b| match b {
+                ByteInit::Expr(_) => 1,
+                ByteInit::Str(s) => s.len(),
+            })
+            .sum(),
+        _ => 0,
+    }
+    .min(6);
+    if len == 0 {
+        return Vec::new();
+    }
+    let seg = assembly
+        .sections
+        .iter()
+        .find(|(name, _, _)| name == section)
+        .and_then(|(_, base, _)| {
+            assembly.image.segments.iter().find(|s| s.addr == *base)
+        });
+    let Some(seg) = seg else { return Vec::new() };
+    let off = usize::from(addr - seg.addr);
+    seg.bytes.get(off..off + len).map(<[u8]>::to_vec).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutConfig;
+    use crate::object::assemble;
+    use crate::parser::parse;
+
+    #[test]
+    fn listing_shows_addresses_bytes_and_text() {
+        let m = parse(
+            "    .text\nmain:\n    mov #5, r12\n    ret\n    .data\ntbl: .word 0x1234\n",
+        )
+        .unwrap();
+        let a = assemble(&m, &LayoutConfig::new(0x4000, 0x9000).with_entry("main")).unwrap();
+        let l = render(&a);
+        assert!(l.contains("4000"), "text base address present:\n{l}");
+        assert!(l.contains("mov #5, R12"), "instruction text present:\n{l}");
+        assert!(l.contains("34 12"), "word bytes little-endian:\n{l}");
+        assert!(l.contains("main:"));
+    }
+
+    #[test]
+    fn listing_covers_instrumented_modules() {
+        // A SwapRAM-style indirect call renders readably.
+        let m = parse(
+            "main:\n    call &0xb002\n    mov #0, &0x0102\n",
+        )
+        .unwrap();
+        let a = assemble(&m, &LayoutConfig::new(0x4000, 0x9000).with_entry("main")).unwrap();
+        let l = render(&a);
+        assert!(l.contains("call &"), "{l}");
+    }
+}

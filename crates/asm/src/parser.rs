@@ -1,0 +1,618 @@
+//! Assembly text parser.
+//!
+//! Parses the gcc-flavoured assembly dialect used by the benchmark suite
+//! into a [`Module`]. One statement per line; `;` and `//` start comments.
+//! Emulated MSP430 instructions (`ret`, `br`, `clr`, `inc`, `tst`, …) are
+//! expanded to their core-instruction forms at parse time, exactly as the
+//! hardware defines them.
+//!
+//! Bare memory operands (`var` rather than `&var`) use **absolute**
+//! addressing in this dialect (real MSP430 assemblers default to PC-relative
+//! symbolic addressing). This is deliberate: SwapRAM relocates code at run
+//! time, and data references from relocated code must not be PC-relative
+//! (paper §3.3.1 relocates code addresses only).
+
+use crate::ast::{AsmOperand, ByteInit, Insn, Item, Module, Stmt};
+use crate::error::{AsmError, AsmResult};
+use crate::expr::{parse_expr, parse_expr_full, Expr};
+use msp430_sim::isa::{Opcode, Reg, Size};
+
+/// Parses assembly `source` into a module.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number.
+pub fn parse(source: &str) -> AsmResult<Module> {
+    let mut module = Module::new();
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = (idx + 1) as u32;
+        let line = strip_comment(raw_line);
+        let mut rest = line.trim();
+        // Leading labels (there may be several on one line).
+        while let Some((label, tail)) = split_label(rest) {
+            module.stmts.push(Stmt { item: Item::Label(label.to_string()), line: line_no });
+            rest = tail.trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let item = if let Some(dir) = rest.strip_prefix('.') {
+            parse_directive(dir, line_no)?
+        } else {
+            let insns = parse_instruction(rest, line_no)?;
+            for i in insns {
+                module.stmts.push(Stmt { item: Item::Insn(i), line: line_no });
+            }
+            continue;
+        };
+        module.stmts.push(Stmt { item, line: line_no });
+    }
+    Ok(module)
+}
+
+/// Removes `;` and `//` comments, respecting string and char literals.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\\' if in_str || in_char => i += 1, // skip escaped char
+            b'"' if !in_char => in_str = !in_str,
+            b'\'' if !in_str => in_char = !in_char,
+            b';' if !in_str && !in_char => return &line[..i],
+            b'/' if !in_str && !in_char && bytes.get(i + 1) == Some(&b'/') => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// If `s` starts with `ident:`, splits it off.
+fn split_label(s: &str) -> Option<(&str, &str)> {
+    let end = s
+        .char_indices()
+        .take_while(|(_, c)| c.is_ascii_alphanumeric() || *c == '_' || *c == '.' || *c == '$')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    let (ident, tail) = s.split_at(end);
+    let tail = tail.trim_start();
+    if ident.is_empty() || ident.starts_with('.') || !tail.starts_with(':') {
+        return None;
+    }
+    Some((ident, &tail[1..]))
+}
+
+fn parse_directive(dir: &str, line: u32) -> AsmResult<Item> {
+    let (name, args) = match dir.find(char::is_whitespace) {
+        Some(i) => (&dir[..i], dir[i..].trim()),
+        None => (dir, ""),
+    };
+    let err = |msg: &str| AsmError::at(line, msg.to_string());
+    match name.to_ascii_lowercase().as_str() {
+        "text" => Ok(Item::Section("text".into())),
+        "data" => Ok(Item::Section("data".into())),
+        "section" => {
+            let n = args.trim_start_matches('.').trim();
+            if n.is_empty() {
+                Err(err("`.section` needs a name"))
+            } else {
+                Ok(Item::Section(n.to_string()))
+            }
+        }
+        "global" | "globl" => Ok(Item::Global(args.trim().to_string())),
+        "func" => {
+            if args.is_empty() {
+                Err(err("`.func` needs a name"))
+            } else {
+                Ok(Item::FuncStart(args.trim().to_string()))
+            }
+        }
+        "endfunc" => Ok(Item::FuncEnd),
+        "word" => {
+            let mut exprs = Vec::new();
+            for part in split_args(args) {
+                exprs.push(parse_expr_full(&part).map_err(|e| AsmError::at(line, e.msg))?);
+            }
+            if exprs.is_empty() {
+                return Err(err("`.word` needs at least one value"));
+            }
+            Ok(Item::Word(exprs))
+        }
+        "byte" => {
+            let mut inits = Vec::new();
+            for part in split_args(args) {
+                let p = part.trim();
+                if let Some(stripped) = p.strip_prefix('"') {
+                    let body = stripped
+                        .strip_suffix('"')
+                        .ok_or_else(|| err("unterminated string"))?;
+                    inits.push(ByteInit::Str(unescape(body, line)?));
+                } else {
+                    inits.push(ByteInit::Expr(
+                        parse_expr_full(p).map_err(|e| AsmError::at(line, e.msg))?,
+                    ));
+                }
+            }
+            if inits.is_empty() {
+                return Err(err("`.byte` needs at least one value"));
+            }
+            Ok(Item::Byte(inits))
+        }
+        "space" | "skip" => {
+            let parts = split_args(args);
+            let n = parse_expr_full(parts.first().ok_or_else(|| err("`.space` needs a size"))?)
+                .map_err(|e| AsmError::at(line, e.msg))?;
+            let fill = match parts.get(1) {
+                Some(f) => parse_expr_full(f)
+                    .map_err(|e| AsmError::at(line, e.msg))?
+                    .as_literal()
+                    .ok_or_else(|| err("`.space` fill must be a literal"))? as u8,
+                None => 0,
+            };
+            Ok(Item::Space(n, fill))
+        }
+        "align" => {
+            let n = parse_expr_full(args)
+                .map_err(|e| AsmError::at(line, e.msg))?
+                .as_literal()
+                .ok_or_else(|| err("`.align` needs a literal"))?;
+            if n <= 0 || (n & (n - 1)) != 0 {
+                return Err(err("`.align` needs a positive power of two"));
+            }
+            Ok(Item::Align(n as u16))
+        }
+        "equ" | "set" => {
+            let parts = split_args(args);
+            if parts.len() != 2 {
+                return Err(err("`.equ` needs `name, value`"));
+            }
+            let value =
+                parse_expr_full(&parts[1]).map_err(|e| AsmError::at(line, e.msg))?;
+            Ok(Item::Equ(parts[0].trim().to_string(), value))
+        }
+        other => Err(err(&format!("unknown directive `.{other}`"))),
+    }
+}
+
+/// Splits a comma-separated argument list, respecting strings, chars and
+/// parentheses.
+fn split_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut in_char = false;
+    let mut cur = String::new();
+    let mut chars = args.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' if in_str || in_char => {
+                cur.push(c);
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+                continue;
+            }
+            '"' if !in_char => in_str = !in_str,
+            '\'' if !in_str => in_char = !in_char,
+            '(' if !in_str && !in_char => depth += 1,
+            ')' if !in_str && !in_char => depth -= 1,
+            ',' if !in_str && !in_char && depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur = String::new();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn unescape(s: &str, line: u32) -> AsmResult<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(10),
+                Some('t') => out.push(9),
+                Some('r') => out.push(13),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                other => {
+                    return Err(AsmError::at(
+                        line,
+                        format!("unknown string escape {other:?}"),
+                    ))
+                }
+            }
+        } else {
+            out.push(c as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_register(s: &str) -> Option<Reg> {
+    let t = s.trim().to_ascii_lowercase();
+    match t.as_str() {
+        "pc" | "r0" => Some(Reg::PC),
+        "sp" | "r1" => Some(Reg::SP),
+        "sr" | "r2" => Some(Reg::SR),
+        "cg" | "r3" => Some(Reg::CG),
+        _ => {
+            let n: u8 = t.strip_prefix('r')?.parse().ok()?;
+            if n <= 15 {
+                Some(Reg::r(n))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+fn parse_operand(s: &str, line: u32) -> AsmResult<AsmOperand> {
+    let s = s.trim();
+    let err = |msg: String| AsmError::at(line, msg);
+    if let Some(rest) = s.strip_prefix('#') {
+        let e = parse_expr_full(rest).map_err(|e| err(e.msg))?;
+        return Ok(AsmOperand::Imm(e));
+    }
+    if let Some(rest) = s.strip_prefix('&') {
+        let e = parse_expr_full(rest).map_err(|e| err(e.msg))?;
+        return Ok(AsmOperand::Absolute(e));
+    }
+    if let Some(rest) = s.strip_prefix('@') {
+        if let Some(rname) = rest.strip_suffix('+') {
+            let r = parse_register(rname)
+                .ok_or_else(|| err(format!("bad register `{rname}`")))?;
+            return Ok(AsmOperand::IndirectInc(r));
+        }
+        let r = parse_register(rest).ok_or_else(|| err(format!("bad register `{rest}`")))?;
+        return Ok(AsmOperand::Indirect(r));
+    }
+    if let Some(r) = parse_register(s) {
+        return Ok(AsmOperand::Reg(r));
+    }
+    // Indexed `expr(Rn)` or bare absolute `expr`.
+    let (e, used) = parse_expr(s).map_err(|e| err(e.msg))?;
+    let tail = s[used..].trim();
+    if tail.is_empty() {
+        return Ok(AsmOperand::Absolute(e));
+    }
+    if let Some(inner) = tail.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
+        let r = parse_register(inner)
+            .ok_or_else(|| err(format!("bad index register `{inner}`")))?;
+        return Ok(AsmOperand::Indexed(e, r));
+    }
+    Err(err(format!("cannot parse operand `{s}`")))
+}
+
+/// Parses a (possibly pseudo) instruction line into one or more core
+/// instructions.
+fn parse_instruction(s: &str, line: u32) -> AsmResult<Vec<Insn>> {
+    let (mn_raw, args) = match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], s[i..].trim()),
+        None => (s, ""),
+    };
+    let mn_full = mn_raw.to_ascii_lowercase();
+    let (mn, size) = match mn_full.split_once('.') {
+        Some((m, "b")) => (m.to_string(), Size::Byte),
+        Some((m, "w")) => (m.to_string(), Size::Word),
+        Some((_, sfx)) => {
+            return Err(AsmError::at(line, format!("unknown size suffix `.{sfx}`")))
+        }
+        None => (mn_full.clone(), Size::Word),
+    };
+    let err = |msg: String| AsmError::at(line, msg);
+    let ops = split_args(args);
+    let one = |ops: &[String]| -> AsmResult<AsmOperand> {
+        if ops.len() != 1 {
+            return Err(err(format!("`{mn}` needs exactly one operand")));
+        }
+        parse_operand(&ops[0], line)
+    };
+    let two = |ops: &[String]| -> AsmResult<(AsmOperand, AsmOperand)> {
+        if ops.len() != 2 {
+            return Err(err(format!("`{mn}` needs exactly two operands")));
+        }
+        Ok((parse_operand(&ops[0], line)?, parse_operand(&ops[1], line)?))
+    };
+
+    // Core format I.
+    let fmt1 = |op: Opcode, src: AsmOperand, dst: AsmOperand| Insn::FormatI { op, size, src, dst };
+    let imm = |n: i64| AsmOperand::Imm(Expr::num(n));
+
+    let core1: Option<Opcode> = match mn.as_str() {
+        "mov" => Some(Opcode::Mov),
+        "add" => Some(Opcode::Add),
+        "addc" => Some(Opcode::Addc),
+        "subc" => Some(Opcode::Subc),
+        "sub" => Some(Opcode::Sub),
+        "cmp" => Some(Opcode::Cmp),
+        "dadd" => Some(Opcode::Dadd),
+        "bit" => Some(Opcode::Bit),
+        "bic" => Some(Opcode::Bic),
+        "bis" => Some(Opcode::Bis),
+        "xor" => Some(Opcode::Xor),
+        "and" => Some(Opcode::And),
+        _ => None,
+    };
+    if let Some(op) = core1 {
+        let (src, dst) = two(&ops)?;
+        return Ok(vec![fmt1(op, src, dst)]);
+    }
+
+    let core2: Option<Opcode> = match mn.as_str() {
+        "rrc" => Some(Opcode::Rrc),
+        "swpb" => Some(Opcode::Swpb),
+        "rra" => Some(Opcode::Rra),
+        "sxt" => Some(Opcode::Sxt),
+        "push" => Some(Opcode::Push),
+        "call" => Some(Opcode::Call),
+        _ => None,
+    };
+    if let Some(op) = core2 {
+        let dst = one(&ops)?;
+        return Ok(vec![Insn::FormatII { op, size, dst }]);
+    }
+
+    let jump: Option<Opcode> = match mn.as_str() {
+        "jnz" | "jne" => Some(Opcode::Jnz),
+        "jz" | "jeq" => Some(Opcode::Jz),
+        "jnc" | "jlo" => Some(Opcode::Jnc),
+        "jc" | "jhs" => Some(Opcode::Jc),
+        "jn" => Some(Opcode::Jn),
+        "jge" => Some(Opcode::Jge),
+        "jl" => Some(Opcode::Jl),
+        "jmp" => Some(Opcode::Jmp),
+        _ => None,
+    };
+    if let Some(op) = jump {
+        if ops.len() != 1 {
+            return Err(err(format!("`{mn}` needs a target")));
+        }
+        let target = parse_expr_full(&ops[0]).map_err(|e| err(e.msg))?;
+        return Ok(vec![Insn::Jump { op, target }]);
+    }
+
+    // Emulated instructions.
+    let pc = AsmOperand::Reg(Reg::PC);
+    let sr = AsmOperand::Reg(Reg::SR);
+    let pop_sp = AsmOperand::IndirectInc(Reg::SP);
+    Ok(match mn.as_str() {
+        "reti" => vec![Insn::FormatII { op: Opcode::Reti, size: Size::Word, dst: AsmOperand::Reg(Reg::CG) }],
+        "nop" => vec![fmt1(Opcode::Mov, AsmOperand::Reg(Reg::CG), AsmOperand::Reg(Reg::CG))],
+        "ret" => vec![Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: pop_sp,
+            dst: pc,
+        }],
+        "pop" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Mov, pop_sp, dst)]
+        }
+        "br" => {
+            // BR dst == MOV dst, PC. Accept #imm, &abs, @Rn, Rn, x(Rn).
+            let src = one(&ops)?;
+            vec![Insn::FormatI { op: Opcode::Mov, size: Size::Word, src, dst: pc }]
+        }
+        "clr" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Mov, imm(0), dst)]
+        }
+        "clrc" => vec![fmt1(Opcode::Bic, imm(1), sr)],
+        "setc" => vec![fmt1(Opcode::Bis, imm(1), sr)],
+        "clrz" => vec![fmt1(Opcode::Bic, imm(2), sr)],
+        "setz" => vec![fmt1(Opcode::Bis, imm(2), sr)],
+        "clrn" => vec![fmt1(Opcode::Bic, imm(4), sr)],
+        "setn" => vec![fmt1(Opcode::Bis, imm(4), sr)],
+        "dint" => vec![fmt1(Opcode::Bic, imm(8), sr)],
+        "eint" => vec![fmt1(Opcode::Bis, imm(8), sr)],
+        "inc" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Add, imm(1), dst)]
+        }
+        "incd" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Add, imm(2), dst)]
+        }
+        "dec" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Sub, imm(1), dst)]
+        }
+        "decd" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Sub, imm(2), dst)]
+        }
+        "inv" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Xor, imm(-1), dst)]
+        }
+        "rla" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Add, dst.clone(), dst)]
+        }
+        "rlc" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Addc, dst.clone(), dst)]
+        }
+        "adc" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Addc, imm(0), dst)]
+        }
+        "sbc" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Subc, imm(0), dst)]
+        }
+        "tst" => {
+            let dst = one(&ops)?;
+            vec![fmt1(Opcode::Cmp, imm(0), dst)]
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one_insn(src: &str) -> Insn {
+        let m = parse(src).unwrap();
+        let insns: Vec<Insn> = m
+            .stmts
+            .into_iter()
+            .filter_map(|s| match s.item {
+                Item::Insn(i) => Some(i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(insns.len(), 1, "expected one instruction");
+        insns.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn basic_instruction() {
+        let i = parse_one_insn("  mov #5, r12 ; comment");
+        assert_eq!(
+            i,
+            Insn::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: AsmOperand::Imm(Expr::num(5)),
+                dst: AsmOperand::Reg(Reg::R12),
+            }
+        );
+    }
+
+    #[test]
+    fn byte_suffix() {
+        let i = parse_one_insn("mov.b @r4+, 2(r5)");
+        assert_eq!(
+            i,
+            Insn::FormatI {
+                op: Opcode::Mov,
+                size: Size::Byte,
+                src: AsmOperand::IndirectInc(Reg::r(4)),
+                dst: AsmOperand::Indexed(Expr::num(2), Reg::r(5)),
+            }
+        );
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let m = parse("loop: dec r12\n  jnz loop\n").unwrap();
+        assert!(matches!(&m.stmts[0].item, Item::Label(l) if l == "loop"));
+        assert!(matches!(
+            &m.stmts[2].item,
+            Item::Insn(Insn::Jump { op: Opcode::Jnz, target: Expr::Sym(s) }) if s == "loop"
+        ));
+    }
+
+    #[test]
+    fn pseudo_expansion() {
+        assert_eq!(
+            parse_one_insn("ret"),
+            Insn::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: AsmOperand::IndirectInc(Reg::SP),
+                dst: AsmOperand::Reg(Reg::PC),
+            }
+        );
+        assert_eq!(
+            parse_one_insn("br #target"),
+            Insn::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: AsmOperand::Imm(Expr::sym("target")),
+                dst: AsmOperand::Reg(Reg::PC),
+            }
+        );
+        assert_eq!(
+            parse_one_insn("tst r9"),
+            Insn::FormatI {
+                op: Opcode::Cmp,
+                size: Size::Word,
+                src: AsmOperand::Imm(Expr::num(0)),
+                dst: AsmOperand::Reg(Reg::r(9)),
+            }
+        );
+        assert_eq!(
+            parse_one_insn("pop r11"),
+            Insn::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: AsmOperand::IndirectInc(Reg::SP),
+                dst: AsmOperand::Reg(Reg::r(11)),
+            }
+        );
+    }
+
+    #[test]
+    fn directives() {
+        let m = parse(
+            "    .text\n    .global main\n    .func main\nmain:\n    ret\n    .endfunc\n    .data\nbuf:    .space 16\n    .word 1, 2, buf\n    .byte \"hi\\n\", 0\n    .align 2\n    .equ PORT, 0x100\n",
+        )
+        .unwrap();
+        let kinds: Vec<&Item> = m.stmts.iter().map(|s| &s.item).collect();
+        assert!(matches!(kinds[0], Item::Section(s) if s == "text"));
+        assert!(matches!(kinds[1], Item::Global(g) if g == "main"));
+        assert!(matches!(kinds[2], Item::FuncStart(n) if n == "main"));
+        assert!(matches!(kinds.last().unwrap(), Item::Equ(n, _) if n == "PORT"));
+        assert!(m.stmts.iter().any(|s| matches!(&s.item, Item::Byte(b) if b.len() == 2)));
+    }
+
+    #[test]
+    fn bare_symbol_is_absolute() {
+        let i = parse_one_insn("mov counter, r12");
+        assert!(matches!(i, Insn::FormatI { src: AsmOperand::Absolute(_), .. }));
+    }
+
+    #[test]
+    fn call_forms() {
+        assert!(matches!(
+            parse_one_insn("call #func"),
+            Insn::FormatII { op: Opcode::Call, dst: AsmOperand::Imm(_), .. }
+        ));
+        assert!(matches!(
+            parse_one_insn("call &redir_0"),
+            Insn::FormatII { op: Opcode::Call, dst: AsmOperand::Absolute(_), .. }
+        ));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("  mov #1, r12\n  bogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("  mov #1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn comment_styles() {
+        let m = parse("mov #1, r4 // c++ style\nmov #2, r5 ; asm style\n").unwrap();
+        assert_eq!(m.stmts.len(), 2);
+    }
+
+    #[test]
+    fn char_operand_with_semicolon() {
+        // A ';' inside a char literal is not a comment.
+        let i = parse_one_insn("cmp #';', r12");
+        assert!(matches!(
+            i,
+            Insn::FormatI { op: Opcode::Cmp, src: AsmOperand::Imm(Expr::Num(59)), .. }
+        ));
+    }
+}

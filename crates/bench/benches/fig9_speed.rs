@@ -1,0 +1,33 @@
+//! Regenerates Figure 9 (speed/energy at 24 and 8 MHz) and times the
+//! full-suite SwapRAM sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mibench::builder::System;
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_24)));
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_8)));
+    let mut g = c.benchmark_group("fig9_speed");
+    g.sample_size(10);
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    for bench in [Benchmark::Crc, Benchmark::Rsa] {
+        let base = swapram_bench::built(bench, &System::Baseline);
+        let swap = swapram_bench::built(
+            bench,
+            &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
+        );
+        g.bench_function(format!("{}_baseline", bench.name()), |bch| {
+            bch.iter(|| swapram_bench::simulate(&base))
+        });
+        g.bench_function(format!("{}_swapram", bench.name()), |bch| {
+            bch.iter(|| swapram_bench::simulate(&swap))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! # swapram-bench — benchmark harness glue
+//!
+//! The Criterion benches under `benches/` regenerate the paper's tables
+//! and figures (printed once per bench run) and then time representative
+//! simulator executions so regressions in the simulator, the assembler or
+//! the runtimes show up as benchmark deltas.
+
+use mibench::builder::{build, run, Built, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+
+/// Builds a benchmark for timing loops.
+///
+/// # Panics
+///
+/// Panics if the build fails (benches assume valid configurations).
+pub fn built(bench: Benchmark, system: &System) -> Built {
+    build(bench, system, &MemoryProfile::unified())
+        .unwrap_or_else(|e| panic!("bench build {}: {e}", bench.name()))
+}
+
+/// Executes one full simulated run; returns total cycles so Criterion can
+/// keep the value alive.
+///
+/// # Panics
+///
+/// Panics if the run fails or produces a wrong result.
+pub fn simulate(b: &Built) -> u64 {
+    let input = input_for(b.bench, 1);
+    let r = run(b, Frequency::MHZ_24, &input, 4_000_000_000).expect("bench run");
+    assert!(r.outcome.success());
+    r.outcome.stats.total_cycles()
+}

@@ -1,0 +1,72 @@
+//! Block-cache configuration.
+
+/// Configuration for the basic-block cache baseline.
+///
+/// Defaults follow the paper's best-effort port (§4): the entire SRAM is
+/// reserved for caching application code, while runtime metadata (exit
+/// words, jump table, hash table) lives in FRAM — the placement the
+/// authors found fastest on this platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// First SRAM address of the block cache.
+    pub cache_base: u16,
+    /// Size of the block cache in bytes.
+    pub cache_size: u16,
+    /// Fixed slot granularity in bytes (blocks occupy whole slots).
+    pub slot_bytes: u16,
+    /// Trap address the exit words initially point at.
+    pub trap_addr: u16,
+    /// Base address of the metadata section (in FRAM).
+    pub tables_base: u16,
+    /// FRAM window modelling the runtime's own code (instruction-fetch
+    /// replay, like the SwapRAM cost model).
+    pub handler_code_base: u16,
+    /// Hash-table load factor denominator: capacity = blocks / load.
+    /// The original implementation uses 0.5 (§4), i.e. `2 × blocks` slots.
+    pub hash_load_den: u16,
+}
+
+impl BlockConfig {
+    /// The paper's configuration on the FR2355.
+    pub fn unified_fr2355() -> BlockConfig {
+        BlockConfig {
+            cache_base: 0x2000,
+            cache_size: 0x1000,
+            slot_bytes: 16,
+            trap_addr: 0x0F10,
+            tables_base: 0xA000,
+            handler_code_base: 0xBC00,
+            hash_load_den: 2,
+        }
+    }
+
+    /// Split-SRAM configuration (§5.5): low `data_bytes` of SRAM for data,
+    /// remainder for the block cache.
+    pub fn split_fr2355(data_bytes: u16) -> BlockConfig {
+        let base = 0x2000 + data_bytes;
+        BlockConfig {
+            cache_base: base,
+            cache_size: 0x3000 - base,
+            ..BlockConfig::unified_fr2355()
+        }
+    }
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig::unified_fr2355()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = BlockConfig::unified_fr2355();
+        assert_eq!(c.cache_size, 0x1000);
+        assert_eq!(c.hash_load_den, 2);
+        assert_ne!(c.trap_addr, 0x0F00, "distinct from the SwapRAM trap");
+    }
+}

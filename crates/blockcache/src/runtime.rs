@@ -1,0 +1,402 @@
+//! Block-cache runtime: slot allocation, djb2 hash lookup, exit chaining
+//! and flush-on-full (paper §4's best-effort port of Miller & Agarwal).
+
+use crate::bbpass::{BlockProgram, ExitKind};
+use crate::config::BlockConfig;
+use msp430_sim::cpu::Cpu;
+use msp430_sim::error::{SimError, SimResult};
+use msp430_sim::machine::{Hook, TrapAction};
+use msp430_sim::mem::{AccessKind, Bus};
+use msp430_sim::trace::Category;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Per-operation instruction/cycle charges for the block-cache runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCost {
+    /// Trap entry: register save, `__bb_cur` load, jump-table index.
+    pub entry_instrs: u64,
+    /// Cycles for trap entry.
+    pub entry_cycles: u64,
+    /// Per hash probe (djb2 is shift/add only, §4).
+    pub probe_instrs: u64,
+    /// Cycles per hash probe.
+    pub probe_cycles: u64,
+    /// Chaining an exit word.
+    pub chain_instrs: u64,
+    /// Cycles for chaining.
+    pub chain_cycles: u64,
+    /// Per word copied into a cache slot.
+    pub copy_word_instrs: u64,
+    /// Cycles per copied word.
+    pub copy_word_cycles: u64,
+    /// Per exit word reset during a flush.
+    pub flush_exit_instrs: u64,
+    /// Cycles per flushed exit word.
+    pub flush_exit_cycles: u64,
+    /// Trap exit: restore registers, branch.
+    pub exit_instrs: u64,
+    /// Cycles for trap exit.
+    pub exit_cycles: u64,
+}
+
+impl Default for BlockCost {
+    fn default() -> Self {
+        BlockCost {
+            entry_instrs: 8,
+            entry_cycles: 20,
+            probe_instrs: 5,
+            probe_cycles: 11,
+            chain_instrs: 3,
+            chain_cycles: 8,
+            copy_word_instrs: 3,
+            copy_word_cycles: 6,
+            flush_exit_instrs: 2,
+            flush_exit_cycles: 5,
+            exit_instrs: 4,
+            exit_cycles: 10,
+        }
+    }
+}
+
+/// Counters the block-cache runtime maintains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Runtime entries (traps).
+    pub traps: u64,
+    /// Blocks copied into the cache.
+    pub fills: u64,
+    /// Exits chained to cached blocks.
+    pub chains: u64,
+    /// Cache flushes.
+    pub flushes: u64,
+    /// Returns routed through the runtime.
+    pub returns: u64,
+    /// Blocks too large to cache (executed from FRAM).
+    pub too_large: u64,
+    /// Bytes copied.
+    pub bytes_copied: u64,
+}
+
+/// The block-cache runtime hook.
+pub struct BlockRuntime {
+    cfg: BlockConfig,
+    cost: BlockCost,
+    cur_addr: u16,
+    /// Exit k → (word address, resolved static target or None for returns).
+    exits: Vec<(u16, Option<u16>)>,
+    /// Canonical block start → (index, size).
+    blocks: BTreeMap<u16, u16>,
+    hash_base: u16,
+    hash_capacity: u16,
+    /// Rust mirror of the FRAM hash table: canonical → cached address.
+    cached: BTreeMap<u16, u16>,
+    next_free: u16,
+    stats: Rc<RefCell<BlockStats>>,
+    fetch_cursor: u16,
+}
+
+impl std::fmt::Debug for BlockRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockRuntime")
+            .field("blocks", &self.blocks.len())
+            .field("cached", &self.cached.len())
+            .finish()
+    }
+}
+
+impl BlockRuntime {
+    /// Creates a runtime for a program transformed by
+    /// [`crate::bbpass::transform`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if a static exit target does not resolve to a known block.
+    pub fn new(prog: &BlockProgram, cfg: BlockConfig) -> SimResult<BlockRuntime> {
+        let mut exits = Vec::with_capacity(prog.exits.len());
+        for e in &prog.exits {
+            let target = match &e.kind {
+                ExitKind::Static { target } => {
+                    let addr = prog.assembly.symbol(target).ok_or_else(|| {
+                        SimError::Hook(format!("exit target `{target}` unresolved"))
+                    })?;
+                    Some(addr)
+                }
+                ExitKind::Return => None,
+            };
+            exits.push((e.word_addr, target));
+        }
+        let blocks = prog.blocks.iter().map(|b| (b.addr, b.size)).collect();
+        Ok(BlockRuntime {
+            next_free: cfg.cache_base,
+            fetch_cursor: cfg.handler_code_base,
+            cfg,
+            cost: BlockCost::default(),
+            cur_addr: prog.cur_addr,
+            exits,
+            blocks,
+            hash_base: prog.hash_base,
+            hash_capacity: prog.hash_capacity,
+            cached: BTreeMap::new(),
+            stats: Rc::new(RefCell::new(BlockStats::default())),
+        })
+    }
+
+    /// Shared handle to the runtime counters.
+    pub fn stats_handle(&self) -> Rc<RefCell<BlockStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    fn charge(&mut self, bus: &mut Bus, cat: Category, instrs: u64, cycles: u64) -> SimResult<()> {
+        bus.stats_mut().charge_modeled(cat, instrs, cycles);
+        let window = 0x400u16;
+        for _ in 0..instrs {
+            bus.begin_instruction();
+            bus.read_word(self.fetch_cursor, AccessKind::IFetch)?;
+            bus.end_instruction();
+            let next = self.fetch_cursor.wrapping_add(2);
+            self.fetch_cursor = if next >= self.cfg.handler_code_base + window {
+                self.cfg.handler_code_base
+            } else {
+                next
+            };
+        }
+        Ok(())
+    }
+
+    fn djb2_slot(&self, addr: u16) -> u16 {
+        let mut h: u32 = 5381;
+        for b in addr.to_le_bytes() {
+            h = h.wrapping_mul(33) ^ u32::from(b);
+        }
+        (h % u32::from(self.hash_capacity)) as u16
+    }
+
+    /// Probes the FRAM hash table for `target`; every probe is a counted
+    /// metadata read. Returns the cached address, or the first empty slot.
+    fn probe(&mut self, bus: &mut Bus, target: u16) -> SimResult<Result<u16, u16>> {
+        let mut slot = self.djb2_slot(target);
+        for _ in 0..self.hash_capacity {
+            let slot_addr = self.hash_base + 4 * slot;
+            let tag = bus.read_word(slot_addr, AccessKind::Read)?;
+            self.charge(bus, Category::MissHandler, self.cost.probe_instrs, self.cost.probe_cycles)?;
+            if tag == 0 {
+                return Ok(Err(slot));
+            }
+            if tag == target {
+                let v = bus.read_word(slot_addr + 2, AccessKind::Read)?;
+                return Ok(Ok(v));
+            }
+            slot = (slot + 1) % self.hash_capacity;
+        }
+        Err(SimError::Hook("block-cache hash table full".into()))
+    }
+
+    fn flush(&mut self, bus: &mut Bus) -> SimResult<()> {
+        // Reset every exit word (no chain bookkeeping, §4) and clear the
+        // hash table — all counted FRAM writes.
+        let n = self.exits.len() as u64;
+        for (word_addr, _) in self.exits.clone() {
+            bus.write_word(word_addr, self.cfg.trap_addr)?;
+        }
+        for slot in 0..self.hash_capacity {
+            bus.write_word(self.hash_base + 4 * slot, 0)?;
+        }
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.flush_exit_instrs * (n + u64::from(self.hash_capacity)),
+            self.cost.flush_exit_cycles * (n + u64::from(self.hash_capacity)),
+        )?;
+        self.cached.clear();
+        self.next_free = self.cfg.cache_base;
+        self.stats.borrow_mut().flushes += 1;
+        Ok(())
+    }
+}
+
+impl Hook for BlockRuntime {
+    fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction> {
+        if trap_pc != self.cfg.trap_addr {
+            return Err(SimError::Hook(format!(
+                "unexpected trap at 0x{trap_pc:04x} (block-cache trap is 0x{:04x})",
+                self.cfg.trap_addr
+            )));
+        }
+        self.stats.borrow_mut().traps += 1;
+        self.charge(bus, Category::MissHandler, self.cost.entry_instrs, self.cost.entry_cycles)?;
+        let k = bus.read_word(self.cur_addr, AccessKind::Read)?;
+        let (word_addr, static_target) = *self
+            .exits
+            .get(usize::from(k))
+            .ok_or_else(|| SimError::Hook(format!("invalid exit index {k}")))?;
+
+        let target = match static_target {
+            Some(t) => t,
+            None => {
+                // Dynamic return: pop the canonical return address.
+                self.stats.borrow_mut().returns += 1;
+                let sp = cpu.sp();
+                let t = bus.read_word(sp, AccessKind::Read)?;
+                cpu.set_sp(sp.wrapping_add(2));
+                t
+            }
+        };
+
+        let exit = |rt: &mut BlockRuntime, cpu: &mut Cpu, bus: &mut Bus, to: u16| {
+            cpu.set_pc(to);
+            rt.charge(bus, Category::MissHandler, rt.cost.exit_instrs, rt.cost.exit_cycles)?;
+            Ok(TrapAction::Resume)
+        };
+
+        // Already cached?
+        if let Ok(cached) = self.probe(bus, target)? {
+            if static_target.is_some() {
+                bus.write_word(word_addr, cached)?;
+                self.charge(bus, Category::MissHandler, self.cost.chain_instrs, self.cost.chain_cycles)?;
+                self.stats.borrow_mut().chains += 1;
+            }
+            return exit(self, cpu, bus, cached);
+        }
+
+        let size = *self
+            .blocks
+            .get(&target)
+            .ok_or_else(|| SimError::Hook(format!("0x{target:04x} is not a block start")))?;
+        let need = size.div_ceil(self.cfg.slot_bytes) * self.cfg.slot_bytes;
+        if need > self.cfg.cache_size {
+            // Cannot cache: execute the canonical (transformed) copy.
+            self.stats.borrow_mut().too_large += 1;
+            return exit(self, cpu, bus, target);
+        }
+        if u32::from(self.next_free) + u32::from(need) > u32::from(self.cfg.cache_base) + u32::from(self.cfg.cache_size)
+        {
+            self.flush(bus)?;
+        }
+
+        let place = self.next_free;
+        for i in 0..size.div_ceil(2) {
+            let w = bus.read_word(target + 2 * i, AccessKind::Read)?;
+            bus.write_word(place + 2 * i, w)?;
+        }
+        self.charge(
+            bus,
+            Category::Memcpy,
+            self.cost.copy_word_instrs * u64::from(size / 2),
+            self.cost.copy_word_cycles * u64::from(size / 2),
+        )?;
+        self.next_free = place + need;
+
+        // Insert into the FRAM hash table (tag + value writes).
+        if let Err(slot) = self.probe(bus, target)? {
+            let slot_addr = self.hash_base + 4 * slot;
+            bus.write_word(slot_addr, target)?;
+            bus.write_word(slot_addr + 2, place)?;
+        }
+        self.cached.insert(target, place);
+
+        // Chain the triggering exit when static.
+        if static_target.is_some() {
+            bus.write_word(word_addr, place)?;
+            self.charge(bus, Category::MissHandler, self.cost.chain_instrs, self.cost.chain_cycles)?;
+            self.stats.borrow_mut().chains += 1;
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.fills += 1;
+        stats.bytes_copied += u64::from(need);
+        drop(stats);
+        exit(self, cpu, bus, place)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bbpass::transform;
+    use msp430_asm::layout::LayoutConfig;
+    use msp430_asm::parser::parse;
+    use msp430_sim::freq::Frequency;
+    use msp430_sim::machine::Fr2355;
+    use msp430_sim::ports::checksum_of_words;
+
+    const SRC: &str = "\
+    .text
+    .func __start
+__start:
+    mov #0x9ffc, sp
+    call #main
+    mov #0, &0x0102
+    .endfunc
+    .func main
+main:
+    mov #0, r10
+    mov #6, r11
+main_loop:
+    mov r10, r12
+    call #step
+    mov r12, r10
+    dec r11
+    jnz main_loop
+    mov r10, &0x0104
+    ret
+    .endfunc
+    .func step
+step:
+    add #7, r12
+    tst r12
+    jz step_zero
+    ret
+step_zero:
+    mov #1, r12
+    ret
+    .endfunc
+";
+
+    fn expected() -> u32 {
+        checksum_of_words([42u16])
+    }
+
+    fn build(cfg: BlockConfig) -> (msp430_sim::machine::Machine, Rc<RefCell<BlockStats>>) {
+        let m = parse(SRC).unwrap();
+        // The stack lives in FRAM data space (unified-memory model).
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let p = transform(&m, &cfg, &lc).unwrap();
+        let rt = BlockRuntime::new(&p, cfg).unwrap();
+        let stats = rt.stats_handle();
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.load(&p.assembly.image);
+        machine.attach_hook(Box::new(rt));
+        (machine, stats)
+    }
+
+    #[test]
+    fn preserves_semantics_and_caches_blocks() {
+        let (mut machine, stats) = build(BlockConfig::unified_fr2355());
+        let out = machine.run(10_000_000).unwrap();
+        assert!(out.success(), "exit: {:?}", out.exit);
+        assert_eq!(out.checksum.0, expected());
+        let s = stats.borrow();
+        assert!(s.traps > 0);
+        assert!(s.fills > 0);
+        assert!(s.returns > 0, "returns are routed through the runtime");
+    }
+
+    #[test]
+    fn tiny_cache_flushes_and_stays_correct() {
+        let cfg = BlockConfig { cache_size: 64, ..BlockConfig::unified_fr2355() };
+        let (mut machine, stats) = build(cfg);
+        let out = machine.run(20_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected());
+        assert!(stats.borrow().flushes > 0, "64-byte cache must flush");
+    }
+
+    #[test]
+    fn app_code_executes_from_sram() {
+        let (mut machine, _) = build(BlockConfig::unified_fr2355());
+        let out = machine.run(10_000_000).unwrap();
+        assert!(out.success());
+        assert!(out.stats.instructions_in(Category::AppSram) > 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! 1. **Cache-size sweep** — our hand-written benchmarks are smaller than
+//!    the paper's C builds and fit the 4 KiB SRAM entirely, so the main
+//!    experiments exercise only the cold-miss regime. Shrinking the cache
+//!    proportionally reproduces the eviction/thrashing regime the paper
+//!    observes on AES (§5.4), including active-counter fallbacks.
+//! 2. **Replacement-policy comparison** — circular queue (the paper's
+//!    choice) vs stack (most-recently-cached, which §3.4 predicts is
+//!    counterproductive) vs the priority-cost and freeze-on-thrash
+//!    extensions (§3.4 / §5.4 future work).
+//! 3. **Hardware read cache** — baseline FRAM execution with the 2-way
+//!    cache disabled, quantifying what the built-in cache buys (§2.2).
+
+use crate::measure::{measure, Measurement, SEED};
+use crate::report::Table;
+use mibench::builder::{build, run_on, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::Fr2355;
+use swapram::{PolicyKind, SwapConfig};
+
+/// Benchmarks used for the cache-pressure studies (the three with the
+/// deepest call graphs).
+pub const PRESSURE_BENCHMARKS: [Benchmark; 3] =
+    [Benchmark::Aes, Benchmark::Bitcount, Benchmark::Fft];
+
+/// One cache-size sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Cache size in bytes.
+    pub cache_bytes: u16,
+    /// The measurement.
+    pub m: Measurement,
+    /// Baseline time for normalisation.
+    pub baseline_us: f64,
+}
+
+/// Sweeps the SwapRAM cache size across the eviction regime.
+///
+/// # Panics
+///
+/// Panics if a configuration fails to run.
+pub fn cache_size_sweep() -> Vec<SweepPoint> {
+    let profile = MemoryProfile::unified();
+    let mut out = Vec::new();
+    for bench in PRESSURE_BENCHMARKS {
+        let baseline = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("sweep {} baseline: {e}", bench.name()));
+        for cache_bytes in [256u16, 384, 512, 768, 1024, 4096] {
+            let cfg = SwapConfig { cache_size: cache_bytes, ..SwapConfig::unified_fr2355() };
+            let m = measure(bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
+                .unwrap_or_else(|e| panic!("sweep {} @{}: {e}", bench.name(), cache_bytes));
+            assert!(m.correct, "sweep {} @{}: wrong result", bench.name(), cache_bytes);
+            out.push(SweepPoint { bench, cache_bytes, m, baseline_us: baseline.time_us });
+        }
+    }
+    out
+}
+
+/// Renders the sweep.
+pub fn render_sweep(points: &[SweepPoint]) -> String {
+    let mut t = Table::new(
+        "Ablation A — SwapRAM cache-size sweep at 24 MHz (speed vs baseline)",
+        &["benchmark", "cache (B)", "speedup", "misses", "evictions", "active-fallbacks", "frozen"],
+    );
+    for p in points {
+        let s = p.m.swap.as_ref().expect("swap stats");
+        t.row(vec![
+            p.bench.short_name().into(),
+            p.cache_bytes.to_string(),
+            format!("{:.2}", p.baseline_us / p.m.time_us),
+            s.misses.to_string(),
+            s.evictions.to_string(),
+            s.active_fallbacks.to_string(),
+            s.frozen_fallbacks.to_string(),
+        ]);
+    }
+    t.note("small caches reproduce the paper's AES thrashing regime: repeated evictions and active-counter fallbacks erode the speedup");
+    t.render()
+}
+
+/// One policy-comparison point.
+#[derive(Debug, Clone)]
+pub struct PolicyPoint {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Cache size used.
+    pub cache_bytes: u16,
+    /// The measurement.
+    pub m: Measurement,
+    /// Baseline time for normalisation.
+    pub baseline_us: f64,
+}
+
+/// Compares replacement policies in the eviction regime.
+///
+/// # Panics
+///
+/// Panics if a configuration fails to run.
+pub fn policy_comparison(cache_bytes: u16) -> Vec<PolicyPoint> {
+    let profile = MemoryProfile::unified();
+    let mut out = Vec::new();
+    for bench in PRESSURE_BENCHMARKS {
+        let baseline = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("policy {} baseline: {e}", bench.name()));
+        for policy in [
+            PolicyKind::CircularQueue,
+            PolicyKind::Stack,
+            PolicyKind::PriorityCost,
+            PolicyKind::FreezeOnThrash,
+        ] {
+            let cfg = SwapConfig {
+                cache_size: cache_bytes,
+                policy,
+                ..SwapConfig::unified_fr2355()
+            };
+            let m = measure(bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
+                .unwrap_or_else(|e| panic!("policy {} {policy:?}: {e}", bench.name()));
+            assert!(m.correct, "policy {} {policy:?}: wrong result", bench.name());
+            out.push(PolicyPoint { bench, policy, cache_bytes, m, baseline_us: baseline.time_us });
+        }
+    }
+    out
+}
+
+/// Renders the policy comparison.
+pub fn render_policies(points: &[PolicyPoint]) -> String {
+    let cache = points.first().map(|p| p.cache_bytes).unwrap_or(0);
+    let mut t = Table::new(
+        &format!("Ablation B — replacement policies with a {cache}-byte cache at 24 MHz"),
+        &["benchmark", "policy", "speedup", "misses", "evictions", "fallback rate"],
+    );
+    for p in points {
+        let s = p.m.swap.as_ref().expect("swap stats");
+        t.row(vec![
+            p.bench.short_name().into(),
+            format!("{:?}", p.policy),
+            format!("{:.2}", p.baseline_us / p.m.time_us),
+            s.misses.to_string(),
+            s.evictions.to_string(),
+            format!("{:.2}", s.fallback_rate()),
+        ]);
+    }
+    t.note("paper §3.4: a stack (most-recently-cached replacement) is counterproductive vs the circular queue");
+    t.render()
+}
+
+/// Hardware-cache ablation result for one benchmark.
+#[derive(Debug, Clone)]
+pub struct HwCachePoint {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Baseline time with the hardware cache (us).
+    pub with_cache_us: f64,
+    /// Baseline time without it (us).
+    pub without_cache_us: f64,
+}
+
+/// Measures the baseline with the hardware read cache disabled.
+///
+/// # Panics
+///
+/// Panics if any run fails.
+pub fn hw_cache_ablation() -> Vec<HwCachePoint> {
+    let profile = MemoryProfile::unified();
+    Benchmark::MIBENCH
+        .into_iter()
+        .map(|bench| {
+            let with = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
+                .unwrap_or_else(|e| panic!("hw {} with: {e}", bench.name()));
+            let built = build(bench, &System::Baseline, &profile)
+                .unwrap_or_else(|e| panic!("hw {} build: {e}", bench.name()));
+            let input = input_for(bench, SEED);
+            let mut machine = Fr2355::machine_without_hw_cache(Frequency::MHZ_24);
+            let r = run_on(&mut machine, &built, &input, crate::measure::MAX_CYCLES)
+                .unwrap_or_else(|e| panic!("hw {} without: {e}", bench.name()));
+            assert!(r.outcome.success());
+            HwCachePoint {
+                bench,
+                with_cache_us: with.time_us,
+                without_cache_us: Frequency::MHZ_24.cycles_to_us(r.outcome.stats.total_cycles()),
+            }
+        })
+        .collect()
+}
+
+/// Renders the hardware-cache ablation.
+pub fn render_hw_cache(points: &[HwCachePoint]) -> String {
+    let mut t = Table::new(
+        "Ablation C — value of the built-in 2-way FRAM read cache (baseline, 24 MHz)",
+        &["benchmark", "with cache (us)", "without (us)", "slowdown"],
+    );
+    for p in points {
+        t.row(vec![
+            p.bench.short_name().into(),
+            format!("{:.0}", p.with_cache_us),
+            format!("{:.0}", p.without_cache_us),
+            format!("{:.2}x", p.without_cache_us / p.with_cache_us),
+        ]);
+    }
+    t.note("the tiny hardware cache matters, but cannot fix unified-memory contention (paper §2.2)");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_caches_cause_evictions() {
+        let pts = cache_size_sweep();
+        let small_pressure: u64 = pts
+            .iter()
+            .filter(|p| p.cache_bytes <= 512)
+            .map(|p| {
+                let s = p.m.swap.as_ref().unwrap();
+                s.evictions + s.active_fallbacks
+            })
+            .sum();
+        assert!(small_pressure > 0, "shrunken caches must evict or fall back");
+        // The full-SRAM cache must not evict for these benchmarks.
+        for p in pts.iter().filter(|p| p.cache_bytes == 4096) {
+            assert_eq!(p.m.swap.as_ref().unwrap().evictions, 0, "{}", p.bench.name());
+        }
+    }
+
+    #[test]
+    fn disabling_hw_cache_slows_the_baseline() {
+        for p in hw_cache_ablation() {
+            assert!(
+                p.without_cache_us > p.with_cache_us,
+                "{}: removing the read cache must hurt",
+                p.bench.name()
+            );
+        }
+    }
+}
+
+/// One profile-guided blacklist comparison point (paper §5.6's "runtime
+/// code profiling" direction, closed into a working loop here).
+#[derive(Debug, Clone)]
+pub struct ProfileGuidedPoint {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Cache size used (eviction regime).
+    pub cache_bytes: u16,
+    /// Speedup vs baseline without a blacklist.
+    pub plain_speedup: f64,
+    /// Speedup with the profile-derived blacklist.
+    pub guided_speedup: f64,
+    /// Functions the profile marked cold and blacklisted.
+    pub blacklisted: Vec<String>,
+}
+
+/// Profiles the baseline run per function, blacklists functions below a
+/// 1 % execution share, and re-measures SwapRAM in the eviction regime.
+///
+/// # Panics
+///
+/// Panics if any configuration fails to run.
+pub fn profile_guided_blacklist(cache_bytes: u16) -> Vec<ProfileGuidedPoint> {
+    use msp430_sim::profile::Profiler;
+    let profile = MemoryProfile::unified();
+    let mut out = Vec::new();
+    for bench in PRESSURE_BENCHMARKS {
+        let baseline = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("pgb {} baseline: {e}", bench.name()));
+        // Profile the baseline run over its function spans.
+        let built = build(bench, &System::Baseline, &profile)
+            .unwrap_or_else(|e| panic!("pgb {} build: {e}", bench.name()));
+        let spans: Vec<(String, u16, u16)> = match &built.program {
+            mibench::builder::Program::Base(a) => {
+                a.functions.iter().map(|f| (f.name.clone(), f.start, f.end)).collect()
+            }
+            _ => unreachable!("baseline build"),
+        };
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.attach_profiler(Profiler::new(spans));
+        let input = input_for(bench, SEED);
+        run_on(&mut machine, &built, &input, crate::measure::MAX_CYCLES)
+            .unwrap_or_else(|e| panic!("pgb {} profile run: {e}", bench.name()));
+        let profiler = machine.profiler().expect("profiler attached");
+        let blacklisted: Vec<String> = profiler
+            .cold_ranges(0.01)
+            .into_iter()
+            .filter(|n| n != "__start")
+            .collect();
+
+        let speedup = |cfg: SwapConfig| -> f64 {
+            let m = measure(bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
+                .unwrap_or_else(|e| panic!("pgb {}: {e}", bench.name()));
+            assert!(m.correct);
+            baseline.time_us / m.time_us
+        };
+        let plain = speedup(SwapConfig { cache_size: cache_bytes, ..SwapConfig::unified_fr2355() });
+        let mut cfg = SwapConfig { cache_size: cache_bytes, ..SwapConfig::unified_fr2355() };
+        for name in &blacklisted {
+            cfg = cfg.with_blacklisted(name);
+        }
+        let guided = speedup(cfg);
+        out.push(ProfileGuidedPoint {
+            bench,
+            cache_bytes,
+            plain_speedup: plain,
+            guided_speedup: guided,
+            blacklisted,
+        });
+    }
+    out
+}
+
+/// Renders the profile-guided blacklist study.
+pub fn render_profile_guided(points: &[ProfileGuidedPoint]) -> String {
+    let cache = points.first().map(|p| p.cache_bytes).unwrap_or(0);
+    let mut t = Table::new(
+        &format!("Ablation D — profile-guided blacklist with a {cache}-byte cache at 24 MHz"),
+        &["benchmark", "plain speedup", "guided speedup", "blacklisted (cold) functions"],
+    );
+    for p in points {
+        t.row(vec![
+            p.bench.short_name().into(),
+            format!("{:.2}", p.plain_speedup),
+            format!("{:.2}", p.guided_speedup),
+            p.blacklisted.join(", "),
+        ]);
+    }
+    t.note("closes the loop on §5.6: profile the baseline, keep cold code out of the cache");
+    t.render()
+}
+
+#[cfg(test)]
+mod pg_tests {
+    use super::*;
+
+    #[test]
+    fn profile_guided_blacklist_never_hurts_much_and_often_helps() {
+        let pts = profile_guided_blacklist(512);
+        for p in &pts {
+            assert!(
+                p.guided_speedup >= p.plain_speedup * 0.95,
+                "{}: guided {} much worse than plain {}",
+                p.bench.name(),
+                p.guided_speedup,
+                p.plain_speedup
+            );
+        }
+        assert!(
+            pts.iter().any(|p| p.guided_speedup > p.plain_speedup * 1.02),
+            "the blacklist should help at least one pressure benchmark"
+        );
+    }
+}

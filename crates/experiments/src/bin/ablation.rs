@@ -1,0 +1,12 @@
+//! Runs the ablation studies (cache-size sweep, policies, hardware cache).
+fn main() {
+    println!("{}", experiments::ablation::render_sweep(&experiments::ablation::cache_size_sweep()));
+    println!("{}", experiments::ablation::render_policies(&experiments::ablation::policy_comparison(512)));
+    println!(
+        "{}",
+        experiments::ablation::render_profile_guided(
+            &experiments::ablation::profile_guided_blacklist(512)
+        )
+    );
+    println!("{}", experiments::ablation::render_hw_cache(&experiments::ablation::hw_cache_ablation()));
+}

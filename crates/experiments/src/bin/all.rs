@@ -1,0 +1,4 @@
+//! Regenerates every table and figure of the paper's evaluation.
+fn main() {
+    println!("{}", experiments::run_all());
+}

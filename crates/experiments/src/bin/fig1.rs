@@ -1,0 +1,4 @@
+//! Regenerates Figure 1 (memory-placement matrix).
+fn main() {
+    println!("{}", experiments::fig1::render(&experiments::fig1::run()));
+}

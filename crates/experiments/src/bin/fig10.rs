@@ -1,0 +1,5 @@
+//! Regenerates Figure 10 (split-SRAM execution).
+use msp430_sim::freq::Frequency;
+fn main() {
+    println!("{}", experiments::fig10::render(&experiments::fig10::run(Frequency::MHZ_24)));
+}

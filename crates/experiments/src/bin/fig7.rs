@@ -1,0 +1,4 @@
+//! Regenerates Figure 7 (NVM usage and DNF).
+fn main() {
+    println!("{}", experiments::fig7::render(&experiments::fig7::run()));
+}

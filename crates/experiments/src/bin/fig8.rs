@@ -1,0 +1,4 @@
+//! Regenerates Figure 8 (dynamic instruction breakdown).
+fn main() {
+    println!("{}", experiments::fig8::render(&experiments::fig8::run()));
+}

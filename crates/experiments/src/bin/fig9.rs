@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 (speed/energy at 24 MHz and 8 MHz).
+use msp430_sim::freq::Frequency;
+fn main() {
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_24)));
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_8)));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (sizes and code/data access ratios).
+fn main() {
+    println!("{}", experiments::table1::render(&experiments::table1::run()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (FRAM accesses and unstalled cycles).
+fn main() {
+    println!("{}", experiments::table2::render(&experiments::table2::run()));
+}

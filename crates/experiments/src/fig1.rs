@@ -1,0 +1,106 @@
+//! Figure 1: runtime and energy of the arithmetic microbenchmark under
+//! the four code/data placements, at 8 and 24 MHz.
+//!
+//! Reproduces the paper's observation chain: unified FRAM operation is
+//! slowest (hardware-cache contention hurts even at 8 MHz); placing
+//! *code* in SRAM beats placing *data* in SRAM because instruction
+//! fetches dominate; everything-in-SRAM is fastest but rarely feasible.
+
+use crate::measure::{measure, Measurement};
+use crate::report::Table;
+use mibench::builder::{MemoryProfile, System};
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+
+/// One Figure-1 data point.
+#[derive(Debug, Clone)]
+pub struct Fig1Point {
+    /// Placement name.
+    pub placement: &'static str,
+    /// Operating point.
+    pub freq: Frequency,
+    /// The measurement.
+    pub m: Measurement,
+}
+
+/// The four placements, paper order.
+pub fn placements() -> [(&'static str, MemoryProfile); 4] {
+    [
+        ("code FRAM / data FRAM (unified)", MemoryProfile::unified()),
+        ("code FRAM / data SRAM (standard)", MemoryProfile::code_fram_data_sram()),
+        ("code SRAM / data FRAM", MemoryProfile::code_sram_data_fram()),
+        ("code SRAM / data SRAM", MemoryProfile::all_sram()),
+    ]
+}
+
+/// Runs the full placement matrix.
+///
+/// # Panics
+///
+/// Panics if any configuration fails to build or run (the arith kernel
+/// fits everywhere by construction).
+pub fn run() -> Vec<Fig1Point> {
+    let mut out = Vec::new();
+    for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
+        for (name, profile) in placements() {
+            let m = measure(Benchmark::Arith, &System::Baseline, &profile, freq)
+                .unwrap_or_else(|e| panic!("fig1 {name}: {e}"));
+            assert!(m.correct, "fig1 {name}: wrong result");
+            out.push(Fig1Point { placement: name, freq, m });
+        }
+    }
+    out
+}
+
+/// Renders the figure as a table, normalised to the standard
+/// (code-FRAM/data-SRAM) configuration at each frequency.
+pub fn render(points: &[Fig1Point]) -> String {
+    let mut t = Table::new(
+        "Figure 1 — arithmetic benchmark: memory placement vs runtime/energy",
+        &["placement", "MHz", "time (us)", "energy (uJ)", "rel. time", "rel. energy"],
+    );
+    for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
+        let base = points
+            .iter()
+            .find(|p| p.freq == freq && p.placement.contains("standard"))
+            .expect("standard config present");
+        for p in points.iter().filter(|p| p.freq == freq) {
+            t.row(vec![
+                p.placement.to_string(),
+                freq.mhz.to_string(),
+                format!("{:.1}", p.m.time_us),
+                format!("{:.2}", p.m.energy_uj),
+                format!("{:.2}", p.m.time_us / base.m.time_us),
+                format!("{:.2}", p.m.energy_uj / base.m.energy_uj),
+            ]);
+        }
+    }
+    t.note("paper: unified slowest even at 8 MHz (cache contention); code-in-SRAM beats data-in-SRAM; all-SRAM fastest");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_ordering_matches_paper() {
+        let pts = run();
+        for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
+            let time = |name: &str| {
+                pts.iter()
+                    .find(|p| p.freq == freq && p.placement.contains(name))
+                    .unwrap()
+                    .m
+                    .time_us
+            };
+            let unified = time("unified");
+            let standard = time("standard");
+            let code_sram = time("code SRAM / data FRAM");
+            let all_sram = time("code SRAM / data SRAM");
+            assert!(unified > standard, "{freq:?}: unified must be slowest");
+            assert!(code_sram < standard, "{freq:?}: code-in-SRAM beats the standard config");
+            assert!(all_sram <= code_sram, "{freq:?}: all-SRAM is fastest");
+        }
+    }
+}

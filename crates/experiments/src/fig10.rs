@@ -1,0 +1,150 @@
+//! Figure 10: split-SRAM execution (§5.5) for the four benchmarks whose
+//! program data fits in SRAM — CRC, AES, bitcount, RSA.
+//!
+//! The SRAM is split: the low bytes hold program data and stack (the
+//! "standard" placement), the remainder becomes the software code cache.
+//! Results are normalized both to the unified baseline (as the paper
+//! plots) and to the standard FRAM-code/SRAM-data baseline (the
+//! comparison the section's text makes: +22% speed, -26% energy).
+
+use crate::measure::{geomean, measure, MeasureError, Measurement};
+use crate::report::Table;
+use mibench::builder::{build, MemoryProfile, System};
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+
+/// The four benchmarks that fit program memory in SRAM.
+pub const SPLIT_BENCHMARKS: [Benchmark; 4] =
+    [Benchmark::Crc, Benchmark::Aes, Benchmark::Bitcount, Benchmark::Rsa];
+
+/// Bytes reserved for the stack inside the SRAM data partition.
+pub const STACK_RESERVE: u16 = 192;
+
+/// One benchmark's split-SRAM results.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Operating point.
+    pub freq: Frequency,
+    /// Unified-memory baseline (the plot's normalisation).
+    pub unified_baseline: Measurement,
+    /// Standard configuration: code FRAM, data+stack SRAM.
+    pub standard_baseline: Measurement,
+    /// SwapRAM in the split configuration.
+    pub swapram: Measurement,
+    /// Block cache in the split configuration (may fail on tiny caches).
+    pub block: Result<Measurement, MeasureError>,
+    /// Bytes of SRAM reserved for data+stack.
+    pub reserved: u16,
+}
+
+/// Runs the split experiment at `freq`.
+///
+/// # Panics
+///
+/// Panics if any required configuration fails.
+pub fn run(freq: Frequency) -> Vec<Fig10Row> {
+    SPLIT_BENCHMARKS
+        .into_iter()
+        .map(|bench| {
+            // Size the data partition from the actual data section.
+            let probe = build(bench, &System::Baseline, &MemoryProfile::unified())
+                .unwrap_or_else(|e| panic!("fig10 {} probe: {e}", bench.name()));
+            let reserved = (probe.data_bytes + STACK_RESERVE + 1) & !1;
+            let split_profile = MemoryProfile::split_sram(reserved);
+
+            let unified_baseline =
+                measure(bench, &System::Baseline, &MemoryProfile::unified(), freq)
+                    .unwrap_or_else(|e| panic!("fig10 {} unified: {e}", bench.name()));
+            let standard_baseline = measure(bench, &System::Baseline, &split_profile, freq)
+                .unwrap_or_else(|e| panic!("fig10 {} standard: {e}", bench.name()));
+            let swapram = measure(
+                bench,
+                &System::SwapRam(swapram::SwapConfig::split_fr2355(reserved)),
+                &split_profile,
+                freq,
+            )
+            .unwrap_or_else(|e| panic!("fig10 {} SwapRAM split: {e}", bench.name()));
+            let block = measure(
+                bench,
+                &System::BlockCache(blockcache::BlockConfig::split_fr2355(reserved)),
+                &split_profile,
+                freq,
+            );
+            Fig10Row { bench, freq, unified_baseline, standard_baseline, swapram, block, reserved }
+        })
+        .collect()
+}
+
+/// Geometric means of SwapRAM speedup and energy ratio versus the
+/// *standard* configuration (the §5.5 headline numbers).
+pub fn summary_vs_standard(rows: &[Fig10Row]) -> (f64, f64) {
+    let s: Vec<f64> = rows.iter().map(|r| r.swapram.speedup_vs(&r.standard_baseline)).collect();
+    let e: Vec<f64> =
+        rows.iter().map(|r| r.swapram.energy_ratio_vs(&r.standard_baseline)).collect();
+    (geomean(&s), geomean(&e))
+}
+
+/// Renders the figure.
+pub fn render(rows: &[Fig10Row]) -> String {
+    let freq = rows.first().map(|r| r.freq.mhz).unwrap_or(0);
+    let mut t = Table::new(
+        &format!("Figure 10 — split-SRAM execution at {freq} MHz (speed relative to unified baseline)"),
+        &[
+            "benchmark",
+            "data+stack (B)",
+            "standard",
+            "SR split",
+            "BB split",
+            "SR vs standard",
+            "SR energy vs standard",
+        ],
+    );
+    for r in rows {
+        let speed = |m: &Measurement| r.unified_baseline.time_us / m.time_us;
+        let bb = match &r.block {
+            Ok(b) => format!("{:.2}", speed(b)),
+            Err(MeasureError::DoesNotFit(_)) => "DNF".into(),
+            Err(e) => format!("{e}"),
+        };
+        t.row(vec![
+            r.bench.short_name().into(),
+            r.reserved.to_string(),
+            format!("{:.2}", speed(&r.standard_baseline)),
+            format!("{:.2}", speed(&r.swapram)),
+            bb,
+            format!("{:.2}", r.swapram.speedup_vs(&r.standard_baseline)),
+            format!("{:.2}", r.swapram.energy_ratio_vs(&r.standard_baseline)),
+        ]);
+    }
+    let (s, e) = summary_vs_standard(rows);
+    t.note(format!(
+        "SwapRAM vs standard config (geomean): speed {s:.2}x, energy {e:.2}x — paper: +22% speed, -26% energy at 24 MHz"
+    ));
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_swapram_beats_the_standard_configuration() {
+        let rows = run(Frequency::MHZ_24);
+        let (s, e) = summary_vs_standard(&rows);
+        assert!(s > 1.0, "split SwapRAM should beat code-FRAM/data-SRAM (got {s})");
+        assert!(e < 1.0, "split SwapRAM should save energy (got {e})");
+    }
+
+    #[test]
+    fn standard_beats_unified() {
+        for r in run(Frequency::MHZ_24) {
+            assert!(
+                r.standard_baseline.time_us < r.unified_baseline.time_us,
+                "{}: data-in-SRAM must beat unified FRAM",
+                r.bench.name()
+            );
+        }
+    }
+}

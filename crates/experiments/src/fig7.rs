@@ -1,0 +1,192 @@
+//! Figure 7: NVM usage of the block-based cache and SwapRAM —
+//! transformed application code, runtime code and metadata — plus DNF
+//! determination.
+//!
+//! Scaling note (see EXPERIMENTS.md): our hand-written benchmarks are
+//! several times smaller than the paper's C-compiled MiBench2 builds, so
+//! absolute DNF against the full 32 KiB FRAM does not trigger. The DNF
+//! column is therefore evaluated against a proportionally scaled NVM
+//! budget (default 8 KiB) alongside the natural constraint that the
+//! transformed text must fit its 12 KiB region.
+
+use mibench::builder::{build, BuildError, MemoryProfile, System};
+use mibench::Benchmark;
+
+use crate::measure::systems;
+use crate::report::{pct_change, Table};
+
+/// Scaled NVM budget used for the DNF column (bytes).
+pub const SCALED_NVM_BUDGET: u32 = 8 * 1024;
+
+/// Figure-7 bars for one benchmark/system.
+#[derive(Debug, Clone)]
+pub struct Fig7Entry {
+    /// System label.
+    pub system: &'static str,
+    /// Transformed application code bytes.
+    pub app_bytes: u32,
+    /// Runtime code bytes.
+    pub runtime_bytes: u32,
+    /// Metadata bytes.
+    pub metadata_bytes: u32,
+    /// Whether the build physically failed to fit its regions.
+    pub hard_dnf: bool,
+}
+
+impl Fig7Entry {
+    /// Total NVM bytes.
+    pub fn total(&self) -> u32 {
+        self.app_bytes + self.runtime_bytes + self.metadata_bytes
+    }
+
+    /// DNF under the scaled budget (or a hard fit failure).
+    pub fn dnf_scaled(&self) -> bool {
+        self.hard_dnf || self.total() > SCALED_NVM_BUDGET
+    }
+}
+
+/// One benchmark's Figure-7 row: baseline text plus both cache systems.
+#[derive(Debug, Clone)]
+pub struct Fig7Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Unmodified application text bytes.
+    pub baseline_text: u32,
+    /// Block-based entry.
+    pub block: Fig7Entry,
+    /// SwapRAM entry.
+    pub swap: Fig7Entry,
+}
+
+/// Builds all benchmarks under both cache systems and collects sizes.
+///
+/// # Panics
+///
+/// Panics on unexpected build errors (region overflow is reported as DNF,
+/// not a panic).
+pub fn run() -> Vec<Fig7Row> {
+    let profile = MemoryProfile::unified();
+    let [(_, base_sys), (_, block_sys), (_, swap_sys)] = systems();
+    Benchmark::MIBENCH
+        .into_iter()
+        .map(|bench| {
+            let base = build(bench, &base_sys, &profile)
+                .unwrap_or_else(|e| panic!("fig7 {} baseline: {e}", bench.name()));
+            let entry = |sys: &System, label: &'static str| match build(bench, sys, &profile) {
+                Ok(b) => Fig7Entry {
+                    system: label,
+                    app_bytes: u32::from(b.text_bytes),
+                    runtime_bytes: u32::from(b.handler_bytes),
+                    metadata_bytes: u32::from(b.metadata_bytes),
+                    hard_dnf: false,
+                },
+                Err(BuildError::DoesNotFit(_)) => Fig7Entry {
+                    system: label,
+                    app_bytes: 0,
+                    runtime_bytes: 0,
+                    metadata_bytes: 0,
+                    hard_dnf: true,
+                },
+                Err(e) => panic!("fig7 {} {label}: {e}", bench.name()),
+            };
+            Fig7Row {
+                bench,
+                baseline_text: u32::from(base.text_bytes),
+                block: entry(&block_sys, "block-based"),
+                swap: entry(&swap_sys, "SwapRAM"),
+            }
+        })
+        .collect()
+}
+
+/// Average SwapRAM total-NVM increase across the suite.
+pub fn swap_avg_increase(rows: &[Fig7Row]) -> f64 {
+    let ratios: Vec<f64> =
+        rows.iter().map(|r| r.swap.total() as f64 / r.baseline_text as f64).collect();
+    ratios.iter().sum::<f64>() / ratios.len() as f64 - 1.0
+}
+
+/// Average SwapRAM *application-code* growth (the paper's 0.1%–37%,
+/// average 27% figure excludes the fixed-size runtime, which dominates at
+/// our smaller benchmark scale).
+pub fn swap_avg_app_increase(rows: &[Fig7Row]) -> f64 {
+    let ratios: Vec<f64> =
+        rows.iter().map(|r| r.swap.app_bytes as f64 / r.baseline_text as f64).collect();
+    ratios.iter().sum::<f64>() / ratios.len() as f64 - 1.0
+}
+
+/// Renders the figure.
+pub fn render(rows: &[Fig7Row]) -> String {
+    let mut t = Table::new(
+        "Figure 7 — NVM usage: application / runtime / metadata (bytes)",
+        &["benchmark", "system", "app", "runtime", "metadata", "total", "vs baseline", "DNF(8KiB)"],
+    );
+    for r in rows {
+        for e in [&r.block, &r.swap] {
+            if e.hard_dnf {
+                t.row(vec![
+                    r.bench.short_name().into(),
+                    e.system.into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "DNF".into(),
+                ]);
+                continue;
+            }
+            t.row(vec![
+                r.bench.short_name().into(),
+                e.system.into(),
+                e.app_bytes.to_string(),
+                e.runtime_bytes.to_string(),
+                e.metadata_bytes.to_string(),
+                e.total().to_string(),
+                pct_change(e.total() as f64, r.baseline_text as f64),
+                if e.dnf_scaled() { "DNF" } else { "fits" }.to_string(),
+            ]);
+        }
+    }
+    t.note(format!(
+        "SwapRAM application-code growth: {:+.0}% average (paper: +27%); total NVM growth {:+.0}% — the fixed ~1 KiB handler dominates at our smaller benchmark scale",
+        swap_avg_app_increase(rows) * 100.0,
+        swap_avg_increase(rows) * 100.0
+    ));
+    t.note("block-based paper average: +368% NVM growth with 4 of 9 DNF");
+    t.note("DNF column uses the scaled 8 KiB NVM budget (benchmarks are ~4x smaller than the paper's builds)");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_transform_is_much_larger_than_swapram() {
+        let rows = run();
+        for r in &rows {
+            if r.block.hard_dnf {
+                continue;
+            }
+            assert!(
+                r.block.total() > r.swap.total(),
+                "{}: block-based NVM usage must exceed SwapRAM's",
+                r.bench.name()
+            );
+            assert!(
+                r.block.app_bytes as f64 > 1.4 * r.baseline_text as f64,
+                "{}: block transform should roughly double application code",
+                r.bench.name()
+            );
+        }
+    }
+
+    #[test]
+    fn swapram_growth_is_moderate() {
+        let rows = run();
+        let g = swap_avg_increase(&rows);
+        assert!(g > 0.0, "instrumentation must add code");
+        assert!(g < 3.0, "SwapRAM growth should stay moderate (got {:+.0}%)", g * 100.0);
+    }
+}

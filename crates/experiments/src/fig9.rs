@@ -1,0 +1,137 @@
+//! Figure 9: end-to-end execution speed and energy at 24 MHz (and the
+//! 8 MHz variant reported in the paper's text), normalized to the
+//! unified-memory baseline.
+
+use crate::measure::{geomean, measure, systems, MeasureError, Measurement};
+use crate::report::Table;
+use mibench::builder::MemoryProfile;
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+
+/// One benchmark at one operating point.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Operating point.
+    pub freq: Frequency,
+    /// Baseline.
+    pub baseline: Measurement,
+    /// SwapRAM.
+    pub swapram: Measurement,
+    /// Block-based (may DNF).
+    pub block: Result<Measurement, MeasureError>,
+}
+
+impl Fig9Row {
+    /// SwapRAM speedup over baseline (>1 = faster).
+    pub fn swap_speedup(&self) -> f64 {
+        self.swapram.speedup_vs(&self.baseline)
+    }
+
+    /// SwapRAM energy ratio (<1 = saves energy).
+    pub fn swap_energy(&self) -> f64 {
+        self.swapram.energy_ratio_vs(&self.baseline)
+    }
+}
+
+/// Runs the matrix at one operating point.
+///
+/// # Panics
+///
+/// Panics if baseline or SwapRAM runs fail.
+pub fn run(freq: Frequency) -> Vec<Fig9Row> {
+    let profile = MemoryProfile::unified();
+    let [(_, base_sys), (_, block_sys), (_, swap_sys)] = systems();
+    Benchmark::MIBENCH
+        .into_iter()
+        .map(|bench| {
+            let baseline = measure(bench, &base_sys, &profile, freq)
+                .unwrap_or_else(|e| panic!("fig9 {} baseline: {e}", bench.name()));
+            let swapram = measure(bench, &swap_sys, &profile, freq)
+                .unwrap_or_else(|e| panic!("fig9 {} SwapRAM: {e}", bench.name()));
+            let block = measure(bench, &block_sys, &profile, freq);
+            Fig9Row { bench, freq, baseline, swapram, block }
+        })
+        .collect()
+}
+
+/// Suite-level geometric means: `(swap_speedup, swap_energy_ratio,
+/// block_speedup, block_energy_ratio)`.
+pub fn summary(rows: &[Fig9Row]) -> (f64, f64, f64, f64) {
+    let ss: Vec<f64> = rows.iter().map(Fig9Row::swap_speedup).collect();
+    let se: Vec<f64> = rows.iter().map(Fig9Row::swap_energy).collect();
+    let bs: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.block.as_ref().ok().map(|b| b.speedup_vs(&r.baseline)))
+        .collect();
+    let be: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.block.as_ref().ok().map(|b| b.energy_ratio_vs(&r.baseline)))
+        .collect();
+    (geomean(&ss), geomean(&se), geomean(&bs), geomean(&be))
+}
+
+/// Renders the figure.
+pub fn render(rows: &[Fig9Row]) -> String {
+    let freq = rows.first().map(|r| r.freq.mhz).unwrap_or(0);
+    let mut t = Table::new(
+        &format!("Figure 9 — execution speed and energy at {freq} MHz (normalized to baseline)"),
+        &["benchmark", "SR speedup", "SR energy", "BB speedup", "BB energy"],
+    );
+    for r in rows {
+        let (bs, be) = match &r.block {
+            Ok(b) => (
+                format!("{:.2}", b.speedup_vs(&r.baseline)),
+                format!("{:.2}", b.energy_ratio_vs(&r.baseline)),
+            ),
+            Err(MeasureError::DoesNotFit(_)) => ("DNF".into(), "DNF".into()),
+            Err(e) => (format!("{e}"), "-".into()),
+        };
+        t.row(vec![
+            r.bench.short_name().into(),
+            format!("{:.2}", r.swap_speedup()),
+            format!("{:.2}", r.swap_energy()),
+            bs,
+            be,
+        ]);
+    }
+    let (ss, se, bs, be) = summary(rows);
+    t.row(vec![
+        "Geo.mean".into(),
+        format!("{ss:.2}"),
+        format!("{se:.2}"),
+        format!("{bs:.2}"),
+        format!("{be:.2}"),
+    ]);
+    t.note("paper at 24 MHz: SwapRAM +26% speed / -24% energy; block-based -13% speed / +12% energy");
+    t.note("paper at 8 MHz: SwapRAM +13% speed / -20% energy; block-based -21% speed / +19% energy");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swapram_wins_at_both_frequencies() {
+        for freq in [Frequency::MHZ_24, Frequency::MHZ_8] {
+            let rows = run(freq);
+            let (ss, se, bs, _be) = summary(&rows);
+            assert!(ss > 1.0, "{freq:?}: SwapRAM should speed up the suite (got {ss})");
+            assert!(se < 1.0, "{freq:?}: SwapRAM should save energy (got {se})");
+            assert!(bs < 1.0, "{freq:?}: block-based should degrade speed (got {bs})");
+            assert!(ss > bs, "{freq:?}: SwapRAM must beat block-based");
+        }
+    }
+
+    #[test]
+    fn improvement_larger_at_24mhz_than_8mhz() {
+        let (s24, ..) = summary(&run(Frequency::MHZ_24));
+        let (s8, ..) = summary(&run(Frequency::MHZ_8));
+        assert!(
+            s24 >= s8 * 0.98,
+            "wait-state elimination should make 24 MHz gains at least comparable (24: {s24}, 8: {s8})"
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # experiments — regenerating the paper's evaluation
+//!
+//! One module per table/figure of the SwapRAM paper's evaluation (§2, §5),
+//! each with a `run()` that produces structured results and a `render()`
+//! that prints the same rows/series the paper reports. Binaries under
+//! `src/bin/` wrap each module; `cargo run -p experiments --bin all`
+//! regenerates everything (the content of EXPERIMENTS.md).
+//!
+//! | Module    | Paper artefact                                     |
+//! |-----------|----------------------------------------------------|
+//! | [`fig1`]  | Figure 1 — memory-placement matrix                 |
+//! | [`table1`]| Table 1 — sizes and code/data access ratios        |
+//! | [`table2`]| Table 2 — FRAM accesses and unstalled cycles       |
+//! | [`fig7`]  | Figure 7 — NVM usage and DNF                       |
+//! | [`fig8`]  | Figure 8 — dynamic instruction breakdown           |
+//! | [`fig9`]  | Figure 9 — speed/energy at 24 MHz (and 8 MHz)      |
+//! | [`fig10`] | Figure 10 — split-SRAM execution                   |
+//! | [`ablation`]| cache-size sweep, policies, hardware cache       |
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod measure;
+pub mod report;
+pub mod table1;
+pub mod table2;
+
+use msp430_sim::freq::Frequency;
+
+/// Runs every experiment and renders the full report.
+pub fn run_all() -> String {
+    let mut out = String::new();
+    out.push_str(&fig1::render(&fig1::run()));
+    out.push('\n');
+    out.push_str(&table1::render(&table1::run()));
+    out.push('\n');
+    out.push_str(&fig7::render(&fig7::run()));
+    out.push('\n');
+    out.push_str(&table2::render(&table2::run()));
+    out.push('\n');
+    out.push_str(&fig8::render(&fig8::run()));
+    out.push('\n');
+    out.push_str(&fig9::render(&fig9::run(Frequency::MHZ_24)));
+    out.push('\n');
+    out.push_str(&fig9::render(&fig9::run(Frequency::MHZ_8)));
+    out.push('\n');
+    out.push_str(&fig10::render(&fig10::run(Frequency::MHZ_24)));
+    out.push('\n');
+    out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep()));
+    out.push('\n');
+    out.push_str(&ablation::render_policies(&ablation::policy_comparison(512)));
+    out.push('\n');
+    out.push_str(&ablation::render_profile_guided(&ablation::profile_guided_blacklist(512)));
+    out.push('\n');
+    out.push_str(&ablation::render_hw_cache(&ablation::hw_cache_ablation()));
+    out
+}

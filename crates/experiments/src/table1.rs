@@ -1,0 +1,99 @@
+//! Table 1: binary size, RAM usage and code/data access ratio for the
+//! nine benchmarks.
+//!
+//! The paper measures these with a modified `mspdebug`; here the baseline
+//! unified-memory run provides the access trace, and the assembler's
+//! section table provides the static sizes.
+
+use crate::measure::{measure, Measurement};
+use crate::report::Table;
+use mibench::builder::{MemoryProfile, System};
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+
+/// One Table-1 row.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The benchmark.
+    pub bench: Benchmark,
+    /// Binary (code) size in bytes.
+    pub binary_bytes: u16,
+    /// RAM usage (data section) in bytes.
+    pub ram_bytes: u16,
+    /// Code/data access ratio.
+    pub ratio: f64,
+    /// The underlying measurement.
+    pub m: Measurement,
+}
+
+/// Runs the baseline trace for all nine benchmarks.
+///
+/// # Panics
+///
+/// Panics if a benchmark fails to build or run.
+pub fn run() -> Vec<Table1Row> {
+    Benchmark::MIBENCH
+        .into_iter()
+        .map(|bench| {
+            let m = measure(bench, &System::Baseline, &MemoryProfile::unified(), Frequency::MHZ_8)
+                .unwrap_or_else(|e| panic!("table1 {}: {e}", bench.name()));
+            assert!(m.correct, "table1 {}: wrong result", bench.name());
+            Table1Row {
+                bench,
+                binary_bytes: m.built.text_bytes,
+                ram_bytes: m.built.data_bytes,
+                ratio: m.stats.code_data_ratio().unwrap_or(f64::NAN),
+                m,
+            }
+        })
+        .collect()
+}
+
+/// Average code/data ratio across the suite (paper: 3.035).
+pub fn average_ratio(rows: &[Table1Row]) -> f64 {
+    rows.iter().map(|r| r.ratio).sum::<f64>() / rows.len() as f64
+}
+
+/// Renders the table.
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut t = Table::new(
+        "Table 1 — binary size, RAM usage, code/data access ratio",
+        &["benchmark", "binary (B)", "RAM (B)", "code/data ratio"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.short_name().to_string(),
+            r.binary_bytes.to_string(),
+            r.ram_bytes.to_string(),
+            format!("{:.3}", r.ratio),
+        ]);
+    }
+    t.row(vec![
+        "Average".into(),
+        String::new(),
+        String::new(),
+        format!("{:.3}", average_ratio(rows)),
+    ]);
+    t.note("paper averages 3.035 across its (larger, C-compiled) builds; the key claim is ratio >> 1 everywhere");
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_accesses_dominate_everywhere() {
+        let rows = run();
+        for r in &rows {
+            assert!(
+                r.ratio > 1.0,
+                "{}: code/data ratio {} must exceed 1 (paper §2.4)",
+                r.bench.name(),
+                r.ratio
+            );
+        }
+        let avg = average_ratio(&rows);
+        assert!(avg > 1.5, "average ratio {avg} should be well above 1");
+    }
+}

@@ -1,0 +1,38 @@
+//! Oracle-diff tool: run a benchmark on the baseline simulator and diff
+//! its emitted checksum words against the Rust oracle word-by-word.
+//!
+//! ```text
+//! cargo run -p mibench --example dbg -- <benchmark> [seed]
+//! ```
+
+use mibench::builder::{build, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::Fr2355;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crc".into());
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let bench = Benchmark::MIBENCH
+        .into_iter()
+        .chain([Benchmark::Arith])
+        .find(|b| b.name() == name)
+        .expect("unknown benchmark name");
+    let built = build(bench, &System::Baseline, &MemoryProfile::unified()).expect("build");
+    let input = input_for(bench, seed);
+    let expect = bench.oracle_words(&input);
+
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    let _ = mibench::builder::run_on(&mut machine, &built, &input, 4_000_000_000)
+        .expect("simulation");
+    let got = machine.bus().ports().checksum_log().to_vec();
+
+    println!("{} seed {seed}:", bench.name());
+    println!("  oracle ({:>3} words): {:04x?}", expect.len(), expect);
+    println!("  device ({:>3} words): {:04x?}", got.len(), got);
+    match expect.iter().zip(&got).position(|(e, g)| e != g) {
+        Some(i) => println!("  FIRST DIFF at word {i}: oracle {:#06x} device {:#06x}", expect[i], got[i]),
+        None if expect.len() != got.len() => println!("  LENGTH DIFF"),
+        None => println!("  identical"),
+    }
+}

@@ -1,0 +1,300 @@
+; AES-128 benchmark: key expansion from a 16-byte input key, then ECB
+; encryption of eight 16-byte blocks. Each round step (SubBytes,
+; ShiftRows, MixColumns, AddRoundKey, xtime) is its own function, giving
+; the deep call chains that make AES the paper's thrashing stress case.
+; Emits the first word of each ciphertext block and a wrapped sum of all
+; ciphertext words.
+
+    .text
+
+; xtime(r12 = byte) -> r12 = GF(2^8) doubling.
+    .func xtime
+xtime:
+    rla  r12
+    bit  #0x100, r12
+    jz   xt_done
+    xor  #0x1b, r12
+xt_done:
+    and  #0xff, r12
+    ret
+    .endfunc
+
+; sub_bytes: state[i] = sbox[state[i]] for all 16 bytes.
+    .func sub_bytes
+sub_bytes:
+    mov  #__aes_state, r14
+    mov  #16, r13
+sb_loop:
+    mov.b @r14, r15
+    add  #__aes_sbox, r15
+    mov.b @r15, r15
+    mov.b r15, 0(r14)
+    inc  r14
+    dec  r13
+    jnz  sb_loop
+    ret
+    .endfunc
+
+; shift_rows: rotate rows 1..3 of the column-major state.
+    .func shift_rows
+shift_rows:
+    mov  #__aes_state, r12
+    mov  #16, r13
+    mov  #__aes_tmp, r14
+    call #memcpy_s
+    mov.b &__aes_tmp + 5, &__aes_state + 1
+    mov.b &__aes_tmp + 9, &__aes_state + 5
+    mov.b &__aes_tmp + 13, &__aes_state + 9
+    mov.b &__aes_tmp + 1, &__aes_state + 13
+    mov.b &__aes_tmp + 10, &__aes_state + 2
+    mov.b &__aes_tmp + 14, &__aes_state + 6
+    mov.b &__aes_tmp + 2, &__aes_state + 10
+    mov.b &__aes_tmp + 6, &__aes_state + 14
+    mov.b &__aes_tmp + 15, &__aes_state + 3
+    mov.b &__aes_tmp + 3, &__aes_state + 7
+    mov.b &__aes_tmp + 7, &__aes_state + 11
+    mov.b &__aes_tmp + 11, &__aes_state + 15
+    ret
+    .endfunc
+
+; mix_columns: the standard xtime-based column mix.
+    .func mix_columns
+mix_columns:
+    push r6
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #__aes_state, r10
+    mov  #4, r6
+mc_col:
+    mov.b @r10, r7         ; c0
+    mov.b 1(r10), r8       ; c1
+    mov.b 2(r10), r9       ; c2
+    mov.b 3(r10), r11      ; c3
+    mov  r7, r15           ; all = c0^c1^c2^c3
+    xor  r8, r15
+    xor  r9, r15
+    xor  r11, r15
+    mov  r15, &__aes_all
+    mov  r7, r12           ; s0 = c0 ^ all ^ xtime(c0^c1)
+    xor  r8, r12
+    call #xtime
+    xor  r7, r12
+    xor  &__aes_all, r12
+    mov.b r12, 0(r10)
+    mov  r8, r12           ; s1 = c1 ^ all ^ xtime(c1^c2)
+    xor  r9, r12
+    call #xtime
+    xor  r8, r12
+    xor  &__aes_all, r12
+    mov.b r12, 1(r10)
+    mov  r9, r12           ; s2 = c2 ^ all ^ xtime(c2^c3)
+    xor  r11, r12
+    call #xtime
+    xor  r9, r12
+    xor  &__aes_all, r12
+    mov.b r12, 2(r10)
+    mov  r11, r12          ; s3 = c3 ^ all ^ xtime(c3^c0)
+    xor  r7, r12
+    call #xtime
+    xor  r11, r12
+    xor  &__aes_all, r12
+    mov.b r12, 3(r10)
+    add  #4, r10
+    dec  r6
+    jnz  mc_col
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    pop  r6
+    ret
+    .endfunc
+
+; add_round_key(r12 = round).
+    .func add_round_key
+add_round_key:
+    rla  r12
+    rla  r12
+    rla  r12
+    rla  r12
+    add  #__aes_rk, r12
+    mov  #__aes_state, r14
+    mov  #16, r13
+ark_loop:
+    mov.b @r12+, r15
+    xor.b r15, 0(r14)
+    inc  r14
+    dec  r13
+    jnz  ark_loop
+    ret
+    .endfunc
+
+; key_expand: build the 11 round keys from the key at __input.
+    .func key_expand
+key_expand:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #__input, r12
+    mov  #16, r13
+    mov  #__aes_rk, r14
+    call #memcpy_s
+    mov  #1, r9            ; rcon
+    mov  #1, r10           ; round
+ke_loop:
+    mov  r10, r7           ; prev = rk + (round-1)*16
+    dec  r7
+    rla  r7
+    rla  r7
+    rla  r7
+    rla  r7
+    add  #__aes_rk, r7
+    mov  r7, r8
+    add  #16, r8           ; cur
+    mov.b 13(r7), r15      ; cur[0] = prev[0] ^ sbox[prev[13]] ^ rcon
+    add  #__aes_sbox, r15
+    mov.b @r15, r14
+    xor  r9, r14
+    mov.b 0(r7), r12
+    xor  r14, r12
+    mov.b r12, 0(r8)
+    mov.b 14(r7), r15      ; cur[1] = prev[1] ^ sbox[prev[14]]
+    add  #__aes_sbox, r15
+    mov.b @r15, r14
+    mov.b 1(r7), r12
+    xor  r14, r12
+    mov.b r12, 1(r8)
+    mov.b 15(r7), r15      ; cur[2] = prev[2] ^ sbox[prev[15]]
+    add  #__aes_sbox, r15
+    mov.b @r15, r14
+    mov.b 2(r7), r12
+    xor  r14, r12
+    mov.b r12, 2(r8)
+    mov.b 12(r7), r15      ; cur[3] = prev[3] ^ sbox[prev[12]]
+    add  #__aes_sbox, r15
+    mov.b @r15, r14
+    mov.b 3(r7), r12
+    xor  r14, r12
+    mov.b r12, 3(r8)
+    mov  #4, r13           ; cur[i] = prev[i] ^ cur[i-4]
+ke_rest:
+    mov  r8, r15
+    add  r13, r15
+    mov.b -4(r15), r14
+    mov  r7, r12
+    add  r13, r12
+    mov.b @r12, r12
+    xor  r14, r12
+    mov.b r12, 0(r15)
+    inc  r13
+    cmp  #16, r13
+    jnz  ke_rest
+    mov  r9, r12           ; rcon = xtime(rcon)
+    call #xtime
+    mov  r12, r9
+    inc  r10
+    cmp  #11, r10
+    jnz  ke_loop
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+; encrypt_block: the ten AES rounds over __aes_state.
+    .func encrypt_block
+encrypt_block:
+    push r10
+    mov  #0, r12
+    call #add_round_key
+    mov  #1, r10
+eb_round:
+    call #sub_bytes
+    call #shift_rows
+    call #mix_columns
+    mov  r10, r12
+    call #add_round_key
+    inc  r10
+    cmp  #10, r10
+    jnz  eb_round
+    call #sub_bytes
+    call #shift_rows
+    mov  #10, r12
+    call #add_round_key
+    pop  r10
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r8
+    push r9
+    push r10
+    call #key_expand
+    mov  #0, r10           ; block index
+    mov  #0, r9            ; ciphertext word sum
+aes_blk:
+    mov  r10, r12          ; state = input[16 + 16*blk ..]
+    rla  r12
+    rla  r12
+    rla  r12
+    rla  r12
+    add  #__input + 16, r12
+    mov  #16, r13
+    mov  #__aes_state, r14
+    call #memcpy_s
+    call #encrypt_block
+    mov  #__aes_state, r14
+    mov  @r14, r8          ; first ciphertext word
+    mov  #8, r13
+aes_sum:
+    add  @r14+, r9
+    dec  r13
+    jnz  aes_sum
+    mov  r8, &0x0104
+    inc  r10
+    cmp  #8, r10
+    jnz  aes_blk
+    mov  r9, &0x0104
+    pop  r10
+    pop  r9
+    pop  r8
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input:     .space 16 + 128
+    .align 2
+__aes_state: .space 16
+__aes_tmp:   .space 16
+__aes_rk:    .space 176
+__aes_all:   .word 0
+__aes_sbox:
+    .byte 0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b
+    .byte 0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0
+    .byte 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26
+    .byte 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15
+    .byte 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2
+    .byte 0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0
+    .byte 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed
+    .byte 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf
+    .byte 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f
+    .byte 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5
+    .byte 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec
+    .byte 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73
+    .byte 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14
+    .byte 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c
+    .byte 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d
+    .byte 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08
+    .byte 0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f
+    .byte 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e
+    .byte 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11
+    .byte 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf
+    .byte 0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f
+    .byte 0xb0, 0x54, 0xbb, 0x16
+    .align 2

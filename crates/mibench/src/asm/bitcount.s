@@ -1,0 +1,231 @@
+; Bitcount benchmark: six bit-counting strategies over 256 LCG-generated
+; words, dispatched through a switch (the paper's jump-table-to-switch
+; port, section 4). Emits each strategy's total.
+
+    .text
+
+; bit_kern: Kernighan's clear-lowest-set-bit loop. r12 = x -> r12 = count.
+    .func bit_kern
+bit_kern:
+    mov  #0, r13
+bk_loop:
+    tst  r12
+    jz   bk_done
+    mov  r12, r14
+    dec  r14
+    and  r14, r12
+    inc  r13
+    jmp  bk_loop
+bk_done:
+    mov  r13, r12
+    ret
+    .endfunc
+
+; bit_shift: test-and-shift over all 16 bits.
+    .func bit_shift
+bit_shift:
+    mov  #0, r13
+    mov  #16, r14
+bs_loop:
+    mov  r12, r15
+    and  #1, r15
+    add  r15, r13
+    clrc
+    rrc  r12
+    dec  r14
+    jnz  bs_loop
+    mov  r13, r12
+    ret
+    .endfunc
+
+; bit_nibble: 16-entry nibble lookup table.
+    .func bit_nibble
+bit_nibble:
+    mov  #0, r13
+    mov  #4, r14
+bn_loop:
+    mov  r12, r15
+    and  #0xf, r15
+    rla  r15
+    add  #__nibtab, r15
+    add  @r15, r13
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    dec  r14
+    jnz  bn_loop
+    mov  r13, r12
+    ret
+    .endfunc
+
+; bit_table8: 256-entry byte lookup table, one probe per byte.
+    .func bit_table8
+bit_table8:
+    mov  r12, r14
+    and  #0xff, r14
+    add  #__bytetab, r14
+    mov.b @r14, r13
+    swpb r12
+    and  #0xff, r12
+    add  #__bytetab, r12
+    mov.b @r12, r12
+    add  r13, r12
+    ret
+    .endfunc
+
+; bit_swar: parallel (SWAR) reduction.
+    .func bit_swar
+bit_swar:
+    mov  r12, r13
+    clrc
+    rrc  r13
+    and  #0x5555, r13
+    and  #0x5555, r12
+    add  r13, r12
+    mov  r12, r13
+    clrc
+    rrc  r13
+    clrc
+    rrc  r13
+    and  #0x3333, r13
+    and  #0x3333, r12
+    add  r13, r12
+    mov  r12, r13
+    clrc
+    rrc  r13
+    clrc
+    rrc  r13
+    clrc
+    rrc  r13
+    clrc
+    rrc  r13
+    and  #0x0f0f, r13
+    and  #0x0f0f, r12
+    add  r13, r12
+    mov  r12, r13
+    swpb r13
+    and  #0xff, r13
+    and  #0xff, r12
+    add  r13, r12
+    ret
+    .endfunc
+
+; bit_dual: two 8-bit halves counted with an unrolled odd-test ladder.
+    .func bit_dual
+bit_dual:
+    mov  #0, r13
+    mov  #8, r14
+bd_loop:
+    bit  #1, r12
+    jz   bd_lo_even
+    inc  r13
+bd_lo_even:
+    bit  #0x0100, r12
+    jz   bd_hi_even
+    inc  r13
+bd_hi_even:
+    clrc
+    rrc  r12
+    ; keep the high byte aligned: the shift moved bit 8 into bit 7, so
+    ; re-read through a fresh shift of the original is avoided by testing
+    ; bit 8 of the shifted value next round (bits walk down one per round).
+    dec  r14
+    jnz  bd_loop
+    mov  r13, r12
+    ret
+    .endfunc
+
+; count_dispatch(r12 = x, r13 = method) -> r12 = count.
+    .func count_dispatch
+count_dispatch:
+    tst  r13
+    jz   cd_m0
+    cmp  #1, r13
+    jz   cd_m1
+    cmp  #2, r13
+    jz   cd_m2
+    cmp  #3, r13
+    jz   cd_m3
+    cmp  #4, r13
+    jz   cd_m4
+    call #bit_dual
+    ret
+cd_m0:
+    call #bit_kern
+    ret
+cd_m1:
+    call #bit_shift
+    ret
+cd_m2:
+    call #bit_nibble
+    ret
+cd_m3:
+    call #bit_table8
+    ret
+cd_m4:
+    call #bit_swar
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  &__input, r8      ; seed
+    mov  #0, r9            ; method
+bit_method_loop:
+    mov  r8, &__bit_lcg
+    mov  #0, r10           ; total
+    mov  #256, r7
+bit_inner:
+    mov  &__bit_lcg, r12
+    mov  #25173, r13
+    call #__mulhi3
+    add  #13849, r12
+    mov  r12, &__bit_lcg
+    mov  r9, r13
+    call #count_dispatch
+    add  r12, r10
+    dec  r7
+    jnz  bit_inner
+    mov  r10, &0x0104
+    inc  r9
+    cmp  #6, r9
+    jnz  bit_method_loop
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input:   .space 2
+__bit_lcg: .word 0
+__nibtab:  .word 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+__bytetab:
+    .byte 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4
+    .byte 1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5
+    .byte 1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5
+    .byte 2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6
+    .byte 1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5
+    .byte 2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6
+    .byte 2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6
+    .byte 3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7
+    .byte 1, 2, 2, 3, 2, 3, 3, 4, 2, 3, 3, 4, 3, 4, 4, 5
+    .byte 2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6
+    .byte 2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6
+    .byte 3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7
+    .byte 2, 3, 3, 4, 3, 4, 4, 5, 3, 4, 4, 5, 4, 5, 5, 6
+    .byte 3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7
+    .byte 3, 4, 4, 5, 4, 5, 5, 6, 4, 5, 5, 6, 5, 6, 6, 7
+    .byte 4, 5, 5, 6, 5, 6, 6, 7, 5, 6, 6, 7, 6, 7, 7, 8
+    .align 2

@@ -1,0 +1,117 @@
+; CRC benchmark (MiBench2 "crc32"-style): bitwise CRC-32 (reflected,
+; polynomial 0xEDB88320) plus CRC-16/CCITT over a 256-byte input buffer.
+;
+; main chains PASSES crc32 passes (each seeded with the previous result)
+; and two crc16 passes, emitting each intermediate result word to the
+; checksum port.
+
+    .equ CRC_LEN, 256
+    .equ CRC_PASSES, 12
+
+    .text
+
+; crc32_buf(r12 = ptr, r13 = len, r14 = init_lo, r15 = init_hi)
+;   -> r12 = crc_lo, r13 = crc_hi
+    .func crc32_buf
+crc32_buf:
+    push r9
+    push r10
+    mov  r14, r9           ; crc lo
+    mov  r15, r10          ; crc hi
+crc32_byte_loop:
+    mov.b @r12+, r11
+    xor  r11, r9
+    mov  #8, r14
+crc32_bit_loop:
+    bit  #1, r9
+    jz   crc32_even
+    clrc
+    rrc  r10
+    rrc  r9
+    xor  #0x8320, r9
+    xor  #0xEDB8, r10
+    jmp  crc32_next
+crc32_even:
+    clrc
+    rrc  r10
+    rrc  r9
+crc32_next:
+    dec  r14
+    jnz  crc32_bit_loop
+    dec  r13
+    jnz  crc32_byte_loop
+    mov  r9, r12
+    mov  r10, r13
+    pop  r10
+    pop  r9
+    ret
+    .endfunc
+
+; crc16_buf(r12 = ptr, r13 = len, r14 = init) -> r12 = crc
+    .func crc16_buf
+crc16_buf:
+    push r9
+    mov  r14, r9           ; crc
+crc16_byte_loop:
+    mov.b @r12+, r11
+    swpb r11               ; byte << 8
+    xor  r11, r9
+    mov  #8, r14
+crc16_bit_loop:
+    bit  #0x8000, r9
+    jz   crc16_even
+    rla  r9
+    xor  #0x1021, r9
+    jmp  crc16_next
+crc16_even:
+    rla  r9
+crc16_next:
+    dec  r14
+    jnz  crc16_bit_loop
+    dec  r13
+    jnz  crc16_byte_loop
+    mov  r9, r12
+    pop  r9
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r9
+    push r10
+    push r8
+    mov  #CRC_PASSES, r8
+    mov  #-1, r9           ; running seed lo
+    mov  #-1, r10          ; running seed hi
+main_pass_loop:
+    mov  #__input, r12
+    mov  #CRC_LEN, r13
+    mov  r9, r14
+    mov  r10, r15
+    call #crc32_buf
+    mov  r12, r9
+    mov  r13, r10
+    mov  r12, &0x0104
+    mov  r13, &0x0104
+    dec  r8
+    jnz  main_pass_loop
+    ; two CRC-16 passes, seeded 0xFFFF then chained
+    mov  #__input, r12
+    mov  #CRC_LEN, r13
+    mov  #-1, r14
+    call #crc16_buf
+    mov  r12, &0x0104
+    mov  r12, r14
+    mov  #__input, r12
+    mov  #CRC_LEN, r13
+    call #crc16_buf
+    mov  r12, &0x0104
+    pop  r8
+    pop  r10
+    pop  r9
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input: .space CRC_LEN

@@ -1,0 +1,213 @@
+; Dijkstra benchmark: single-source shortest paths on a dense 20-node
+; graph (O(N^2) scan, as MiBench does). The adjacency matrix is generated
+; from an input-seeded LCG; four sources are solved and for each the sum
+; of distances and one specific distance are emitted.
+
+    .equ DIJ_N, 20
+    .equ DIJ_INF, 0x7fff
+
+    .text
+
+; graph_init: fill the adjacency matrix from the LCG stream.
+    .func graph_init
+graph_init:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  &__input, r12
+    mov  r12, &__dij_lcg
+    mov  #__adj, r10       ; write pointer
+    mov  #0, r8            ; i
+gi_row:
+    mov  #0, r9            ; j
+gi_col:
+    mov  &__dij_lcg, r12
+    mov  #25173, r13
+    call #__mulhi3
+    add  #13849, r12
+    mov  r12, &__dij_lcg
+    mov  r12, r7           ; x
+    cmp  r9, r8
+    jnz  gi_notdiag
+    mov  #0, r15
+    jmp  gi_store
+gi_notdiag:
+    mov  r7, r15
+    and  #3, r15
+    jnz  gi_edge
+    mov  #DIJ_INF, r15     ; ~1/4 of edges absent
+    jmp  gi_store
+gi_edge:
+    mov  r7, r12           ; w = ((x >> 2) % 61) + 1
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    mov  #61, r13
+    call #__udivhi3
+    mov  r14, r15
+    inc  r15
+gi_store:
+    mov  r15, 0(r10)
+    incd r10
+    inc  r9
+    cmp  #DIJ_N, r9
+    jnz  gi_col
+    inc  r8
+    cmp  #DIJ_N, r8
+    jnz  gi_row
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+; find_min -> r12 = index of the unvisited node with the smallest
+; distance, or 0xFFFF when none remains reachable.
+    .func find_min
+find_min:
+    push r10
+    mov  #DIJ_INF, r12     ; best
+    mov  #-1, r13          ; u
+    mov  #0, r14           ; v
+    mov  #__dij_dist, r15
+    mov  #__dij_done, r11
+fm_loop:
+    tst  0(r11)
+    jnz  fm_next
+    mov  @r15, r10
+    cmp  r12, r10          ; dist[v] - best
+    jc   fm_next           ; dist[v] >= best
+    mov  r10, r12
+    mov  r14, r13
+fm_next:
+    incd r15
+    incd r11
+    inc  r14
+    cmp  #DIJ_N, r14
+    jnz  fm_loop
+    mov  r13, r12
+    pop  r10
+    ret
+    .endfunc
+
+; dijkstra(r12 = source): solve and emit (sum of distances,
+; dist[N-1-source]).
+    .func dijkstra
+dijkstra:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  r12, &__dij_src
+    mov  #__dij_dist, r14
+    mov  #__dij_done, r15
+    mov  #DIJ_N, r13
+dj_init:
+    mov  #DIJ_INF, 0(r14)
+    mov  #0, 0(r15)
+    incd r14
+    incd r15
+    dec  r13
+    jnz  dj_init
+    mov  &__dij_src, r12
+    rla  r12
+    add  #__dij_dist, r12
+    mov  #0, 0(r12)        ; dist[src] = 0
+    mov  #DIJ_N, r7
+dj_iter:
+    call #find_min
+    cmp  #-1, r12
+    jz   dj_done
+    mov  r12, r8           ; u
+    mov  r8, r12           ; done[u] = 1
+    rla  r12
+    add  #__dij_done, r12
+    mov  #1, 0(r12)
+    mov  r8, r12           ; du = dist[u]
+    rla  r12
+    add  #__dij_dist, r12
+    mov  @r12, r9
+    mov  r8, r10           ; row pointer = __adj + u*40
+    rla  r10
+    mov  r10, r12
+    rla  r12
+    rla  r12
+    add  r12, r10          ; u*2 + u*8 = u*10
+    rla  r10
+    rla  r10               ; u*40
+    add  #__adj, r10
+    mov  #0, r11           ; v
+dj_relax:
+    mov  @r10+, r14        ; w
+    cmp  #DIJ_INF, r14
+    jz   dj_next
+    mov  r11, r12
+    rla  r12
+    mov  r12, r15
+    add  #__dij_done, r15
+    tst  0(r15)
+    jnz  dj_next
+    add  r9, r14           ; nd = du + w
+    cmp  #DIJ_INF, r14
+    jnc  dj_noclamp
+    mov  #DIJ_INF, r14
+dj_noclamp:
+    add  #__dij_dist, r12
+    mov  @r12, r15
+    cmp  r15, r14          ; nd - dist[v]
+    jc   dj_next           ; nd >= dist[v]
+    mov  r14, 0(r12)
+dj_next:
+    inc  r11
+    cmp  #DIJ_N, r11
+    jnz  dj_relax
+    dec  r7
+    jnz  dj_iter
+dj_done:
+    mov  #__dij_dist, r14  ; emit sum of distances
+    mov  #DIJ_N, r13
+    mov  #0, r12
+dj_sum:
+    add  @r14+, r12
+    dec  r13
+    jnz  dj_sum
+    mov  r12, &0x0104
+    mov  #DIJ_N - 1, r12   ; emit dist[N-1-src]
+    sub  &__dij_src, r12
+    rla  r12
+    add  #__dij_dist, r12
+    mov  @r12, r12
+    mov  r12, &0x0104
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r10
+    call #graph_init
+    mov  #0, r10
+dm_loop:
+    mov  r10, r12
+    call #dijkstra
+    inc  r10
+    cmp  #4, r10
+    jnz  dm_loop
+    pop  r10
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input:    .space 2
+__dij_lcg:  .word 0
+__dij_src:  .word 0
+__adj:      .space DIJ_N * DIJ_N * 2
+__dij_dist: .space DIJ_N * 2
+__dij_done: .space DIJ_N * 2

@@ -1,0 +1,315 @@
+; FFT benchmark: 64-point radix-2 decimation-in-time fixed-point (Q13)
+; FFT of an input-derived waveform. Uses the shared 16x16->32 multiply
+; helper for the Q13 twiddle products. Emits 16 sampled spectrum words
+; and the wrapped energy sum.
+
+    .equ FFT_N, 64
+
+    .text
+
+; qmul(r12 = a, r13 = b) -> r12 = (a * b) >> 13 (signed Q13 product,
+; low 16 bits). Built on the unsigned __mulsi3h with sign corrections.
+    .func qmul
+qmul:
+    push r9
+    push r10
+    mov  r12, r9           ; a
+    mov  r13, r10          ; b
+    call #__mulsi3h        ; r12 = lo, r13 = hi (unsigned product)
+    tst  r9
+    jge  q_apos
+    sub  r10, r13          ; a < 0: hi -= b
+q_apos:
+    tst  r10
+    jge  q_bpos
+    sub  r9, r13           ; b < 0: hi -= a
+q_bpos:
+    mov  r12, r14          ; low 16 of (hi:lo >> 13) = (lo>>13) | (hi<<3)
+    swpb r14
+    and  #0xff, r14
+    clrc
+    rrc  r14
+    clrc
+    rrc  r14
+    clrc
+    rrc  r14
+    clrc
+    rrc  r14
+    clrc
+    rrc  r14
+    rla  r13
+    rla  r13
+    rla  r13
+    bis  r14, r13
+    mov  r13, r12
+    pop  r10
+    pop  r9
+    ret
+    .endfunc
+
+; bitrev6(r12 = i) -> r12 = 6-bit reversal of i.
+    .func bitrev6
+bitrev6:
+    mov  #0, r13
+    mov  #6, r14
+br6_loop:
+    rla  r13
+    bit  #1, r12
+    jz   br6_zero
+    bis  #1, r13
+br6_zero:
+    clrc
+    rrc  r12
+    dec  r14
+    jnz  br6_loop
+    mov  r13, r12
+    ret
+    .endfunc
+
+; fft_fill: re[i] = sign_extended(input[i]) * 16, im[i] = 0.
+    .func fft_fill
+fft_fill:
+    mov  #__input, r14
+    mov  #__re, r15
+    mov  #__im, r13
+    mov  #FFT_N, r12
+ff_loop:
+    mov.b @r14+, r11
+    sxt  r11
+    rla  r11
+    rla  r11
+    rla  r11
+    rla  r11
+    mov  r11, 0(r15)
+    incd r15
+    mov  #0, 0(r13)
+    incd r13
+    dec  r12
+    jnz  ff_loop
+    ret
+    .endfunc
+
+; fft_bitrev: in-place bit-reversal permutation.
+    .func fft_bitrev
+fft_bitrev:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #0, r7            ; i
+fb_loop:
+    mov  r7, r12
+    call #bitrev6
+    mov  r12, r8           ; j
+    cmp  r7, r8            ; j - i
+    jnc  fb_next           ; j < i
+    jz   fb_next           ; j == i
+    mov  r7, r13
+    rla  r13
+    mov  r8, r14
+    rla  r14
+    mov  r13, r11          ; swap re[i] <-> re[j]
+    add  #__re, r11
+    mov  r14, r15
+    add  #__re, r15
+    mov  @r11, r9
+    mov  @r15, r10
+    mov  r10, 0(r11)
+    mov  r9, 0(r15)
+    mov  r13, r11          ; swap im[i] <-> im[j]
+    add  #__im, r11
+    mov  r14, r15
+    add  #__im, r15
+    mov  @r11, r9
+    mov  @r15, r10
+    mov  r10, 0(r11)
+    mov  r9, 0(r15)
+fb_next:
+    inc  r7
+    cmp  #FFT_N, r7
+    jnz  fb_loop
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+; fft_run: the butterfly stages. Loop state lives in memory, as compiled
+; code would spill it.
+    .func fft_run
+fft_run:
+    push r6
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #2, &__f_len
+frun_len:
+    mov  &__f_len, r12
+    cmp  #FFT_N + 1, r12
+    jc   frun_done         ; len > N
+    mov  r12, r13          ; half = len / 2
+    clrc
+    rrc  r13
+    mov  r13, &__f_half
+    mov  #FFT_N, r12       ; step = N / len
+    mov  &__f_len, r13
+    call #__udivhi3
+    mov  r12, &__f_step
+    mov  #0, &__f_start
+frun_start_chk:
+    mov  &__f_start, r12
+    cmp  #FFT_N, r12
+    jc   frun_next_len     ; start >= N
+    mov  #0, &__f_k
+    mov  #0, &__f_idx
+frun_k:
+    mov  &__f_k, r12
+    cmp  &__f_half, r12
+    jc   frun_k_done       ; k >= half
+    mov  &__f_idx, r13     ; wr = sintab[idx + 16] (cos)
+    mov  r13, r14
+    add  #16, r14
+    rla  r14
+    add  #__sintab, r14
+    mov  @r14, r6          ; wr
+    rla  r13               ; wi = -sintab[idx]
+    add  #__sintab, r13
+    mov  #0, r7
+    sub  @r13, r7          ; wi
+    mov  &__f_start, r8    ; a = start + k (byte offset)
+    add  &__f_k, r8
+    mov  r8, r9
+    add  &__f_half, r9     ; b = a + half
+    rla  r8
+    rla  r9
+    mov  r9, r15           ; tr = qmul(re[b], wr) - qmul(im[b], wi)
+    add  #__re, r15
+    mov  @r15, r12
+    mov  r6, r13
+    call #qmul
+    mov  r12, r10
+    mov  r9, r15
+    add  #__im, r15
+    mov  @r15, r12
+    mov  r7, r13
+    call #qmul
+    sub  r12, r10          ; tr
+    mov  r9, r15           ; ti = qmul(re[b], wi) + qmul(im[b], wr)
+    add  #__re, r15
+    mov  @r15, r12
+    mov  r7, r13
+    call #qmul
+    mov  r12, &__f_ti
+    mov  r9, r15
+    add  #__im, r15
+    mov  @r15, r12
+    mov  r6, r13
+    call #qmul
+    add  &__f_ti, r12
+    mov  r12, r11          ; ti
+    mov  r8, r15           ; ar = re[a] >> 1 (arithmetic)
+    add  #__re, r15
+    mov  @r15, r13
+    rra  r13
+    mov  r8, r14           ; ai = im[a] >> 1
+    add  #__im, r14
+    mov  @r14, r12
+    rra  r12
+    mov  r13, r6           ; re[a] = ar + tr
+    add  r10, r6
+    mov  r6, 0(r15)
+    sub  r10, r13          ; re[b] = ar - tr
+    mov  r9, r15
+    add  #__re, r15
+    mov  r13, 0(r15)
+    mov  r12, r6           ; im[a] = ai + ti
+    add  r11, r6
+    mov  r6, 0(r14)
+    sub  r11, r12          ; im[b] = ai - ti
+    mov  r9, r14
+    add  #__im, r14
+    mov  r12, 0(r14)
+    mov  &__f_step, r12    ; idx += step; k += 1
+    add  r12, &__f_idx
+    add  #1, &__f_k
+    jmp  frun_k
+frun_k_done:
+    mov  &__f_len, r12     ; start += len
+    add  r12, &__f_start
+    jmp  frun_start_chk
+frun_next_len:
+    mov  &__f_len, r12     ; len <<= 1
+    rla  r12
+    mov  r12, &__f_len
+    jmp  frun_len
+frun_done:
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    pop  r6
+    ret
+    .endfunc
+
+; fft_emit: emit re[i] for i % 4 == 0 and the wrapped energy sum.
+    .func fft_emit
+fft_emit:
+    push r7
+    push r8
+    mov  #0, r7            ; i
+    mov  #0, r8            ; sum
+fe_loop:
+    mov  r7, r14
+    rla  r14
+    mov  r14, r15
+    add  #__re, r14
+    add  #__im, r15
+    mov  @r14, r13
+    add  r13, r8
+    add  @r15, r8
+    mov  r7, r12
+    and  #3, r12
+    jnz  fe_noemit
+    mov  r13, &0x0104
+fe_noemit:
+    inc  r7
+    cmp  #FFT_N, r7
+    jnz  fe_loop
+    mov  r8, &0x0104
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+    .func main
+main:
+    call #fft_fill
+    call #fft_bitrev
+    call #fft_run
+    call #fft_emit
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input:  .space 256
+__re:     .space FFT_N * 2
+__im:     .space FFT_N * 2
+__f_len:  .word 0
+__f_half: .word 0
+__f_step: .word 0
+__f_start: .word 0
+__f_k:    .word 0
+__f_idx:  .word 0
+__f_ti:   .word 0
+__sintab:
+    .word 0, 803, 1598, 2378, 3135, 3861, 4551, 5196
+    .word 5792, 6332, 6811, 7224, 7567, 7838, 8034, 8152
+    .word 8191, 8152, 8034, 7838, 7567, 7224, 6811, 6332
+    .word 5792, 5196, 4551, 3861, 3135, 2378, 1598, 803
+    .word 0, -803, -1598, -2378, -3135, -3861, -4551, -5196
+    .word -5792, -6332, -6811, -7224, -7567, -7838, -8034, -8152
+    .word -8191, -8152, -8034, -7838, -7567, -7224, -6811, -6332
+    .word -5792, -5196, -4551, -3861, -3135, -2378, -1598, -803

@@ -1,0 +1,121 @@
+; Shared runtime library ("libgcc-lite") used by the benchmarks.
+;
+; The MSP430 core has no multiply or divide instructions; compiled C uses
+; helper routines from libgcc. The SwapRAM paper instruments these library
+; functions alongside application code (section 4, "Library
+; Instrumentation"), so they carry .func markers like everything else.
+;
+; Register convention (mirrors the MSP430 EABI): arguments and results in
+; r12-r15, r11-r15 caller-saved, r4-r10 callee-saved.
+
+    .text
+
+; ---- __mulhi3: r12 = r12 * r13 (low 16 bits). Clobbers r13, r14. ----
+    .func __mulhi3
+__mulhi3:
+    mov  r12, r14          ; multiplicand (shifts left)
+    mov  #0, r12           ; accumulator
+__mul_loop:
+    bit  #1, r13
+    jz   __mul_skip
+    add  r14, r12
+__mul_skip:
+    rla  r14
+    clrc
+    rrc  r13
+    jnz  __mul_loop
+    ret
+    .endfunc
+
+; ---- __mulsi3h: 16x16 -> 32. in: r12, r13. out: r12 = lo, r13 = hi. ----
+; Clobbers r11, r14, r15.
+    .func __mulsi3h
+__mulsi3h:
+    mov  r13, r11          ; multiplier
+    mov  r12, r14          ; multiplicand low
+    mov  #0, r15           ; multiplicand high
+    mov  #0, r12           ; result low
+    mov  #0, r13           ; result high
+__m32_loop:
+    bit  #1, r11
+    jz   __m32_skip
+    add  r14, r12
+    addc r15, r13
+__m32_skip:
+    rla  r14               ; (multiplicand <<= 1) as a 32-bit pair
+    rlc  r15
+    clrc
+    rrc  r11
+    jnz  __m32_loop
+    ret
+    .endfunc
+
+; ---- __udivhi3: unsigned divide. in: r12 / r13. out: r12 = quotient,
+;      r14 = remainder. Clobbers r15. Divide-by-zero returns q=0xFFFF. ----
+    .func __udivhi3
+__udivhi3:
+    tst  r13
+    jnz  __div_ok
+    mov  #-1, r12
+    mov  #0, r14
+    ret
+__div_ok:
+    mov  #0, r14           ; remainder
+    mov  #16, r15          ; bit counter
+__div_loop:
+    rla  r12               ; dividend msb -> carry
+    rlc  r14               ; ... into remainder
+    cmp  r13, r14
+    jnc  __div_no          ; remainder < divisor
+    sub  r13, r14
+    bis  #1, r12           ; quotient bit
+__div_no:
+    dec  r15
+    jnz  __div_loop
+    ret
+    .endfunc
+
+; ---- memcpy_s: copy r13 bytes from r12 to r14. Clobbers r12-r15. ----
+    .func memcpy_s
+memcpy_s:
+    tst  r13
+    jz   __mc_done
+__mc_loop:
+    mov.b @r12+, r15
+    mov.b r15, 0(r14)
+    inc  r14
+    dec  r13
+    jnz  __mc_loop
+__mc_done:
+    ret
+    .endfunc
+
+; ---- memset_s: fill r13 bytes at r12 with the low byte of r14. ----
+    .func memset_s
+memset_s:
+    tst  r13
+    jz   __ms_done
+__ms_loop:
+    mov.b r14, 0(r12)
+    inc  r12
+    dec  r13
+    jnz  __ms_loop
+__ms_done:
+    ret
+    .endfunc
+
+; ---- lcg_next: 16-bit LCG PRNG step. state in &__lcg_state.
+;      out: r12 = next state. x' = 25173*x + 13849. Clobbers r13, r14. ----
+    .func lcg_next
+lcg_next:
+    mov  &__lcg_state, r12
+    mov  #25173, r13
+    call #__mulhi3
+    add  #13849, r12
+    mov  r12, &__lcg_state
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__lcg_state: .word 0x1234

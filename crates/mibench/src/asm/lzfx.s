@@ -1,0 +1,247 @@
+; LZFX benchmark: LZ77-style compression with a 256-entry hash of 2-byte
+; sequences, followed by decompression and verification. Emits the
+; compressed length, an equality flag and eight sampled compressed bytes.
+
+    .equ LZ_LEN, 1024
+
+    .text
+
+; build_data: tile the input into the 1 KiB work buffer:
+; data[i] = input[(i % 96) + (i / 512) * 17].
+    .func build_data
+build_data:
+    push r7
+    push r8
+    mov  #__data, r14
+    mov  #0, r7            ; k = i % 96 (runs continuously)
+    mov  #0, r8            ; i
+bd_loop:
+    mov  #__input, r15
+    add  r7, r15
+    cmp  #512, r8
+    jnc  bd_first          ; i < 512
+    add  #17, r15
+bd_first:
+    mov.b @r15, r13
+    mov.b r13, 0(r14)
+    inc  r14
+    inc  r7
+    cmp  #96, r7
+    jnz  bd_nowrap
+    mov  #0, r7
+bd_nowrap:
+    inc  r8
+    cmp  #LZ_LEN, r8
+    jnz  bd_loop
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+; lzfx_compress -> r12 = compressed length. Literals: (0, byte);
+; matches: (len in 3..=18, offset lo, offset hi).
+    .func lzfx_compress
+lzfx_compress:
+    push r6
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #0, r7            ; i
+    mov  #__comp, r8       ; output pointer
+lc_loop:
+    cmp  #LZ_LEN, r7
+    jc   lc_done           ; i >= len
+    cmp  #LZ_LEN - 2, r7
+    jc   lc_lit_nohash     ; no room for a 2-byte hash probe
+    mov  #__data, r14      ; h = data[i] ^ rol3(data[i+1])
+    add  r7, r14
+    mov.b @r14, r9
+    mov.b 1(r14), r12
+    mov  r12, r13
+    rla  r13
+    rla  r13
+    rla  r13
+    and  #0xf8, r13        ; (b1 << 3) & 0xff
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12               ; b1 >> 5
+    bis  r13, r12
+    xor  r12, r9           ; h (< 256)
+    mov  r9, r10           ; &head[h]
+    rla  r10
+    add  #__head, r10
+    mov  @r10, r11         ; candidate position + 1
+    tst  r11
+    jz   lc_literal
+    dec  r11               ; pos
+    mov  #LZ_LEN, r6       ; max = min(len - i, 18)
+    sub  r7, r6
+    cmp  #18, r6
+    jnc  lc_maxok
+    mov  #18, r6
+lc_maxok:
+    mov  #0, r12           ; match length
+lc_mlloop:
+    cmp  r6, r12
+    jc   lc_mldone         ; ml >= max
+    mov  #__data, r14
+    add  r11, r14
+    add  r12, r14
+    mov.b @r14, r13        ; data[pos+ml]
+    mov  #__data, r15
+    add  r7, r15
+    add  r12, r15
+    mov.b @r15, r15        ; data[i+ml]
+    cmp  r13, r15
+    jnz  lc_mldone
+    inc  r12
+    jmp  lc_mlloop
+lc_mldone:
+    cmp  #3, r12
+    jnc  lc_literal        ; ml < 3
+    mov.b r12, 0(r8)       ; emit len
+    inc  r8
+    mov  r7, r13           ; offset = i - pos
+    sub  r11, r13
+    mov.b r13, 0(r8)       ; offset lo
+    inc  r8
+    swpb r13
+    mov.b r13, 0(r8)       ; offset hi
+    inc  r8
+    mov  r7, r13           ; head[h] = i + 1
+    inc  r13
+    mov  r13, 0(r10)
+    add  r12, r7           ; i += ml
+    jmp  lc_loop
+lc_literal:
+    mov  r7, r13           ; head[h] = i + 1
+    inc  r13
+    mov  r13, 0(r10)
+lc_lit_nohash:
+    mov.b #0, 0(r8)
+    inc  r8
+    mov  #__data, r14
+    add  r7, r14
+    mov.b @r14, r13
+    mov.b r13, 0(r8)
+    inc  r8
+    inc  r7
+    jmp  lc_loop
+lc_done:
+    mov  r8, r12
+    sub  #__comp, r12
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    pop  r6
+    ret
+    .endfunc
+
+; lzfx_decompress(r12 = compressed length): expand __comp into __dec.
+    .func lzfx_decompress
+lzfx_decompress:
+    push r7
+    push r8
+    mov  #__comp, r7       ; in
+    mov  r7, r8
+    add  r12, r8           ; end
+    mov  #__dec, r14       ; out
+ld_loop:
+    cmp  r8, r7
+    jc   ld_done           ; in >= end
+    mov.b @r7+, r13        ; tag
+    tst  r13
+    jnz  ld_match
+    mov.b @r7+, r15        ; literal
+    mov.b r15, 0(r14)
+    inc  r14
+    jmp  ld_loop
+ld_match:
+    mov.b @r7+, r15        ; offset lo
+    mov.b @r7+, r12        ; offset hi
+    swpb r12
+    bis  r15, r12          ; offset
+    mov  r14, r15
+    sub  r12, r15          ; copy source (may overlap forward)
+ld_copy:
+    mov.b @r15+, r12
+    mov.b r12, 0(r14)
+    inc  r14
+    dec  r13
+    jnz  ld_copy
+    jmp  ld_loop
+ld_done:
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+; verify_data -> r12 = 1 if __dec matches __data, else 0.
+    .func verify_data
+verify_data:
+    mov  #__data, r14
+    mov  #__dec, r15
+    mov  #LZ_LEN, r13
+    mov  #1, r12
+vd_loop:
+    mov.b @r14+, r11
+    cmp.b @r15+, r11
+    jnz  vd_fail
+    dec  r13
+    jnz  vd_loop
+    ret
+vd_fail:
+    mov  #0, r12
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r8
+    push r9
+    call #build_data
+    call #lzfx_compress
+    mov  r12, r9           ; compressed length
+    call #lzfx_decompress
+    call #verify_data
+    mov  r9, &0x0104       ; compressed length
+    mov  r12, &0x0104      ; equality flag
+    mov  #0, r8
+lz_samp:
+    mov  r8, r12           ; sample index = (i * clen) >> 3
+    mov  r9, r13
+    call #__mulhi3
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    clrc
+    rrc  r12
+    add  #__comp, r12
+    mov.b @r12, r12
+    mov  r12, &0x0104
+    inc  r8
+    cmp  #8, r8
+    jnz  lz_samp
+    pop  r9
+    pop  r8
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input: .space LZ_LEN
+__data:  .space LZ_LEN
+__dec:   .space LZ_LEN
+__comp:  .space 2 * LZ_LEN + 64
+    .align 2
+__head:  .space 512

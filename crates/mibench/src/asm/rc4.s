@@ -1,0 +1,119 @@
+; RC4 benchmark: key-scheduling over a 16-byte key from the input, then
+; stream-encryption of 512 input bytes. Emits every 16th ciphertext byte
+; and a running sum of all ciphertext bytes.
+
+    .equ RC4_KEYLEN, 16
+    .equ RC4_DATALEN, 512
+
+    .text
+
+; rc4_init: s[i] = i for i in 0..=255.
+    .func rc4_init
+rc4_init:
+    mov  #0, r12
+rc4i_loop:
+    mov  #__rc4_s, r15
+    add  r12, r15
+    mov.b r12, 0(r15)
+    inc  r12
+    cmp  #256, r12
+    jnz  rc4i_loop
+    ret
+    .endfunc
+
+; rc4_ksa: key scheduling with the 16-byte key at __input.
+    .func rc4_ksa
+rc4_ksa:
+    push r8
+    push r9
+    mov  #0, r11           ; j
+    mov  #0, r14           ; key index
+    mov  #0, r12           ; i
+rc4k_loop:
+    mov  #__rc4_s, r15
+    add  r12, r15          ; &s[i]
+    mov  #__input, r13
+    add  r14, r13
+    mov.b @r13, r9         ; key[ki]
+    mov.b @r15, r8         ; s[i]
+    add  r8, r11
+    add  r9, r11
+    and  #0xff, r11        ; j wraps as a byte
+    mov  #__rc4_s, r13
+    add  r11, r13          ; &s[j]
+    mov.b @r13, r9         ; t = s[j]
+    mov.b r9, 0(r15)       ; s[i] = t
+    mov.b r8, 0(r13)       ; s[j] = old s[i]
+    inc  r14
+    cmp  #RC4_KEYLEN, r14
+    jnz  rc4k_nowrap
+    mov  #0, r14
+rc4k_nowrap:
+    inc  r12
+    cmp  #256, r12
+    jnz  rc4k_loop
+    pop  r9
+    pop  r8
+    ret
+    .endfunc
+
+; rc4_crypt: encrypt RC4_DATALEN bytes starting at __input+16.
+    .func rc4_crypt
+rc4_crypt:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #0, r12           ; i
+    mov  #0, r11           ; j
+    mov  #0, r10           ; ciphertext sum
+    mov  #16, r9           ; emit countdown
+    mov  #__input + RC4_KEYLEN, r14 ; plaintext pointer
+rc4c_loop:
+    inc  r12
+    and  #0xff, r12
+    mov  #__rc4_s, r15
+    add  r12, r15          ; &s[i]
+    mov.b @r15, r8         ; s[i]
+    add  r8, r11
+    and  #0xff, r11
+    mov  #__rc4_s, r13
+    add  r11, r13          ; &s[j]
+    mov.b @r13, r7         ; t = s[j]
+    mov.b r8, 0(r13)       ; s[j] = old s[i]
+    mov.b r7, 0(r15)       ; s[i] = old s[j]
+    add  r8, r7            ; s[i]' + s[j]'
+    and  #0xff, r7
+    mov  #__rc4_s, r15
+    add  r7, r15
+    mov.b @r15, r7         ; keystream byte
+    mov.b @r14+, r8        ; plaintext byte
+    xor  r8, r7            ; ciphertext
+    add  r7, r10
+    dec  r9
+    jnz  rc4c_noemit
+    mov  r7, &0x0104
+    mov  #16, r9
+rc4c_noemit:
+    cmp  #__input + RC4_KEYLEN + RC4_DATALEN, r14
+    jnz  rc4c_loop
+    mov  r10, &0x0104      ; running sum
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+    .func main
+main:
+    call #rc4_init
+    call #rc4_ksa
+    call #rc4_crypt
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input: .space RC4_KEYLEN + RC4_DATALEN
+__rc4_s: .space 256

@@ -1,0 +1,182 @@
+; RSA benchmark: 32-bit modular exponentiation by square-and-multiply,
+; with a shift-and-add modular multiply (no division). Runs four
+; exponentiations with input-derived bases and exponents and emits each
+; 32-bit result (lo word, hi word).
+;
+; 32-bit values are register pairs (lo, hi); the working set for modexp
+; lives in memory to keep register pressure manageable, as compiled code
+; would spill it.
+
+    .text
+
+; mod_reduce(r12:r13) -> r12:r13 reduced below the modulus (at most two
+; conditional subtracts are ever needed for our operand ranges, but the
+; loop is general).
+    .func mod_reduce
+mod_reduce:
+mr_check:
+    cmp  &__rsa_n_hi, r13
+    jnc  mr_done           ; hi < n_hi  -> value < n
+    jnz  mr_sub            ; hi > n_hi  -> subtract
+    cmp  &__rsa_n_lo, r12
+    jnc  mr_done           ; lo < n_lo  -> value < n
+mr_sub:
+    sub  &__rsa_n_lo, r12
+    subc &__rsa_n_hi, r13
+    jmp  mr_check
+mr_done:
+    ret
+    .endfunc
+
+; modmul(a = r12:r13, b = r14:r15) -> r12:r13 = a*b mod n.
+; Requires a < n.
+    .func modmul
+modmul:
+    push r8
+    push r10
+    push r11
+    mov  #0, r10           ; result lo
+    mov  #0, r11           ; result hi
+mm_loop:
+    mov  r14, r8
+    bis  r15, r8
+    tst  r8                ; BIS does not set flags
+    jz   mm_done           ; b == 0
+    bit  #1, r14
+    jz   mm_noadd
+    add  r12, r10          ; result += a
+    addc r13, r11
+    cmp  &__rsa_n_hi, r11
+    jnc  mm_nosub1
+    jnz  mm_dosub1
+    cmp  &__rsa_n_lo, r10
+    jnc  mm_nosub1
+mm_dosub1:
+    sub  &__rsa_n_lo, r10
+    subc &__rsa_n_hi, r11
+mm_nosub1:
+mm_noadd:
+    rla  r12               ; a <<= 1 (32-bit)
+    rlc  r13
+    cmp  &__rsa_n_hi, r13
+    jnc  mm_nosub2
+    jnz  mm_dosub2
+    cmp  &__rsa_n_lo, r12
+    jnc  mm_nosub2
+mm_dosub2:
+    sub  &__rsa_n_lo, r12
+    subc &__rsa_n_hi, r13
+mm_nosub2:
+    clrc                   ; b >>= 1
+    rrc  r15
+    rrc  r14
+    jmp  mm_loop
+mm_done:
+    mov  r10, r12
+    mov  r11, r13
+    pop  r11
+    pop  r10
+    pop  r8
+    ret
+    .endfunc
+
+; modexp(base = r12:r13, e = r14:r15) -> r12:r13 = base^e mod n.
+    .func modexp
+modexp:
+    mov  r12, &__rsa_base_lo
+    mov  r13, &__rsa_base_hi
+    mov  r14, &__rsa_e_lo
+    mov  r15, &__rsa_e_hi
+    mov  #1, &__rsa_res_lo
+    mov  #0, &__rsa_res_hi
+me_loop:
+    mov  &__rsa_e_lo, r12
+    bis  &__rsa_e_hi, r12
+    tst  r12               ; BIS does not set flags
+    jz   me_done
+    bit  #1, &__rsa_e_lo
+    jz   me_nomul
+    mov  &__rsa_res_lo, r12
+    mov  &__rsa_res_hi, r13
+    mov  &__rsa_base_lo, r14
+    mov  &__rsa_base_hi, r15
+    call #modmul
+    mov  r12, &__rsa_res_lo
+    mov  r13, &__rsa_res_hi
+me_nomul:
+    mov  &__rsa_base_lo, r12
+    mov  &__rsa_base_hi, r13
+    mov  r12, r14
+    mov  r13, r15
+    call #modmul
+    mov  r12, &__rsa_base_lo
+    mov  r13, &__rsa_base_hi
+    clrc                   ; e >>= 1
+    rrc  &__rsa_e_hi
+    rrc  &__rsa_e_lo
+    jmp  me_loop
+me_done:
+    mov  &__rsa_res_lo, r12
+    mov  &__rsa_res_hi, r13
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r7
+    push r8
+    push r9
+    push r10
+    ; base0 = LE32(input[0..4]) mod n
+    mov  &__input, r12
+    mov  &__input + 2, r13
+    call #mod_reduce
+    mov  r12, &__rsa_b0_lo
+    mov  r13, &__rsa_b0_hi
+    ; e0 low word = input16 | 1 (the |0x10001 sets lo bit 0 and hi bit 0)
+    mov  &__input + 4, r10
+    bis  #1, r10
+    mov  #0, r7            ; round
+rsa_round:
+    ; xor pattern = 0x0101 * round in both halves
+    mov  r7, r12
+    mov  #0x0101, r13
+    call #__mulhi3
+    mov  r12, r9           ; pattern
+    mov  &__rsa_b0_lo, r12
+    mov  &__rsa_b0_hi, r13
+    xor  r9, r12
+    xor  r9, r13
+    call #mod_reduce
+    ; e = e0 + 2*round (32-bit: lo r14, hi r15 = 1 + carry)
+    mov  r7, r14
+    rla  r14
+    add  r10, r14
+    mov  #1, r15
+    adc  r15
+    call #modexp
+    mov  r12, &0x0104
+    mov  r13, &0x0104
+    inc  r7
+    cmp  #4, r7
+    jnz  rsa_round
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input:       .space 8
+__rsa_n_lo:    .word 0x4DEF
+__rsa_n_hi:    .word 0x7860
+__rsa_b0_lo:   .word 0
+__rsa_b0_hi:   .word 0
+__rsa_base_lo: .word 0
+__rsa_base_hi: .word 0
+__rsa_res_lo:  .word 0
+__rsa_res_hi:  .word 0
+__rsa_e_lo:    .word 0
+__rsa_e_hi:    .word 0

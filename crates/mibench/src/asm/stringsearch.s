@@ -1,0 +1,173 @@
+; Stringsearch benchmark: Boyer-Moore-Horspool over a 2 KiB corpus with
+; eight input-derived patterns (some mutated so they cannot match).
+; Emits each pattern's first match position (0xFFFF if none) and the
+; total match count.
+
+    .equ SS_TEXTLEN, 2048
+    .equ SS_MOD, 2008      ; TEXTLEN - 40: pattern start range
+
+    .text
+
+; bmh_init(r12 = pattern length): build the 256-entry skip table.
+    .func bmh_init
+bmh_init:
+    mov  #__skip, r14
+    mov  #256, r13
+bi_fill:
+    mov  r12, 0(r14)
+    incd r14
+    dec  r13
+    jnz  bi_fill
+    mov  #0, r13           ; i
+    mov  r12, r15
+    dec  r15               ; m - 1
+bi_loop:
+    cmp  r15, r13          ; i - (m-1)
+    jc   bi_done           ; i >= m-1
+    mov  #__pat, r14
+    add  r13, r14
+    mov.b @r14, r14        ; c = pat[i]
+    rla  r14
+    add  #__skip, r14
+    mov  r12, r11
+    dec  r11
+    sub  r13, r11          ; m - 1 - i
+    mov  r11, 0(r14)
+    inc  r13
+    jmp  bi_loop
+bi_done:
+    ret
+    .endfunc
+
+; bmh_search(r12 = pattern length) -> r12 = first match (0xFFFF if none),
+; r13 = match count.
+    .func bmh_search
+bmh_search:
+    push r6
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  r12, r10          ; m
+    mov  #-1, r8           ; first
+    mov  #0, r9            ; count
+    mov  #0, r7            ; i
+    mov  #SS_TEXTLEN, r6
+    sub  r10, r6           ; last valid window start
+bs_outer:
+    cmp  r7, r6            ; last - i
+    jnc  bs_done           ; i > last
+    mov  r10, r11          ; j = m, compare from the end
+bs_inner:
+    tst  r11
+    jz   bs_match
+    mov  #__corpus, r14
+    add  r7, r14
+    add  r11, r14
+    dec  r14
+    mov.b @r14, r14        ; text[i+j-1]
+    mov  #__pat, r15
+    add  r11, r15
+    dec  r15
+    mov.b @r15, r15        ; pat[j-1]
+    cmp  r14, r15
+    jnz  bs_mismatch
+    dec  r11
+    jmp  bs_inner
+bs_match:
+    cmp  #-1, r8
+    jnz  bs_not_first
+    mov  r7, r8
+bs_not_first:
+    inc  r9
+    inc  r7
+    jmp  bs_outer
+bs_mismatch:
+    mov  #__corpus, r14    ; i += skip[text[i+m-1]]
+    add  r7, r14
+    add  r10, r14
+    dec  r14
+    mov.b @r14, r14
+    rla  r14
+    add  #__skip, r14
+    add  @r14, r7
+    jmp  bs_outer
+bs_done:
+    mov  r8, r12
+    mov  r9, r13
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    pop  r6
+    ret
+    .endfunc
+
+    .func main
+main:
+    push r7
+    push r8
+    push r9
+    push r10
+    mov  #0, r10           ; pattern index p
+ss_ploop:
+    mov  r10, r15
+    rla  r15
+    add  #__input, r15
+    mov.b @r15, r8         ; a
+    mov.b 1(r15), r9       ; b
+    mov  r8, r12           ; start = (a*251 + b*13) % SS_MOD
+    mov  #251, r13
+    call #__mulhi3
+    mov  r12, r7
+    mov  r9, r12
+    mov  #13, r13
+    call #__mulhi3
+    add  r12, r7
+    mov  r7, r12
+    mov  #SS_MOD, r13
+    call #__udivhi3
+    mov  r14, r7           ; start
+    mov  r9, r12           ; len = 4 + b % 12
+    mov  #12, r13
+    call #__udivhi3
+    mov  r14, r8
+    add  #4, r8
+    mov  #__corpus, r12    ; copy the pattern out of the corpus
+    add  r7, r12
+    mov  r8, r13
+    mov  #__pat, r14
+    call #memcpy_s
+    mov  r10, r12          ; mutate the tail byte when p % 3 == 2
+    mov  #3, r13
+    call #__udivhi3
+    cmp  #2, r14
+    jnz  ss_nomut
+    mov  #__pat, r15
+    add  r8, r15
+    dec  r15
+    xor.b #0x55, 0(r15)
+ss_nomut:
+    mov  r8, r12
+    call #bmh_init
+    mov  r8, r12
+    call #bmh_search
+    mov  r12, &0x0104
+    mov  r13, &0x0104
+    inc  r10
+    cmp  #8, r10
+    jnz  ss_ploop
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__input:  .space 64
+__pat:    .space 16
+    .align 2
+__skip:   .space 512
+__corpus: .space SS_TEXTLEN

@@ -1,0 +1,460 @@
+//! Build and run benchmarks under each system and memory profile.
+//!
+//! A benchmark binary is assembled from three parts — a generated `crt0`
+//! (stack setup, call to `main`, halt), the shared runtime library
+//! (`lib.s`, the "libgcc" the paper instruments alongside application
+//! code) and the benchmark source — then run either as the unmodified
+//! baseline, under SwapRAM, or under the block-cache baseline.
+//!
+//! Memory placement is a [`MemoryProfile`]: the unified-memory FRAM layout
+//! of the paper's main evaluation, the split-SRAM layout of §5.5, and the
+//! four Figure-1 placements.
+
+use crate::suite::Benchmark;
+use blockcache::{bbpass, BlockConfig, BlockProgram, BlockRuntime, BlockStats};
+use msp430_asm::error::{AsmError, AsmResult};
+use msp430_asm::layout::LayoutConfig;
+use msp430_asm::object::{assemble, Assembly};
+use msp430_asm::parser::parse;
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::{Fr2355, Machine, RunOutcome};
+use msp430_sim::mem::Image;
+use swapram::{Instrumented, SwapConfig, SwapRuntime, SwapStats};
+
+/// FRAM capacity of the evaluation device in bytes.
+pub const FRAM_BYTES: u32 = 32 * 1024;
+/// SRAM capacity of the evaluation device in bytes.
+pub const SRAM_BYTES: u32 = 4 * 1024;
+
+/// Section placement for a build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryProfile {
+    /// Human-readable name (used in experiment tables).
+    pub name: &'static str,
+    /// Base of the code section.
+    pub text_base: u16,
+    /// Base of the data section.
+    pub data_base: u16,
+    /// Initial stack pointer.
+    pub stack_top: u16,
+}
+
+impl MemoryProfile {
+    /// Unified-memory model (paper §2.2/§5.4): code, data and stack all in
+    /// FRAM; the whole SRAM is free for software caching.
+    pub fn unified() -> MemoryProfile {
+        MemoryProfile { name: "unified", text_base: 0x4000, data_base: 0x7000, stack_top: 0x9FFC }
+    }
+
+    /// The "standard" configuration: code in FRAM, data + stack in SRAM
+    /// (the baseline of Figure 10; also the code-FRAM/data-SRAM point of
+    /// Figure 1).
+    pub fn code_fram_data_sram() -> MemoryProfile {
+        MemoryProfile {
+            name: "code FRAM / data SRAM",
+            text_base: 0x4000,
+            data_base: 0x2000,
+            stack_top: 0x2FFC,
+        }
+    }
+
+    /// Figure 1: code in SRAM, data in FRAM.
+    pub fn code_sram_data_fram() -> MemoryProfile {
+        MemoryProfile {
+            name: "code SRAM / data FRAM",
+            text_base: 0x2000,
+            data_base: 0x7000,
+            stack_top: 0x9FFC,
+        }
+    }
+
+    /// Figure 1: everything in SRAM (only feasible for small programs).
+    pub fn all_sram() -> MemoryProfile {
+        MemoryProfile {
+            name: "code+data SRAM",
+            text_base: 0x2000,
+            data_base: 0x2800,
+            stack_top: 0x2FFC,
+        }
+    }
+
+    /// Split-SRAM model (paper §5.5): program data and stack occupy the
+    /// low `reserved` bytes of SRAM; code stays in FRAM and the remaining
+    /// SRAM becomes the software cache.
+    pub fn split_sram(reserved: u16) -> MemoryProfile {
+        MemoryProfile {
+            name: "split SRAM",
+            text_base: 0x4000,
+            data_base: 0x2000,
+            stack_top: 0x2000 + reserved - 4,
+        }
+    }
+}
+
+/// Which system manages instruction supply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum System {
+    /// Unmodified binary; FRAM execution through the hardware cache.
+    Baseline,
+    /// SwapRAM with the given configuration.
+    SwapRam(SwapConfig),
+    /// The block-cache baseline with the given configuration.
+    BlockCache(BlockConfig),
+}
+
+impl System {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::Baseline => "baseline",
+            System::SwapRam(_) => "SwapRAM",
+            System::BlockCache(_) => "block-based",
+        }
+    }
+}
+
+/// The program form a build produced.
+#[derive(Debug, Clone)]
+pub enum Program {
+    /// Plain assembly.
+    Base(Assembly),
+    /// SwapRAM-instrumented.
+    Swap(Box<Instrumented>, SwapConfig),
+    /// Block-cache-transformed.
+    Block(Box<BlockProgram>, BlockConfig),
+}
+
+/// A built benchmark ready to run.
+#[derive(Debug, Clone)]
+pub struct Built {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// The program and its system.
+    pub program: Program,
+    /// Memory profile used.
+    pub profile: MemoryProfile,
+    /// Address of the input buffer.
+    pub input_addr: u16,
+    /// Address of the shared-corpus buffer, when the benchmark uses one
+    /// (stringsearch); the harness fills it with [`crate::corpus::text`].
+    pub corpus_addr: Option<u16>,
+    /// Code-section bytes (binary size, Table 1 / Figure 7 "application").
+    pub text_bytes: u16,
+    /// Data-section bytes (Table 1 "RAM usage" analogue, minus stack).
+    pub data_bytes: u16,
+    /// Cache metadata bytes in NVM (Figure 7 "metadata"), 0 for baseline.
+    pub metadata_bytes: u16,
+    /// Runtime code bytes in NVM (Figure 7 "runtime"), 0 for baseline.
+    pub handler_bytes: u16,
+}
+
+impl Built {
+    /// The loadable image.
+    pub fn image(&self) -> &Image {
+        match &self.program {
+            Program::Base(a) => &a.image,
+            Program::Swap(i, _) => &i.assembly.image,
+            Program::Block(p, _) => &p.assembly.image,
+        }
+    }
+
+    /// Total NVM usage: transformed application + runtime + metadata
+    /// (data excluded, as in Figure 7).
+    pub fn nvm_bytes(&self) -> u32 {
+        u32::from(self.text_bytes) + u32::from(self.metadata_bytes) + u32::from(self.handler_bytes)
+    }
+}
+
+/// Why a build failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The transformed program does not fit the device (Figure 7 "DNF").
+    DoesNotFit(String),
+    /// Any other assembly problem.
+    Asm(AsmError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::DoesNotFit(msg) => write!(f, "does not fit (DNF): {msg}"),
+            BuildError::Asm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<AsmError> for BuildError {
+    fn from(e: AsmError) -> BuildError {
+        // Section overlaps and address-space overflows are exactly the
+        // "does not fit on the evaluation platform" condition of §5.2.
+        if e.msg.contains("overlap") || e.msg.contains("overflow") {
+            BuildError::DoesNotFit(e.msg)
+        } else {
+            BuildError::Asm(e)
+        }
+    }
+}
+
+/// Generates the C runtime startup shim.
+fn crt0(stack_top: u16) -> String {
+    format!(
+        "\
+    .equ CONSOLE, 0x0100
+    .equ HALT, 0x0102
+    .equ CKSUM, 0x0104
+    .equ MARK, 0x0106
+    .equ __stack_top, 0x{stack_top:04x}
+    .text
+    .global __start
+    .func __start
+__start:
+    mov #__stack_top, sp
+    mov #1, &MARK
+    call #main
+    mov #2, &MARK
+    mov #0, &HALT
+__halt_spin:
+    jmp __halt_spin
+    .endfunc
+"
+    )
+}
+
+/// Parses the full source (crt0 + shared library + benchmark) for `bench`.
+///
+/// # Errors
+///
+/// Returns parse errors from any of the three parts.
+pub fn parse_benchmark(bench: Benchmark, profile: &MemoryProfile) -> AsmResult<msp430_asm::Module> {
+    let mut src = crt0(profile.stack_top);
+    if bench.uses_lib() {
+        src.push_str(include_str!("asm/lib.s"));
+        src.push('\n');
+    }
+    src.push_str(bench.asm_source());
+    parse(&src)
+}
+
+fn layout_for(profile: &MemoryProfile) -> LayoutConfig {
+    LayoutConfig::new(profile.text_base, profile.data_base)
+}
+
+/// Checks that every emitted section lies inside a mapped memory region.
+fn check_fit(assembly: &Assembly) -> Result<(), BuildError> {
+    for (name, base, size) in &assembly.sections {
+        if *size == 0 {
+            continue;
+        }
+        let end = u32::from(*base) + u32::from(*size);
+        let in_sram = *base >= 0x2000 && end <= 0x3000;
+        let in_fram = *base >= 0x4000 && end <= 0xC000;
+        if !in_sram && !in_fram {
+            return Err(BuildError::DoesNotFit(format!(
+                "section `{name}` [{base:#06x}, {end:#07x}) exceeds its memory region"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Builds `bench` for `system` under `profile`.
+///
+/// # Errors
+///
+/// [`BuildError::DoesNotFit`] when the (transformed) program exceeds the
+/// device memory — the paper's DNF outcome — or any assembly error.
+pub fn build(
+    bench: Benchmark,
+    system: &System,
+    profile: &MemoryProfile,
+) -> Result<Built, BuildError> {
+    let module = parse_benchmark(bench, profile).map_err(BuildError::Asm)?;
+    let layout = layout_for(profile);
+    let (program, metadata_bytes, handler_bytes, assembly_ref) = match system {
+        System::Baseline => {
+            let a = assemble(&module, &layout)?;
+            (Program::Base(a.clone()), 0, 0, a)
+        }
+        System::SwapRam(cfg) => {
+            let inst = swapram::pass::instrument(&module, cfg, &layout)?;
+            let (m, h) = (inst.metadata_bytes, inst.handler_bytes);
+            let a = inst.assembly.clone();
+            (Program::Swap(Box::new(inst), cfg.clone()), m, h, a)
+        }
+        System::BlockCache(cfg) => {
+            let p = bbpass::transform(&module, cfg, &layout)?;
+            let (m, h) = (p.metadata_bytes, p.handler_bytes);
+            let a = p.assembly.clone();
+            (Program::Block(Box::new(p), cfg.clone()), m, h, a)
+        }
+    };
+    check_fit(&assembly_ref)?;
+    let input_addr = assembly_ref
+        .symbol("__input")
+        .ok_or_else(|| BuildError::Asm(AsmError::global("benchmark lacks `__input`")))?;
+    Ok(Built {
+        bench,
+        program,
+        profile: *profile,
+        input_addr,
+        corpus_addr: assembly_ref.symbol("__corpus"),
+        text_bytes: assembly_ref.section_size("text"),
+        data_bytes: assembly_ref.section_size("data"),
+        metadata_bytes,
+        handler_bytes,
+    })
+}
+
+/// Everything a run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulator outcome (stats, checksum, console).
+    pub outcome: RunOutcome,
+    /// SwapRAM runtime counters, when applicable.
+    pub swap: Option<SwapStats>,
+    /// Block-cache runtime counters, when applicable.
+    pub block: Option<BlockStats>,
+}
+
+/// Default cycle budget per benchmark run.
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
+/// Runs a built benchmark at `freq` with `input` loaded into its input
+/// buffer.
+///
+/// # Errors
+///
+/// Propagates simulation errors (bus faults indicate a benchmark or
+/// instrumentation bug).
+pub fn run(
+    built: &Built,
+    freq: Frequency,
+    input: &[u8],
+    max_cycles: u64,
+) -> msp430_sim::SimResult<RunResult> {
+    let mut machine = Fr2355::machine(freq);
+    run_on(&mut machine, built, input, max_cycles)
+}
+
+/// Like [`run`], but on a caller-provided machine (e.g. one with the
+/// hardware cache disabled, for ablation studies). The machine should be
+/// freshly constructed.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_on(
+    machine: &mut Machine,
+    built: &Built,
+    input: &[u8],
+    max_cycles: u64,
+) -> msp430_sim::SimResult<RunResult> {
+    machine.load(built.image());
+    for (i, b) in input.iter().enumerate() {
+        machine.bus_mut().poke_byte(built.input_addr.wrapping_add(i as u16), *b);
+    }
+    if let Some(base) = built.corpus_addr {
+        for (i, b) in crate::corpus::text().iter().enumerate() {
+            machine.bus_mut().poke_byte(base.wrapping_add(i as u16), *b);
+        }
+    }
+    let (swap_handle, block_handle) = attach(machine, built)?;
+    let outcome = machine.run(max_cycles)?;
+    Ok(RunResult {
+        outcome,
+        swap: swap_handle.map(|h| h.borrow().clone()),
+        block: block_handle.map(|h| h.borrow().clone()),
+    })
+}
+
+type SwapHandle = std::rc::Rc<std::cell::RefCell<SwapStats>>;
+type BlockHandle = std::rc::Rc<std::cell::RefCell<BlockStats>>;
+
+fn attach(
+    machine: &mut Machine,
+    built: &Built,
+) -> msp430_sim::SimResult<(Option<SwapHandle>, Option<BlockHandle>)> {
+    match &built.program {
+        Program::Base(_) => Ok((None, None)),
+        Program::Swap(inst, cfg) => {
+            let rt = SwapRuntime::new(inst, cfg.clone());
+            let h = rt.stats_handle();
+            machine.attach_hook(Box::new(rt));
+            Ok((Some(h), None))
+        }
+        Program::Block(prog, cfg) => {
+            let rt = BlockRuntime::new(prog, cfg.clone())?;
+            let h = rt.stats_handle();
+            machine.attach_hook(Box::new(rt));
+            Ok((None, Some(h)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_builds_under_every_system() {
+        let profile = MemoryProfile::unified();
+        for bench in Benchmark::MIBENCH {
+            for system in [
+                System::Baseline,
+                System::SwapRam(swapram::SwapConfig::unified_fr2355()),
+                System::BlockCache(BlockConfig::unified_fr2355()),
+            ] {
+                let b = build(bench, &system, &profile)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", bench.name(), system.label()));
+                assert!(b.text_bytes > 0, "{}", bench.name());
+                assert!(b.image().size_bytes() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn dnf_detection_fires_on_impossible_regions() {
+        // Squeeze the text region to 64 bytes: every benchmark overflows
+        // into the data base and must report DoesNotFit.
+        let profile = MemoryProfile {
+            name: "tiny",
+            text_base: 0x4000,
+            data_base: 0x4040,
+            stack_top: 0x9FFC,
+        };
+        let err = build(Benchmark::Crc, &System::Baseline, &profile).unwrap_err();
+        assert!(matches!(err, BuildError::DoesNotFit(_)), "{err}");
+    }
+
+    #[test]
+    fn sram_code_placement_is_fit_checked() {
+        // LZFX data (~5.7 KiB) cannot live in the 4 KiB SRAM.
+        let profile = MemoryProfile {
+            name: "data-in-sram",
+            text_base: 0x4000,
+            data_base: 0x2000,
+            stack_top: 0x2FFC,
+        };
+        let err = build(Benchmark::Lzfx, &System::Baseline, &profile).unwrap_err();
+        assert!(matches!(err, BuildError::DoesNotFit(_)), "{err}");
+    }
+
+    #[test]
+    fn metadata_sizes_reported_only_for_cache_systems() {
+        let profile = MemoryProfile::unified();
+        let base = build(Benchmark::Rsa, &System::Baseline, &profile).unwrap();
+        assert_eq!(base.metadata_bytes, 0);
+        assert_eq!(base.handler_bytes, 0);
+        let swap = build(
+            Benchmark::Rsa,
+            &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
+            &profile,
+        )
+        .unwrap();
+        assert!(swap.metadata_bytes > 0);
+        assert!(swap.handler_bytes > 0);
+        assert!(swap.nvm_bytes() > u32::from(base.text_bytes));
+    }
+}

@@ -1,0 +1,694 @@
+//! Rust reference implementations ("oracles") mirroring each benchmark's
+//! assembly exactly: same algorithm, same emission order, same 16-bit
+//! wrapping arithmetic. Used for the §5.1 semantic-equivalence validation
+//! and by the property-based correctness tests.
+
+/// CRC benchmark: 12 chained bitwise CRC-32 passes then 2 chained
+/// CRC-16/CCITT passes over a 256-byte input.
+pub fn crc(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 256);
+    let buf = &input[..256];
+    let mut out = Vec::new();
+    let mut seed: u32 = 0xFFFF_FFFF;
+    for _ in 0..12 {
+        let mut c = seed;
+        for &b in buf {
+            c ^= u32::from(b);
+            for _ in 0..8 {
+                if c & 1 != 0 {
+                    c = (c >> 1) ^ 0xEDB8_8320;
+                } else {
+                    c >>= 1;
+                }
+            }
+        }
+        seed = c;
+        out.push((c & 0xFFFF) as u16);
+        out.push((c >> 16) as u16);
+    }
+    let mut c16: u16 = 0xFFFF;
+    for _ in 0..2 {
+        for &b in buf {
+            c16 ^= u16::from(b) << 8;
+            for _ in 0..8 {
+                if c16 & 0x8000 != 0 {
+                    c16 = (c16 << 1) ^ 0x1021;
+                } else {
+                    c16 <<= 1;
+                }
+            }
+        }
+        out.push(c16);
+    }
+    out
+}
+
+/// Arith microbenchmark: 300 passes of a 4×-unrolled mixed-arithmetic
+/// kernel over 64 elements with `a[i] = 0x1357 + 3i`; emits the last
+/// pass's checksum. Mirrors the unrolled assembly exactly (RRA is an
+/// arithmetic shift).
+pub fn arith(_input: &[u8]) -> Vec<u16> {
+    const N: usize = 64;
+    const ITERS: u16 = 300;
+    let sra = |v: u16| ((v as i16) >> 1) as u16;
+    let a: Vec<u16> = (0..N).map(|i| 0x1357u16.wrapping_add(3 * i as u16)).collect();
+    let mut b = vec![0u16; N / 4];
+    let mut last = 0u16;
+    for it in 1..=ITERS {
+        let mut sum = 0u16;
+        for j in 0..N / 4 {
+            let e = &a[4 * j..4 * j + 4];
+            // element 0: ((3*a) >> 1) ^ it
+            sum = sum.wrapping_add(sra(e[0].wrapping_mul(3)) ^ it);
+            // element 1: (4*a - a) >> 1
+            sum = sum.wrapping_add(sra(e[1].wrapping_mul(4).wrapping_sub(e[1])));
+            // element 2: (a >> 8) + a
+            sum = sum.wrapping_add((e[2] >> 8).wrapping_add(e[2]));
+            // element 3: (~a) >> 1
+            sum = sum.wrapping_add(sra(!e[3]));
+            // b[j] = (b[j] + sum) ^ it
+            b[j] = b[j].wrapping_add(sum) ^ it;
+        }
+        last = sum;
+    }
+    vec![last]
+}
+
+/// RC4: 16-byte key KSA, then XOR-encrypt 512 input bytes; emits 32
+/// sampled words of ciphertext plus a running sum.
+pub fn rc4(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 16 + 512);
+    let key = &input[..16];
+    let data = &input[16..16 + 512];
+    let mut s: Vec<u8> = (0..=255).collect();
+    let mut j: u8 = 0;
+    for i in 0..256 {
+        j = j.wrapping_add(s[i]).wrapping_add(key[i % 16]);
+        s.swap(i, usize::from(j));
+    }
+    let mut i: u8 = 0;
+    let mut j: u8 = 0;
+    let mut sum: u16 = 0;
+    let mut out = Vec::new();
+    for (n, &p) in data.iter().enumerate() {
+        i = i.wrapping_add(1);
+        j = j.wrapping_add(s[usize::from(i)]);
+        s.swap(usize::from(i), usize::from(j));
+        let k = s[usize::from(s[usize::from(i)].wrapping_add(s[usize::from(j)]))];
+        let c = p ^ k;
+        sum = sum.wrapping_add(u16::from(c));
+        if n % 16 == 15 {
+            out.push(u16::from(c));
+        }
+    }
+    out.push(sum);
+    out
+}
+
+/// Bitcount: six counting strategies over 256 LCG-generated words; emits
+/// each strategy's total.
+pub fn bitcount(input: &[u8]) -> Vec<u16> {
+    let seed = u16::from_le_bytes([input[0], input[1]]);
+    let mut out = Vec::new();
+    for method in 0..6u16 {
+        let mut lcg = seed;
+        let mut total: u16 = 0;
+        for _ in 0..256 {
+            lcg = lcg.wrapping_mul(25173).wrapping_add(13849);
+            total = total.wrapping_add(count_bits(method, lcg));
+        }
+        out.push(total);
+    }
+    out
+}
+
+fn count_bits(method: u16, x: u16) -> u16 {
+    match method {
+        // Kernighan: clear lowest set bit.
+        0 => {
+            let mut v = x;
+            let mut n = 0;
+            while v != 0 {
+                v &= v.wrapping_sub(1);
+                n += 1;
+            }
+            n
+        }
+        // Shift-and-test all 16 bits.
+        1 => (0..16).map(|i| (x >> i) & 1).sum(),
+        // Nibble lookup.
+        2 => {
+            const T: [u16; 16] = [0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4];
+            T[usize::from(x & 0xF)]
+                + T[usize::from((x >> 4) & 0xF)]
+                + T[usize::from((x >> 8) & 0xF)]
+                + T[usize::from((x >> 12) & 0xF)]
+        }
+        // Byte-table lookup.
+        3 => {
+            let t8 = |b: u16| -> u16 { b.count_ones() as u16 };
+            t8(x & 0xFF) + t8(x >> 8)
+        }
+        // Parallel (SWAR) reduction.
+        4 => {
+            let mut v = x;
+            v = (v & 0x5555) + ((v >> 1) & 0x5555);
+            v = (v & 0x3333) + ((v >> 2) & 0x3333);
+            v = (v & 0x0F0F) + ((v >> 4) & 0x0F0F);
+            (v & 0x00FF) + (v >> 8)
+        }
+        // Arithmetic-shift variant (counts set bits of the low byte, then
+        // the high byte, via repeated even/odd tests).
+        _ => {
+            let mut v = x;
+            let mut n = 0;
+            for _ in 0..16 {
+                n += v & 1;
+                v >>= 1;
+            }
+            n
+        }
+    }
+}
+
+/// RSA: modular exponentiation `m^e mod n` with 32-bit operands built
+/// from the input; emits the result of 4 exponentiations (lo, hi each).
+pub fn rsa(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 8);
+    let mut out = Vec::new();
+    // Fixed 32-bit modulus (odd, < 2^31 so shift-mod stays in range).
+    let n: u32 = 0x7860_4DEF;
+    let base0 = u32::from_le_bytes([input[0], input[1], input[2], input[3]]) % n;
+    let e0 = u32::from(u16::from_le_bytes([input[4], input[5]])) | 0x0001_0001;
+    for round in 0..4u32 {
+        let m = (base0 ^ (round.wrapping_mul(0x0101_0101))) % n;
+        let e = e0.wrapping_add(round * 2);
+        let c = modexp(m, e, n);
+        out.push((c & 0xFFFF) as u16);
+        out.push((c >> 16) as u16);
+    }
+    out
+}
+
+fn modexp(mut base: u32, mut e: u32, n: u32) -> u32 {
+    let mut result: u32 = 1 % n;
+    base %= n;
+    while e != 0 {
+        if e & 1 != 0 {
+            result = modmul(result, base, n);
+        }
+        base = modmul(base, base, n);
+        e >>= 1;
+    }
+    result
+}
+
+/// Shift-and-add modular multiply, mirroring the 32-bit assembly routine.
+fn modmul(a: u32, b: u32, n: u32) -> u32 {
+    let mut result: u32 = 0;
+    let mut a = a % n;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 != 0 {
+            result = result.wrapping_add(a);
+            if result >= n {
+                result -= n;
+            }
+        }
+        a = a.wrapping_add(a);
+        if a >= n {
+            a -= n;
+        }
+        b >>= 1;
+    }
+    result
+}
+
+/// Stringsearch: BMH over a fixed corpus with 8 patterns derived from the
+/// input; emits each pattern's match position (or 0xFFFF) and count.
+pub fn stringsearch(input: &[u8]) -> Vec<u16> {
+    let corpus = crate::corpus::text();
+    let mut out = Vec::new();
+    for p in 0..8 {
+        // Pattern: a slice of the corpus selected by input bytes (always a
+        // real substring so matches exist), occasionally mutated so some
+        // patterns do not match.
+        let a = u16::from(input[p * 2]);
+        let b = u16::from(input[p * 2 + 1]);
+        // 16-bit wrapping arithmetic, exactly like the assembly.
+        let start =
+            usize::from(a.wrapping_mul(251).wrapping_add(b.wrapping_mul(13)) % (2048 - 40));
+        let len = usize::from(4 + (b % 12));
+        let mut pat: Vec<u8> = corpus[start..start + len].to_vec();
+        if p % 3 == 2 {
+            let l = pat.len();
+            pat[l - 1] ^= 0x55; // probably no match
+        }
+        let (first, count) = bmh_all(corpus, &pat);
+        out.push(first);
+        out.push(count);
+    }
+    out
+}
+
+fn bmh_all(text: &[u8], pat: &[u8]) -> (u16, u16) {
+    let m = pat.len();
+    let mut skip = [m as u16; 256];
+    for (i, &c) in pat.iter().enumerate().take(m - 1) {
+        skip[usize::from(c)] = (m - 1 - i) as u16;
+    }
+    let mut first = 0xFFFFu16;
+    let mut count = 0u16;
+    let mut i = 0usize;
+    while i + m <= text.len() {
+        let mut j = m;
+        while j > 0 && text[i + j - 1] == pat[j - 1] {
+            j -= 1;
+        }
+        if j == 0 {
+            if first == 0xFFFF {
+                first = i as u16;
+            }
+            count = count.wrapping_add(1);
+            i += 1;
+        } else {
+            i += usize::from(skip[usize::from(text[i + m - 1])]);
+        }
+    }
+    (first, count)
+}
+
+/// Dijkstra: dense single-source shortest paths on an LCG-generated
+/// 20-node graph; emits the distance row for 4 sources.
+pub fn dijkstra(input: &[u8]) -> Vec<u16> {
+    const N: usize = 20;
+    const INF: u16 = 0x7FFF;
+    let seed = u16::from_le_bytes([input[0], input[1]]);
+    // Generate the adjacency matrix exactly like the assembly: LCG stream,
+    // weight = (x % 61) + 1, with ~1/4 of edges removed (INF).
+    let mut lcg = seed;
+    let mut adj = [[INF; N]; N];
+    for i in 0..N {
+        for j in 0..N {
+            lcg = lcg.wrapping_mul(25173).wrapping_add(13849);
+            if i == j {
+                adj[i][j] = 0;
+            } else if lcg & 3 == 0 {
+                adj[i][j] = INF;
+            } else {
+                adj[i][j] = (lcg >> 2) % 61 + 1;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for src in 0..4usize {
+        let mut dist = [INF; N];
+        let mut done = [false; N];
+        dist[src] = 0;
+        for _ in 0..N {
+            // find_min
+            let mut best = INF;
+            let mut u = N;
+            for v in 0..N {
+                if !done[v] && dist[v] < best {
+                    best = dist[v];
+                    u = v;
+                }
+            }
+            if u == N {
+                break;
+            }
+            done[u] = true;
+            for v in 0..N {
+                let w = adj[u][v];
+                if w != INF && !done[v] {
+                    let nd = dist[u].saturating_add(w).min(INF);
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                    }
+                }
+            }
+        }
+        let mut sum = 0u16;
+        for v in 0..N {
+            sum = sum.wrapping_add(dist[v]);
+        }
+        out.push(sum);
+        out.push(dist[N - 1 - src]);
+    }
+    out
+}
+
+/// FFT: 64-point radix-2 decimation-in-time fixed-point (Q13) FFT of an
+/// input-derived waveform; emits 16 sampled spectrum words and energy sum.
+pub fn fft(input: &[u8]) -> Vec<u16> {
+    const N: usize = 64;
+    let mut re = [0i16; N];
+    let mut im = [0i16; N];
+    for i in 0..N {
+        let b = i16::from(input[i % input.len().max(1)] as i8);
+        re[i] = b.wrapping_mul(16);
+        im[i] = 0;
+    }
+    // Bit reversal.
+    for i in 0..N {
+        let j = (i as u32).reverse_bits() >> (32 - 6);
+        let j = j as usize;
+        if j > i {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    // Q13 twiddles from the same table the assembly uses.
+    let sintab = crate::corpus::SINTAB_Q13;
+    let mut len = 2usize;
+    while len <= N {
+        let half = len / 2;
+        let step = N / len;
+        for start in (0..N).step_by(len) {
+            for k in 0..half {
+                let idx = k * step;
+                let wr = sintab[idx + N / 4]; // cos
+                let wi = -sintab[idx]; // -sin (forward transform)
+                let a = start + k;
+                let b = start + k + half;
+                let tr = qmul(re[b], wr).wrapping_sub(qmul(im[b], wi));
+                let ti = qmul(re[b], wi).wrapping_add(qmul(im[b], wr));
+                let (ar, ai) = (re[a] >> 1, im[a] >> 1);
+                re[b] = ar.wrapping_sub(tr);
+                im[b] = ai.wrapping_sub(ti);
+                re[a] = ar.wrapping_add(tr);
+                im[a] = ai.wrapping_add(ti);
+            }
+        }
+        len *= 2;
+    }
+    let mut out = Vec::new();
+    let mut sum = 0u16;
+    for i in 0..N {
+        sum = sum
+            .wrapping_add(re[i] as u16)
+            .wrapping_add(im[i] as u16);
+        if i % 4 == 0 {
+            out.push(re[i] as u16);
+        }
+    }
+    out.push(sum);
+    out
+}
+
+/// Q13 multiply with truncation toward negative infinity (matching the
+/// assembly's 32-bit product and arithmetic shift).
+fn qmul(a: i16, b: i16) -> i16 {
+    (((i32::from(a) * i32::from(b)) >> 13) & 0xFFFF) as u16 as i16
+}
+
+/// AES-128: expand a key from the input, ECB-encrypt 8 blocks; emits the
+/// first word of each ciphertext block and a running sum.
+pub fn aes(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 16 + 128);
+    let key: [u8; 16] = input[..16].try_into().expect("16-byte key");
+    let rk = aes_key_expand(&key);
+    let mut out = Vec::new();
+    let mut sum: u16 = 0;
+    for blk in 0..8 {
+        let mut state: [u8; 16] =
+            input[16 + blk * 16..32 + blk * 16].try_into().expect("block");
+        aes_encrypt_block(&mut state, &rk);
+        for i in 0..8 {
+            sum = sum.wrapping_add(u16::from_le_bytes([state[2 * i], state[2 * i + 1]]));
+        }
+        out.push(u16::from_le_bytes([state[0], state[1]]));
+    }
+    out.push(sum);
+    out
+}
+
+pub(crate) const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn xtime(b: u8) -> u8 {
+    if b & 0x80 != 0 {
+        (b << 1) ^ 0x1B
+    } else {
+        b << 1
+    }
+}
+
+fn aes_key_expand(key: &[u8; 16]) -> [[u8; 16]; 11] {
+    let mut rk = [[0u8; 16]; 11];
+    rk[0] = *key;
+    let mut rcon: u8 = 1;
+    for r in 1..11 {
+        let prev = rk[r - 1];
+        let mut t = [prev[13], prev[14], prev[15], prev[12]];
+        for b in &mut t {
+            *b = SBOX[usize::from(*b)];
+        }
+        t[0] ^= rcon;
+        rcon = xtime(rcon);
+        for i in 0..4 {
+            rk[r][i] = prev[i] ^ t[i];
+        }
+        for i in 4..16 {
+            rk[r][i] = prev[i] ^ rk[r][i - 4];
+        }
+    }
+    rk
+}
+
+fn aes_encrypt_block(state: &mut [u8; 16], rk: &[[u8; 16]; 11]) {
+    let add = |s: &mut [u8; 16], k: &[u8; 16]| {
+        for i in 0..16 {
+            s[i] ^= k[i];
+        }
+    };
+    let sub = |s: &mut [u8; 16]| {
+        for b in s.iter_mut() {
+            *b = SBOX[usize::from(*b)];
+        }
+    };
+    let shift = |s: &mut [u8; 16]| {
+        // Column-major state: byte (row r, col c) at index 4c + r.
+        let t = *s;
+        for r in 1..4 {
+            for c in 0..4 {
+                s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+            }
+        }
+    };
+    let mix = |s: &mut [u8; 16]| {
+        for c in 0..4 {
+            let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
+            let all = col[0] ^ col[1] ^ col[2] ^ col[3];
+            for r in 0..4 {
+                s[4 * c + r] = col[r] ^ all ^ xtime(col[r] ^ col[(r + 1) % 4]);
+            }
+        }
+    };
+    add(state, &rk[0]);
+    for r in 1..10 {
+        sub(state);
+        shift(state);
+        mix(state);
+        add(state, &rk[r]);
+    }
+    sub(state);
+    shift(state);
+    add(state, &rk[10]);
+}
+
+/// LZFX-style compression of 1 KiB of input, then decompression; emits the
+/// compressed length, a decompressed-equality flag, and 8 sampled words of
+/// compressed data.
+pub fn lzfx(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 1024);
+    // Make the data compressible: tile a 96-byte slice of the input.
+    let data = lzfx_plain(input);
+    let comp = lzfx_compress(&data);
+    let dec = lzfx_decompress(&comp, data.len());
+    let mut out = vec![comp.len() as u16, u16::from(dec == data)];
+    for i in 0..8 {
+        let idx = i * comp.len() / 8;
+        out.push(u16::from(comp[idx]));
+    }
+    out
+}
+
+/// The exact buffer the assembly compresses: input tiled with a stride.
+pub fn lzfx_plain(input: &[u8]) -> Vec<u8> {
+    let mut data = vec![0u8; 1024];
+    for (i, d) in data.iter_mut().enumerate() {
+        *d = input[(i % 96) + (i / 512) * 17];
+    }
+    data
+}
+
+/// Simple LZ77 with a 256-entry hash of 2-byte sequences, mirroring the
+/// assembly: literals emitted as `(0, byte)`, matches as
+/// `(len, offset_lo, offset_hi)` with len in 3..=18.
+pub fn lzfx_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut head = [0usize; 256]; // position + 1 of last occurrence
+    let mut i = 0usize;
+    while i < data.len() {
+        let can_match = i + 2 < data.len();
+        let h = if can_match {
+            usize::from(data[i] ^ data[i + 1].rotate_left(3))
+        } else {
+            0
+        };
+        let cand = if can_match { head[h] } else { 0 };
+        let mut match_len = 0usize;
+        if cand > 0 {
+            let pos = cand - 1;
+            let max = (data.len() - i).min(18);
+            while match_len < max && data[pos + match_len] == data[i + match_len] {
+                match_len += 1;
+            }
+            if match_len < 3 {
+                match_len = 0;
+            }
+        }
+        if match_len >= 3 {
+            let pos = cand - 1;
+            let offset = i - pos;
+            out.push(match_len as u8);
+            out.push((offset & 0xFF) as u8);
+            out.push((offset >> 8) as u8);
+            // Update hash for the first position of the match region.
+            head[h] = i + 1;
+            i += match_len;
+        } else {
+            out.push(0);
+            out.push(data[i]);
+            if can_match {
+                head[h] = i + 1;
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`lzfx_compress`].
+pub fn lzfx_decompress(comp: &[u8], expect: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 0usize;
+    while i < comp.len() {
+        let tag = comp[i];
+        if tag == 0 {
+            out.push(comp[i + 1]);
+            i += 2;
+        } else {
+            let len = usize::from(tag);
+            let offset = usize::from(comp[i + 1]) | (usize::from(comp[i + 2]) << 8);
+            let start = out.len() - offset;
+            for k in 0..len {
+                let b = out[start + k];
+                out.push(b);
+            }
+            i += 3;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vector() {
+        // CRC-32 of "123456789" with standard init/no final xor can be
+        // spot-checked: one pass over the 9 bytes padded to 256 is not a
+        // published vector, so check determinism + sensitivity instead.
+        let a = crc(&[0u8; 256]);
+        let mut input = [0u8; 256];
+        input[0] = 1;
+        let b = crc(&input);
+        assert_eq!(a.len(), 26);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crc32_kernel_matches_reference() {
+        // Single-pass CRC-32 (init 0xFFFFFFFF, no final xor) of
+        // "123456789" = !0xCBF43926 pre-xor → compute via the same kernel.
+        let mut c: u32 = 0xFFFF_FFFF;
+        for &b in b"123456789" {
+            c ^= u32::from(b);
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ 0xEDB8_8320 } else { c >> 1 };
+            }
+        }
+        assert_eq!(c ^ 0xFFFF_FFFF, 0xCBF4_3926, "CRC-32 check value");
+    }
+
+    #[test]
+    fn aes_fips197_vector() {
+        // FIPS-197 appendix B.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let rk = aes_key_expand(&key);
+        aes_encrypt_block(&mut block, &rk);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn lzfx_roundtrip() {
+        let input: Vec<u8> = (0..1024u32).map(|i| (i * 7 % 251) as u8).collect();
+        let data = lzfx_plain(&input);
+        let comp = lzfx_compress(&data);
+        let dec = lzfx_decompress(&comp, data.len());
+        assert_eq!(dec, data);
+        assert!(comp.len() < data.len(), "tiled data must compress");
+    }
+
+    #[test]
+    fn modexp_small_cases() {
+        assert_eq!(modexp(3, 4, 1000), 81);
+        assert_eq!(modexp(7, 0, 13), 1);
+        assert_eq!(modexp(5, 3, 7), 125 % 7);
+    }
+
+    #[test]
+    fn bmh_finds_matches() {
+        let (first, count) = bmh_all(b"abracadabra abracadabra", b"cad");
+        assert_eq!(first, 4);
+        assert_eq!(count, 2);
+        let (first, count) = bmh_all(b"hello", b"xyz");
+        assert_eq!(first, 0xFFFF);
+        assert_eq!(count, 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The benchmark suite: metadata, assembly sources, inputs and oracles.
+//!
+//! Nine MiBench2-style embedded benchmarks (the subset the paper runs on
+//! the MSP430FR2355) plus the `arith` microbenchmark used by the Figure-1
+//! placement experiment. Each benchmark is hand-written assembly for the
+//! simulated ISA together with a Rust *oracle* that mirrors the algorithm
+//! exactly; the oracle both validates semantics (paper §5.1) and predicts
+//! the output checksum for arbitrary inputs.
+
+use crate::oracle;
+use msp430_sim::ports::checksum_of_words;
+
+/// A benchmark in the suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Boyer–Moore–Horspool string search (STR).
+    Stringsearch,
+    /// Single-source shortest paths over a dense graph (DIJ).
+    Dijkstra,
+    /// Bitwise CRC-32 + CRC-16 (CRC).
+    Crc,
+    /// RC4 key scheduling and stream encryption (RC4).
+    Rc4,
+    /// Fixed-point radix-2 FFT (FFT).
+    Fft,
+    /// AES-128 block encryption (AES).
+    Aes,
+    /// LZF-style compression + decompression (LZFX).
+    Lzfx,
+    /// Bit-counting with multiple strategies (BIT).
+    Bitcount,
+    /// Modular exponentiation (RSA).
+    Rsa,
+    /// Arithmetic placement microbenchmark (Figure 1 only).
+    Arith,
+}
+
+impl Benchmark {
+    /// The nine MiBench2 benchmarks of the paper's evaluation, in Table-1
+    /// order.
+    pub const MIBENCH: [Benchmark; 9] = [
+        Benchmark::Stringsearch,
+        Benchmark::Dijkstra,
+        Benchmark::Crc,
+        Benchmark::Rc4,
+        Benchmark::Fft,
+        Benchmark::Aes,
+        Benchmark::Lzfx,
+        Benchmark::Bitcount,
+        Benchmark::Rsa,
+    ];
+
+    /// The paper's short name (Table 1).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Benchmark::Stringsearch => "STR",
+            Benchmark::Dijkstra => "DIJ",
+            Benchmark::Crc => "CRC",
+            Benchmark::Rc4 => "RC4",
+            Benchmark::Fft => "FFT",
+            Benchmark::Aes => "AES",
+            Benchmark::Lzfx => "LZFX",
+            Benchmark::Bitcount => "BIT",
+            Benchmark::Rsa => "RSA",
+            Benchmark::Arith => "ARITH",
+        }
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Stringsearch => "stringsearch",
+            Benchmark::Dijkstra => "dijkstra",
+            Benchmark::Crc => "crc",
+            Benchmark::Rc4 => "rc4",
+            Benchmark::Fft => "fft",
+            Benchmark::Aes => "aes",
+            Benchmark::Lzfx => "lzfx",
+            Benchmark::Bitcount => "bitcount",
+            Benchmark::Rsa => "rsa",
+            Benchmark::Arith => "arith",
+        }
+    }
+
+    /// The benchmark's assembly source.
+    pub fn asm_source(self) -> &'static str {
+        match self {
+            Benchmark::Stringsearch => include_str!("asm/stringsearch.s"),
+            Benchmark::Dijkstra => include_str!("asm/dijkstra.s"),
+            Benchmark::Crc => include_str!("asm/crc.s"),
+            Benchmark::Rc4 => include_str!("asm/rc4.s"),
+            Benchmark::Fft => include_str!("asm/fft.s"),
+            Benchmark::Aes => include_str!("asm/aes.s"),
+            Benchmark::Lzfx => include_str!("asm/lzfx.s"),
+            Benchmark::Bitcount => include_str!("asm/bitcount.s"),
+            Benchmark::Rsa => include_str!("asm/rsa.s"),
+            Benchmark::Arith => include_str!("asm/arith.s"),
+        }
+    }
+
+    /// Whether the benchmark links the shared runtime library.
+    pub fn uses_lib(self) -> bool {
+        !matches!(self, Benchmark::Crc | Benchmark::Arith | Benchmark::Rc4)
+    }
+
+    /// Bytes of input the benchmark consumes from `__input`.
+    pub fn input_len(self) -> usize {
+        match self {
+            Benchmark::Stringsearch => 64,
+            Benchmark::Dijkstra => 2,
+            Benchmark::Crc => 256,
+            Benchmark::Rc4 => 16 + 512,
+            Benchmark::Fft => 256,
+            Benchmark::Aes => 16 + 128,
+            Benchmark::Lzfx => 1024,
+            Benchmark::Bitcount => 2,
+            Benchmark::Rsa => 8,
+            Benchmark::Arith => 0,
+        }
+    }
+
+    /// The words the benchmark writes to the checksum port for `input`,
+    /// computed by the Rust oracle.
+    pub fn oracle_words(self, input: &[u8]) -> Vec<u16> {
+        match self {
+            Benchmark::Stringsearch => oracle::stringsearch(input),
+            Benchmark::Dijkstra => oracle::dijkstra(input),
+            Benchmark::Crc => oracle::crc(input),
+            Benchmark::Rc4 => oracle::rc4(input),
+            Benchmark::Fft => oracle::fft(input),
+            Benchmark::Aes => oracle::aes(input),
+            Benchmark::Lzfx => oracle::lzfx(input),
+            Benchmark::Bitcount => oracle::bitcount(input),
+            Benchmark::Rsa => oracle::rsa(input),
+            Benchmark::Arith => oracle::arith(input),
+        }
+    }
+
+    /// The expected output checksum for `input`.
+    pub fn oracle_checksum(self, input: &[u8]) -> u32 {
+        checksum_of_words(self.oracle_words(input))
+    }
+}
+
+/// Deterministic input bytes for a benchmark run.
+///
+/// Uses a seeded xorshift so results are reproducible across hosts.
+pub fn input_for(bench: Benchmark, seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 32) as u8
+    };
+    (0..bench.input_len()).map(|_| next()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_are_deterministic() {
+        let a = input_for(Benchmark::Crc, 7);
+        let b = input_for(Benchmark::Crc, 7);
+        let c = input_for(Benchmark::Crc, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 256);
+    }
+
+    #[test]
+    fn metadata_consistency() {
+        for b in Benchmark::MIBENCH {
+            assert!(!b.name().is_empty());
+            assert!(!b.asm_source().is_empty());
+        }
+        assert_eq!(Benchmark::MIBENCH.len(), 9);
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end pipeline checks: each implemented benchmark must produce
+//! the oracle checksum under the baseline, SwapRAM and block-cache
+//! systems (the paper's §5.1 validation).
+
+use mibench::builder::{build, run, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+
+fn check(bench: Benchmark, system: System, seed: u64) {
+    let profile = MemoryProfile::unified();
+    let built = build(bench, &system, &profile)
+        .unwrap_or_else(|e| panic!("{}/{}: build failed: {e}", bench.name(), system.label()));
+    let input = input_for(bench, seed);
+    let expect = bench.oracle_checksum(&input);
+    let r = run(&built, Frequency::MHZ_24, &input, 2_000_000_000)
+        .unwrap_or_else(|e| panic!("{}/{}: run failed: {e}", bench.name(), system.label()));
+    assert!(r.outcome.success(), "{}/{}: {:?}", bench.name(), system.label(), r.outcome.exit);
+    assert_eq!(
+        r.outcome.checksum.0,
+        expect,
+        "{}/{} seed {seed}: checksum mismatch",
+        bench.name(),
+        system.label()
+    );
+}
+
+fn all_systems(bench: Benchmark, seed: u64) {
+    check(bench, System::Baseline, seed);
+    check(bench, System::SwapRam(swapram::SwapConfig::unified_fr2355()), seed);
+    check(bench, System::BlockCache(blockcache::BlockConfig::unified_fr2355()), seed);
+}
+
+#[test]
+fn crc_all_systems() {
+    all_systems(Benchmark::Crc, 1);
+    all_systems(Benchmark::Crc, 2);
+}
+
+#[test]
+fn rc4_all_systems() {
+    all_systems(Benchmark::Rc4, 1);
+}
+
+#[test]
+fn bitcount_all_systems() {
+    all_systems(Benchmark::Bitcount, 1);
+}
+
+#[test]
+fn rsa_all_systems() {
+    all_systems(Benchmark::Rsa, 1);
+}
+
+#[test]
+fn dijkstra_all_systems() {
+    all_systems(Benchmark::Dijkstra, 1);
+}
+
+#[test]
+fn stringsearch_all_systems() {
+    all_systems(Benchmark::Stringsearch, 1);
+}
+
+#[test]
+fn arith_baseline() {
+    check(Benchmark::Arith, System::Baseline, 1);
+}
+
+#[test]
+fn lzfx_all_systems() {
+    all_systems(Benchmark::Lzfx, 1);
+}
+
+#[test]
+fn fft_all_systems() {
+    all_systems(Benchmark::Fft, 1);
+}
+
+#[test]
+fn aes_all_systems() {
+    all_systems(Benchmark::Aes, 1);
+}

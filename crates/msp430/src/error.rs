@@ -1,0 +1,46 @@
+//! Error types for the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout the simulator crates.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A register number outside `0..=15` was requested.
+    BadRegister(u8),
+    /// An instruction could not be encoded or decoded.
+    BadEncoding(String),
+    /// A memory access touched an unmapped or non-writable address.
+    BusFault {
+        /// The faulting address.
+        addr: u16,
+        /// Human-readable description of the access.
+        what: String,
+    },
+    /// A word access to an odd address.
+    Unaligned(u16),
+    /// Execution exceeded the configured cycle budget without halting.
+    CycleLimit(u64),
+    /// A runtime hook reported an unrecoverable condition.
+    Hook(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadRegister(n) => write!(f, "register number {n} out of range"),
+            SimError::BadEncoding(msg) => write!(f, "bad instruction encoding: {msg}"),
+            SimError::BusFault { addr, what } => {
+                write!(f, "bus fault at 0x{addr:04x}: {what}")
+            }
+            SimError::Unaligned(addr) => write!(f, "unaligned word access at 0x{addr:04x}"),
+            SimError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded"),
+            SimError::Hook(msg) => write!(f, "runtime hook error: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}

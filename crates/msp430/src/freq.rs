@@ -1,0 +1,59 @@
+//! Clock-frequency and FRAM wait-state model.
+//!
+//! Embedded FRAM on the MSP430FR2355 runs at a maximum access frequency of
+//! 8 MHz while the CPU runs at up to 24 MHz; above 8 MHz the memory
+//! controller inserts wait states on FRAM cache misses. The paper's
+//! evaluation uses 8 MHz (zero wait states) and 24 MHz (three wait cycles
+//! per uncached FRAM access, per §5.4 of the paper).
+
+/// An operating point: CPU frequency plus the FRAM wait-state cost at that
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frequency {
+    /// CPU clock in MHz.
+    pub mhz: u32,
+    /// Stall cycles inserted for each FRAM access that misses the hardware
+    /// read cache.
+    pub fram_wait_cycles: u32,
+}
+
+impl Frequency {
+    /// 8 MHz: the highest frequency with zero FRAM wait states.
+    pub const MHZ_8: Frequency = Frequency { mhz: 8, fram_wait_cycles: 0 };
+    /// 16 MHz intermediate operating point (one wait cycle).
+    pub const MHZ_16: Frequency = Frequency { mhz: 16, fram_wait_cycles: 1 };
+    /// 24 MHz: maximum CPU clock; each uncached FRAM access stalls the CPU
+    /// for three cycles (paper §5.4).
+    pub const MHZ_24: Frequency = Frequency { mhz: 24, fram_wait_cycles: 3 };
+
+    /// Wall-clock duration of `cycles` CPU cycles at this frequency, in
+    /// microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.mhz as f64
+    }
+}
+
+impl Default for Frequency {
+    fn default() -> Self {
+        Frequency::MHZ_24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(Frequency::MHZ_8.fram_wait_cycles, 0);
+        assert_eq!(Frequency::MHZ_24.fram_wait_cycles, 3);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let f = Frequency::MHZ_8;
+        assert!((f.cycles_to_us(8_000_000) - 1_000_000.0).abs() < 1e-9);
+        let f = Frequency::MHZ_24;
+        assert!((f.cycles_to_us(24) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! The hardware FRAM read cache.
+//!
+//! COTS FRAM microcontrollers place a small read cache between the CPU and
+//! the FRAM array to hide wait states; the MSP430FR2355 uses a 2-way
+//! set-associative cache of four 8-byte lines (two sets). A hit serves the
+//! access at CPU speed; a miss fills the line and pays the wait-state
+//! penalty of the current [`Frequency`](crate::freq::Frequency).
+//!
+//! The cache is deliberately tiny — this is the hardware limitation the
+//! paper's unified-memory experiments (Figure 1) run into: alternating code
+//! and data accesses to distant FRAM addresses thrash the four lines.
+
+/// A set-associative read cache with true-LRU replacement within each set.
+#[derive(Debug, Clone)]
+pub struct HwCache {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    /// `tags[set * ways + way]` — cached line number, or `None`.
+    tags: Vec<Option<u32>>,
+    /// LRU ordering per set: lower value = more recently used.
+    stamps: Vec<u64>,
+    tick: u64,
+    enabled: bool,
+}
+
+impl HwCache {
+    /// Creates a cache with `sets` sets of `ways` ways and `line_bytes`-byte
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or if any
+    /// parameter is zero.
+    pub fn new(sets: usize, ways: usize, line_bytes: usize) -> HwCache {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0, "ways must be nonzero");
+        HwCache {
+            sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            tags: vec![None; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+            enabled: true,
+        }
+    }
+
+    /// The MSP430FR2355 configuration: 2 sets × 2 ways × 8-byte lines.
+    pub fn fr2355() -> HwCache {
+        HwCache::new(2, 2, 8)
+    }
+
+    /// A pass-through cache that misses on every access (for ablation).
+    pub fn disabled() -> HwCache {
+        let mut c = HwCache::fr2355();
+        c.enabled = false;
+        c
+    }
+
+    /// Whether the cache is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The cache line number holding `addr`.
+    pub fn line_of(&self, addr: u16) -> u32 {
+        u32::from(addr) >> self.line_shift
+    }
+
+    /// Performs a read access. Returns `true` on a hit; on a miss the line
+    /// is filled (evicting the LRU way of its set).
+    pub fn access_read(&mut self, addr: u16) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.tick += 1;
+        let line = self.line_of(addr);
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            if self.tags[base + way] == Some(line) {
+                self.stamps[base + way] = self.tick;
+                return true;
+            }
+        }
+        // Miss: fill the least-recently-used way.
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("ways > 0");
+        self.tags[base + victim] = Some(line);
+        self.stamps[base + victim] = self.tick;
+        false
+    }
+
+    /// Invalidates the line containing `addr` (FRAM writes bypass the read
+    /// cache; stale lines must not serve subsequent reads).
+    pub fn invalidate(&mut self, addr: u16) {
+        let line = self.line_of(addr);
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        for way in 0..self.ways {
+            if self.tags[base + way] == Some(line) {
+                self.tags[base + way] = None;
+            }
+        }
+    }
+
+    /// Empties the cache.
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+        self.stamps.fill(0);
+    }
+}
+
+impl Default for HwCache {
+    fn default() -> Self {
+        HwCache::fr2355()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_words_in_a_line_hit() {
+        let mut c = HwCache::fr2355();
+        assert!(!c.access_read(0x4000)); // miss, fills line
+        assert!(c.access_read(0x4002));
+        assert!(c.access_read(0x4004));
+        assert!(c.access_read(0x4006));
+        assert!(!c.access_read(0x4008)); // next line
+    }
+
+    #[test]
+    fn two_way_associativity() {
+        let mut c = HwCache::fr2355();
+        // Lines 0 and 2 map to set 0 (2 sets); both fit in the two ways.
+        assert!(!c.access_read(0x4000)); // line A
+        assert!(!c.access_read(0x4010)); // line B, same set
+        assert!(c.access_read(0x4000));
+        assert!(c.access_read(0x4010));
+        // A third line in the same set evicts the LRU (line A).
+        assert!(!c.access_read(0x4020));
+        assert!(!c.access_read(0x4000));
+    }
+
+    #[test]
+    fn lru_respects_recency() {
+        let mut c = HwCache::fr2355();
+        c.access_read(0x4000); // A
+        c.access_read(0x4010); // B
+        c.access_read(0x4000); // touch A; B is now LRU
+        c.access_read(0x4020); // evicts B
+        assert!(c.access_read(0x4000), "A should have survived");
+        assert!(!c.access_read(0x4010), "B should have been evicted");
+    }
+
+    #[test]
+    fn invalidate_forces_miss() {
+        let mut c = HwCache::fr2355();
+        c.access_read(0x4000);
+        assert!(c.access_read(0x4002));
+        c.invalidate(0x4004); // same line
+        assert!(!c.access_read(0x4000));
+    }
+
+    #[test]
+    fn disabled_cache_always_misses() {
+        let mut c = HwCache::disabled();
+        assert!(!c.access_read(0x4000));
+        assert!(!c.access_read(0x4000));
+    }
+}

@@ -1,0 +1,336 @@
+//! Top-level simulated machine: CPU + bus + optional runtime hook.
+//!
+//! A [`Hook`] models a software runtime (the SwapRAM miss handler or the
+//! block-cache runtime) that is entered whenever control flow reaches the
+//! trap window of the memory map — the mechanism behind the indirect
+//! `CALL &redir` / `BR &exit` instructions the instrumentation passes plant
+//! in application code. The hook manipulates machine state through the same
+//! bus as the program, so all of its memory traffic is counted.
+
+use crate::cpu::Cpu;
+use crate::error::{SimError, SimResult};
+use crate::freq::Frequency;
+use crate::hwcache::HwCache;
+use crate::mem::{Bus, Image, MemoryMap};
+use crate::profile::Profiler;
+use crate::trace::Stats;
+
+/// What a [`Hook`] asks the machine to do after servicing a trap.
+///
+/// The hook is responsible for setting the CPU's program counter to the
+/// continuation address before returning [`TrapAction::Resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapAction {
+    /// Continue executing at the PC the hook installed.
+    Resume,
+    /// Stop the machine with an exit code.
+    Halt(u16),
+}
+
+/// A software runtime attached to the machine (see module docs).
+pub trait Hook {
+    /// Services a trap: control flow reached `trap_pc` inside the trap
+    /// window.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error to abort simulation (e.g. corrupted runtime state).
+    fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction>;
+}
+
+/// Why a [`Machine::run`] ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program wrote to the halt port (or a hook halted); carries the
+    /// exit code.
+    Halted(u16),
+    /// The cycle budget was exhausted.
+    CycleLimit,
+}
+
+/// Everything a finished run produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Why execution stopped.
+    pub exit: ExitReason,
+    /// Full execution statistics.
+    pub stats: Stats,
+    /// Bytes the program wrote to the console port.
+    pub console: Vec<u8>,
+    /// Output checksum and number of words mixed into it.
+    pub checksum: (u32, u64),
+    /// Cycle numbers of phase-marker writes.
+    pub marks: Vec<u64>,
+}
+
+impl RunOutcome {
+    /// True if the program halted with exit code 0.
+    pub fn success(&self) -> bool {
+        matches!(self.exit, ExitReason::Halted(0))
+    }
+}
+
+/// A complete simulated device.
+pub struct Machine {
+    cpu: Cpu,
+    bus: Bus,
+    hook: Option<Box<dyn Hook>>,
+    profiler: Option<Profiler>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &self.cpu.pc())
+            .field("has_hook", &self.hook.is_some())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Creates a machine over `bus` with no runtime hook.
+    pub fn new(bus: Bus) -> Machine {
+        Machine { cpu: Cpu::new(), bus, hook: None, profiler: None }
+    }
+
+    /// Attaches a per-function execution profiler (see
+    /// [`crate::profile`]).
+    pub fn attach_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The CPU.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU access (e.g. to preset registers in tests).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The bus.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access (e.g. to inject benchmark inputs).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// Attaches a runtime hook, replacing any previous one.
+    pub fn attach_hook(&mut self, hook: Box<dyn Hook>) {
+        self.hook = Some(hook);
+    }
+
+    /// Detaches and returns the runtime hook, if any.
+    pub fn take_hook(&mut self) -> Option<Box<dyn Hook>> {
+        self.hook.take()
+    }
+
+    /// Loads a program image and points the PC at its entry.
+    pub fn load(&mut self, image: &Image) {
+        self.bus.load_image(image);
+        self.cpu.set_pc(image.entry);
+    }
+
+    /// Executes one instruction or services one trap.
+    ///
+    /// Returns `Some(code)` if the machine halted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CPU/bus errors; reaching the trap window with no hook
+    /// attached is a [`SimError::Hook`] error.
+    pub fn step(&mut self) -> SimResult<Option<u16>> {
+        let pc = self.cpu.pc();
+        if self.bus.map().trap.contains(pc) {
+            let mut hook = self
+                .hook
+                .take()
+                .ok_or_else(|| SimError::Hook(format!("trap at 0x{pc:04x} with no hook")))?;
+            let action = hook.on_trap(&mut self.cpu, &mut self.bus, pc);
+            self.hook = Some(hook);
+            match action? {
+                TrapAction::Resume => {}
+                TrapAction::Halt(code) => return Ok(Some(code)),
+            }
+        } else {
+            if let Some(p) = &mut self.profiler {
+                p.record(pc, self.bus.map().region_of(pc));
+            }
+            self.cpu.step(&mut self.bus)?;
+        }
+        Ok(self.bus.ports().halt_code())
+    }
+
+    /// Runs until the program halts or `max_cycles` total cycles elapse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from [`Machine::step`].
+    pub fn run(&mut self, max_cycles: u64) -> SimResult<RunOutcome> {
+        let exit = loop {
+            if let Some(code) = self.step()? {
+                break ExitReason::Halted(code);
+            }
+            if self.bus.stats().total_cycles() >= max_cycles {
+                break ExitReason::CycleLimit;
+            }
+        };
+        Ok(self.outcome(exit))
+    }
+
+    /// Snapshots the current run outcome with the given exit reason.
+    pub fn outcome(&self, exit: ExitReason) -> RunOutcome {
+        RunOutcome {
+            exit,
+            stats: self.bus.stats().clone(),
+            console: self.bus.ports().console().to_vec(),
+            checksum: self.bus.ports().checksum(),
+            marks: self.bus.ports().marks().to_vec(),
+        }
+    }
+}
+
+/// Builder for the MSP430FR2355 device profile used throughout the paper's
+/// evaluation: 4 KiB SRAM, 32 KiB FRAM, 2-way × 2-set × 8-byte hardware
+/// read cache.
+#[derive(Debug, Clone, Copy)]
+pub struct Fr2355;
+
+impl Fr2355 {
+    /// Creates a machine with the FR2355 memory map and hardware cache at
+    /// the given operating point.
+    pub fn machine(freq: Frequency) -> Machine {
+        Machine::new(Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), freq))
+    }
+
+    /// Same as [`Fr2355::machine`] but with the hardware read cache
+    /// disabled (for ablation studies).
+    pub fn machine_without_hw_cache(freq: Frequency) -> Machine {
+        Machine::new(Bus::new(MemoryMap::fr2355(), HwCache::disabled(), freq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Opcode, Operand, Reg, Size};
+    use crate::mem::Segment;
+    use crate::ports;
+
+    fn image_of(instrs: &[Instr], base: u16) -> Image {
+        let mut bytes = Vec::new();
+        let mut at = base;
+        for i in instrs {
+            for w in i.encode(at).unwrap() {
+                bytes.push((w & 0xff) as u8);
+                bytes.push((w >> 8) as u8);
+                at = at.wrapping_add(2);
+            }
+        }
+        Image { segments: vec![Segment { addr: base, bytes }], entry: base }
+    }
+
+    fn halt_with(code: u16) -> Instr {
+        Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::Imm(code),
+            dst: Operand::Absolute(ports::HALT),
+        }
+    }
+
+    #[test]
+    fn run_halts_on_halt_port() {
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.load(&image_of(&[halt_with(0)], 0x4000));
+        let out = m.run(1_000).unwrap();
+        assert!(out.success());
+    }
+
+    #[test]
+    fn cycle_limit() {
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // JMP -1 loops forever (jumps to itself).
+        m.load(&image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4000));
+        let out = m.run(100).unwrap();
+        assert_eq!(out.exit, ExitReason::CycleLimit);
+        assert!(out.stats.total_cycles() >= 100);
+    }
+
+    #[test]
+    fn trap_without_hook_errors() {
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // BR #0x0F00 jumps straight into the trap window.
+        m.load(&image_of(
+            &[Instr::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: Operand::Imm(0x0F00),
+                dst: Operand::Reg(Reg::PC),
+            }],
+            0x4000,
+        ));
+        assert!(matches!(m.run(1_000), Err(SimError::Hook(_))));
+    }
+
+    #[test]
+    fn hook_is_invoked_and_can_redirect() {
+        struct Bouncer {
+            hits: u32,
+        }
+        impl Hook for Bouncer {
+            fn on_trap(&mut self, cpu: &mut Cpu, _bus: &mut Bus, pc: u16) -> SimResult<TrapAction> {
+                assert_eq!(pc, 0x0F00);
+                self.hits += 1;
+                cpu.set_pc(0x4100);
+                Ok(TrapAction::Resume)
+            }
+        }
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.load(&image_of(
+            &[Instr::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: Operand::Imm(0x0F00),
+                dst: Operand::Reg(Reg::PC),
+            }],
+            0x4000,
+        ));
+        // Landing pad at 0x4100 halts.
+        let pad = image_of(&[halt_with(0)], 0x4100);
+        m.bus_mut().load_image(&pad);
+        m.attach_hook(Box::new(Bouncer { hits: 0 }));
+        let out = m.run(1_000).unwrap();
+        assert!(out.success());
+    }
+
+    #[test]
+    fn console_and_checksum_collected() {
+        let say = |b: u8| Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Byte,
+            src: Operand::Imm(u16::from(b)),
+            dst: Operand::Absolute(ports::CONSOLE),
+        };
+        let sum = |w: u16| Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::Imm(w),
+            dst: Operand::Absolute(ports::CHECKSUM),
+        };
+        let mut m = Fr2355::machine(Frequency::MHZ_24);
+        m.load(&image_of(&[say(b'h'), say(b'i'), sum(0x1234), halt_with(0)], 0x4000));
+        let out = m.run(10_000).unwrap();
+        assert_eq!(out.console, b"hi");
+        assert_eq!(out.checksum, (ports::checksum_of_words([0x1234]), 1));
+    }
+}

@@ -1,0 +1,528 @@
+//! Memory map and system bus.
+//!
+//! The simulated device has a flat 16-bit address space split into SRAM,
+//! FRAM, a memory-mapped I/O window and a trap window used by software
+//! runtimes (see [`crate::machine::Hook`]). Every access goes through
+//! [`Bus`], which:
+//!
+//! * categorises the access by region and kind into [`Stats`],
+//! * runs FRAM reads through the hardware read cache and charges wait
+//!   states on misses per the active [`Frequency`],
+//! * charges the same-instruction FRAM line-contention penalty that makes
+//!   unified-memory operation slow even at 8 MHz (paper §2.2), and
+//! * routes MMIO traffic to the simulator [`Ports`].
+
+use crate::error::{SimError, SimResult};
+use crate::freq::Frequency;
+use crate::hwcache::HwCache;
+use crate::ports::Ports;
+use crate::trace::Stats;
+
+/// A half-open address range `[start, end)`. `end` is `u32` so a range may
+/// extend to the top of the 16-bit address space (`end = 0x1_0000`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrRange {
+    /// First address in the range.
+    pub start: u16,
+    /// One past the last address (≤ `0x1_0000`).
+    pub end: u32,
+}
+
+impl AddrRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or `end > 0x1_0000`.
+    pub fn new(start: u16, end: u32) -> AddrRange {
+        assert!(end >= u32::from(start) && end <= 0x1_0000, "invalid range");
+        AddrRange { start, end }
+    }
+
+    /// Whether `addr` lies in the range.
+    pub fn contains(&self, addr: u16) -> bool {
+        u32::from(addr) >= u32::from(self.start) && u32::from(addr) < self.end
+    }
+
+    /// Size of the range in bytes.
+    pub fn len(&self) -> u32 {
+        self.end - u32::from(self.start)
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The memory region an address belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Volatile on-chip SRAM.
+    Sram,
+    /// Non-volatile FRAM (behind the hardware read cache and wait states).
+    Fram,
+    /// Memory-mapped I/O ports.
+    Mmio,
+    /// Runtime trap window (execute-only; see [`crate::machine::Hook`]).
+    Trap,
+    /// Unmapped address space.
+    Unmapped,
+}
+
+/// The device memory map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryMap {
+    /// SRAM range.
+    pub sram: AddrRange,
+    /// FRAM range.
+    pub fram: AddrRange,
+    /// MMIO window.
+    pub mmio: AddrRange,
+    /// Trap window.
+    pub trap: AddrRange,
+}
+
+impl MemoryMap {
+    /// The MSP430FR2355 map: 4 KiB SRAM at `0x2000`, 32 KiB FRAM at
+    /// `0x4000`, MMIO at `0x0100`, trap window at `0x0F00`.
+    pub fn fr2355() -> MemoryMap {
+        MemoryMap {
+            sram: AddrRange::new(0x2000, 0x3000),
+            fram: AddrRange::new(0x4000, 0xC000),
+            mmio: AddrRange::new(0x0100, 0x0200),
+            trap: AddrRange::new(0x0F00, 0x1000),
+        }
+    }
+
+    /// The region containing `addr`.
+    pub fn region_of(&self, addr: u16) -> Region {
+        if self.sram.contains(addr) {
+            Region::Sram
+        } else if self.fram.contains(addr) {
+            Region::Fram
+        } else if self.mmio.contains(addr) {
+            Region::Mmio
+        } else if self.trap.contains(addr) {
+            Region::Trap
+        } else {
+            Region::Unmapped
+        }
+    }
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap::fr2355()
+    }
+}
+
+/// The kind of a memory access, for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction or extension-word fetch.
+    IFetch,
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+}
+
+/// A contiguous chunk of a program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Load address.
+    pub addr: u16,
+    /// Raw bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A loadable program image: segments plus the entry point.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Image {
+    /// Segments to copy into memory before reset.
+    pub segments: Vec<Segment>,
+    /// Initial program counter.
+    pub entry: u16,
+}
+
+impl Image {
+    /// Total bytes across all segments.
+    pub fn size_bytes(&self) -> usize {
+        self.segments.iter().map(|s| s.bytes.len()).sum()
+    }
+}
+
+/// The system bus: backing store, hardware cache, wait-state accounting and
+/// access statistics.
+#[derive(Debug, Clone)]
+pub struct Bus {
+    map: MemoryMap,
+    mem: Vec<u8>,
+    cache: HwCache,
+    freq: Frequency,
+    stats: Stats,
+    ports: Ports,
+    /// Distinct FRAM cache lines touched by the instruction in flight.
+    instr_lines: Vec<u32>,
+}
+
+impl Bus {
+    /// Creates a bus over `map` with the given hardware cache and clock.
+    pub fn new(map: MemoryMap, cache: HwCache, freq: Frequency) -> Bus {
+        Bus {
+            map,
+            mem: vec![0u8; 0x1_0000],
+            cache,
+            freq,
+            stats: Stats::new(),
+            ports: Ports::new(),
+            instr_lines: Vec::with_capacity(8),
+        }
+    }
+
+    /// The memory map.
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// The active clock/wait-state profile.
+    pub fn freq(&self) -> Frequency {
+        self.freq
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable statistics (used by runtimes to charge modeled work).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Simulator port state.
+    pub fn ports(&self) -> &Ports {
+        &self.ports
+    }
+
+    /// The hardware cache (for inspection in tests/ablations).
+    pub fn hw_cache(&self) -> &HwCache {
+        &self.cache
+    }
+
+    /// Marks the start of an instruction for contention accounting.
+    pub fn begin_instruction(&mut self) {
+        self.instr_lines.clear();
+    }
+
+    /// Marks the end of an instruction: every distinct FRAM line beyond the
+    /// first touched during the instruction costs one contention stall
+    /// cycle (the cache serves one line per cycle; §2.2 of the paper).
+    pub fn end_instruction(&mut self) {
+        if self.instr_lines.len() > 1 {
+            self.stats.contention_cycles += (self.instr_lines.len() - 1) as u64;
+        }
+        self.instr_lines.clear();
+    }
+
+    fn note_fram_access(&mut self, addr: u16, is_read: bool) {
+        let line = self.cache.line_of(addr);
+        if !self.instr_lines.contains(&line) {
+            self.instr_lines.push(line);
+        }
+        if is_read {
+            if self.cache.access_read(addr) {
+                self.stats.hw_cache_hits += 1;
+            } else {
+                self.stats.hw_cache_misses += 1;
+                self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+            }
+        } else {
+            self.cache.invalidate(addr);
+            self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+        }
+    }
+
+    fn fault(&self, addr: u16, what: &str) -> SimError {
+        SimError::BusFault { addr, what: what.to_string() }
+    }
+
+    /// Reads a byte with full accounting.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or trap-window addresses.
+    pub fn read_byte(&mut self, addr: u16, kind: AccessKind) -> SimResult<u8> {
+        match self.map.region_of(addr) {
+            Region::Sram => {
+                self.count(Region::Sram, kind);
+                Ok(self.mem[usize::from(addr)])
+            }
+            Region::Fram => {
+                self.count(Region::Fram, kind);
+                self.note_fram_access(addr, true);
+                Ok(self.mem[usize::from(addr)])
+            }
+            Region::Mmio => {
+                self.stats.mmio_accesses += 1;
+                Ok((self.ports.read(addr) & 0xff) as u8)
+            }
+            Region::Trap => Err(self.fault(addr, "read from trap window")),
+            Region::Unmapped => Err(self.fault(addr, "read from unmapped memory")),
+        }
+    }
+
+    /// Reads a word with full accounting.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses; errors on odd `addr`.
+    pub fn read_word(&mut self, addr: u16, kind: AccessKind) -> SimResult<u16> {
+        if addr & 1 != 0 {
+            return Err(SimError::Unaligned(addr));
+        }
+        match self.map.region_of(addr) {
+            Region::Sram => {
+                self.count(Region::Sram, kind);
+                Ok(self.raw_word(addr))
+            }
+            Region::Fram => {
+                self.count(Region::Fram, kind);
+                self.note_fram_access(addr, true);
+                Ok(self.raw_word(addr))
+            }
+            Region::Mmio => {
+                self.stats.mmio_accesses += 1;
+                Ok(self.ports.read(addr))
+            }
+            Region::Trap => Err(self.fault(addr, "read from trap window")),
+            Region::Unmapped => Err(self.fault(addr, "read from unmapped memory")),
+        }
+    }
+
+    /// Writes a byte with full accounting.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or trap-window addresses.
+    pub fn write_byte(&mut self, addr: u16, value: u8) -> SimResult<()> {
+        match self.map.region_of(addr) {
+            Region::Sram => {
+                self.count(Region::Sram, AccessKind::Write);
+                self.mem[usize::from(addr)] = value;
+                Ok(())
+            }
+            Region::Fram => {
+                self.count(Region::Fram, AccessKind::Write);
+                self.note_fram_access(addr, false);
+                self.mem[usize::from(addr)] = value;
+                Ok(())
+            }
+            Region::Mmio => {
+                self.stats.mmio_accesses += 1;
+                let cycle = self.stats.total_cycles();
+                self.ports.write(addr, u16::from(value), cycle);
+                Ok(())
+            }
+            Region::Trap => Err(self.fault(addr, "write to trap window")),
+            Region::Unmapped => Err(self.fault(addr, "write to unmapped memory")),
+        }
+    }
+
+    /// Writes a word with full accounting.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses; errors on odd `addr`.
+    pub fn write_word(&mut self, addr: u16, value: u16) -> SimResult<()> {
+        if addr & 1 != 0 {
+            return Err(SimError::Unaligned(addr));
+        }
+        match self.map.region_of(addr) {
+            Region::Sram => {
+                self.count(Region::Sram, AccessKind::Write);
+                self.set_raw_word(addr, value);
+                Ok(())
+            }
+            Region::Fram => {
+                self.count(Region::Fram, AccessKind::Write);
+                self.note_fram_access(addr, false);
+                self.set_raw_word(addr, value);
+                Ok(())
+            }
+            Region::Mmio => {
+                self.stats.mmio_accesses += 1;
+                let cycle = self.stats.total_cycles();
+                self.ports.write(addr, value, cycle);
+                Ok(())
+            }
+            Region::Trap => Err(self.fault(addr, "write to trap window")),
+            Region::Unmapped => Err(self.fault(addr, "write to unmapped memory")),
+        }
+    }
+
+    fn count(&mut self, region: Region, kind: AccessKind) {
+        match (region, kind) {
+            (Region::Sram, AccessKind::IFetch) => self.stats.sram_ifetch += 1,
+            (Region::Sram, AccessKind::Read) => self.stats.sram_read += 1,
+            (Region::Sram, AccessKind::Write) => self.stats.sram_write += 1,
+            (Region::Fram, AccessKind::IFetch) => self.stats.fram_ifetch += 1,
+            (Region::Fram, AccessKind::Read) => self.stats.fram_read += 1,
+            (Region::Fram, AccessKind::Write) => self.stats.fram_write += 1,
+            _ => {}
+        }
+    }
+
+    fn raw_word(&self, addr: u16) -> u16 {
+        u16::from(self.mem[usize::from(addr)])
+            | (u16::from(self.mem[usize::from(addr) + 1]) << 8)
+    }
+
+    fn set_raw_word(&mut self, addr: u16, value: u16) {
+        self.mem[usize::from(addr)] = (value & 0xff) as u8;
+        self.mem[usize::from(addr) + 1] = (value >> 8) as u8;
+    }
+
+    /// Host-side read without accounting or faulting (returns 0 for the top
+    /// byte of a wrap-around access).
+    pub fn peek_byte(&self, addr: u16) -> u8 {
+        self.mem[usize::from(addr)]
+    }
+
+    /// Host-side word read without accounting (the address is rounded down
+    /// to the containing word).
+    pub fn peek_word(&self, addr: u16) -> u16 {
+        self.raw_word(addr & !1)
+    }
+
+    /// Host-side write without accounting (used to load images and inject
+    /// benchmark inputs).
+    pub fn poke_byte(&mut self, addr: u16, value: u8) {
+        self.mem[usize::from(addr)] = value;
+    }
+
+    /// Host-side word write without accounting.
+    pub fn poke_word(&mut self, addr: u16, value: u16) {
+        self.set_raw_word(addr & !1, value);
+    }
+
+    /// Copies `image` into memory (host-side, no accounting).
+    pub fn load_image(&mut self, image: &Image) {
+        for seg in &image.segments {
+            for (i, b) in seg.bytes.iter().enumerate() {
+                self.mem[usize::from(seg.addr) + i] = *b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus(freq: Frequency) -> Bus {
+        Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), freq)
+    }
+
+    #[test]
+    fn region_classification() {
+        let m = MemoryMap::fr2355();
+        assert_eq!(m.region_of(0x2000), Region::Sram);
+        assert_eq!(m.region_of(0x2FFF), Region::Sram);
+        assert_eq!(m.region_of(0x4000), Region::Fram);
+        assert_eq!(m.region_of(0xBFFF), Region::Fram);
+        assert_eq!(m.region_of(0x0100), Region::Mmio);
+        assert_eq!(m.region_of(0x0F00), Region::Trap);
+        assert_eq!(m.region_of(0x0000), Region::Unmapped);
+        assert_eq!(m.region_of(0xC000), Region::Unmapped);
+    }
+
+    #[test]
+    fn sram_roundtrip_counts() {
+        let mut b = bus(Frequency::MHZ_24);
+        b.write_word(0x2000, 0xBEEF).unwrap();
+        assert_eq!(b.read_word(0x2000, AccessKind::Read).unwrap(), 0xBEEF);
+        assert_eq!(b.stats().sram_write, 1);
+        assert_eq!(b.stats().sram_read, 1);
+        assert_eq!(b.stats().wait_cycles, 0);
+    }
+
+    #[test]
+    fn fram_miss_charges_wait_states_at_24mhz() {
+        let mut b = bus(Frequency::MHZ_24);
+        b.read_word(0x4000, AccessKind::IFetch).unwrap();
+        assert_eq!(b.stats().wait_cycles, 3);
+        assert_eq!(b.stats().hw_cache_misses, 1);
+        // Same line: hit, no extra waits.
+        b.read_word(0x4002, AccessKind::IFetch).unwrap();
+        assert_eq!(b.stats().wait_cycles, 3);
+        assert_eq!(b.stats().hw_cache_hits, 1);
+    }
+
+    #[test]
+    fn fram_is_free_of_waits_at_8mhz() {
+        let mut b = bus(Frequency::MHZ_8);
+        b.read_word(0x4000, AccessKind::IFetch).unwrap();
+        b.read_word(0x4100, AccessKind::Read).unwrap();
+        assert_eq!(b.stats().wait_cycles, 0);
+    }
+
+    #[test]
+    fn contention_penalty_for_multi_line_instructions() {
+        let mut b = bus(Frequency::MHZ_8);
+        b.begin_instruction();
+        b.read_word(0x4000, AccessKind::IFetch).unwrap();
+        b.read_word(0x4800, AccessKind::Read).unwrap(); // distant line
+        b.end_instruction();
+        assert_eq!(b.stats().contention_cycles, 1);
+        // A single-line instruction adds nothing.
+        b.begin_instruction();
+        b.read_word(0x4002, AccessKind::IFetch).unwrap();
+        b.end_instruction();
+        assert_eq!(b.stats().contention_cycles, 1);
+    }
+
+    #[test]
+    fn fram_write_invalidates_cache_line() {
+        let mut b = bus(Frequency::MHZ_24);
+        b.read_word(0x4000, AccessKind::Read).unwrap(); // fill
+        b.write_word(0x4000, 1).unwrap(); // invalidate + wait
+        let waits_before = b.stats().wait_cycles;
+        b.read_word(0x4000, AccessKind::Read).unwrap(); // must miss again
+        assert_eq!(b.stats().wait_cycles, waits_before + 3);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut b = bus(Frequency::MHZ_8);
+        assert!(b.read_word(0xC000, AccessKind::Read).is_err());
+        assert!(b.write_word(0x0F00, 0).is_err());
+    }
+
+    #[test]
+    fn unaligned_word_access_rejected() {
+        let mut b = bus(Frequency::MHZ_8);
+        assert_eq!(b.read_word(0x2001, AccessKind::Read), Err(SimError::Unaligned(0x2001)));
+    }
+
+    #[test]
+    fn mmio_write_reaches_ports() {
+        let mut b = bus(Frequency::MHZ_8);
+        b.write_word(crate::ports::HALT, 7).unwrap();
+        assert_eq!(b.ports().halt_code(), Some(7));
+        assert_eq!(b.stats().mmio_accesses, 1);
+    }
+
+    #[test]
+    fn image_loading_is_silent() {
+        let mut b = bus(Frequency::MHZ_8);
+        let img = Image {
+            segments: vec![Segment { addr: 0x4000, bytes: vec![0xAA, 0x55] }],
+            entry: 0x4000,
+        };
+        b.load_image(&img);
+        assert_eq!(b.stats().fram_accesses(), 0);
+        assert_eq!(b.peek_word(0x4000), 0x55AA);
+    }
+}

@@ -1,0 +1,161 @@
+//! Memory-mapped simulator ports.
+//!
+//! The evaluation platform in the paper prints benchmark check-sequences
+//! over an on-chip UART and toggles a digital pin to trigger oscilloscope
+//! measurements (§5.1, §5.4). The simulator provides equivalents as
+//! memory-mapped ports in the `0x0100..0x0200` MMIO window:
+//!
+//! | Address | Name       | Behaviour on write                          |
+//! |---------|------------|---------------------------------------------|
+//! | 0x0100  | `CONSOLE`  | Low byte appended to the console buffer      |
+//! | 0x0102  | `HALT`     | Stops execution; value is the exit code      |
+//! | 0x0104  | `CHECKSUM` | Word mixed into a running output checksum    |
+//! | 0x0106  | `MARK`     | Records a phase marker (the "pin toggle")    |
+//!
+//! Reads from any port return the last value written (0 initially).
+
+/// Console output port address.
+pub const CONSOLE: u16 = 0x0100;
+/// Halt port address.
+pub const HALT: u16 = 0x0102;
+/// Checksum accumulation port address.
+pub const CHECKSUM: u16 = 0x0104;
+/// Phase-marker port address.
+pub const MARK: u16 = 0x0106;
+
+/// State of the simulator I/O ports.
+#[derive(Debug, Clone, Default)]
+pub struct Ports {
+    console: Vec<u8>,
+    halted: Option<u16>,
+    checksum: u32,
+    checksum_words: u64,
+    checksum_log: Vec<u16>,
+    marks: Vec<u64>,
+    last: [u16; 4],
+}
+
+impl Ports {
+    /// Creates fresh port state.
+    pub fn new() -> Ports {
+        Ports::default()
+    }
+
+    /// Handles a write of `value` to MMIO address `addr` at `cycle`.
+    pub fn write(&mut self, addr: u16, value: u16, cycle: u64) {
+        match addr & !1 {
+            CONSOLE => {
+                self.console.push((value & 0xff) as u8);
+                self.last[0] = value;
+            }
+            HALT => {
+                self.halted = Some(value);
+                self.last[1] = value;
+            }
+            CHECKSUM => {
+                // Order-sensitive 32-bit mix (FNV-style) so output sequences
+                // that differ in any word or ordering differ in checksum.
+                self.checksum ^= u32::from(value);
+                self.checksum = self.checksum.wrapping_mul(16777619);
+                self.checksum_words += 1;
+                self.checksum_log.push(value);
+                self.last[2] = value;
+            }
+            MARK => {
+                self.marks.push(cycle);
+                self.last[3] = value;
+            }
+            _ => {}
+        }
+    }
+
+    /// Handles a read from MMIO address `addr`.
+    pub fn read(&self, addr: u16) -> u16 {
+        match addr & !1 {
+            CONSOLE => self.last[0],
+            HALT => self.last[1],
+            CHECKSUM => self.last[2],
+            MARK => self.last[3],
+            _ => 0,
+        }
+    }
+
+    /// The console output so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// The exit code if the program wrote to the halt port.
+    pub fn halt_code(&self) -> Option<u16> {
+        self.halted
+    }
+
+    /// The running output checksum and the number of words mixed into it.
+    pub fn checksum(&self) -> (u32, u64) {
+        (self.checksum, self.checksum_words)
+    }
+
+    /// Every word written to the checksum port, in order (useful for
+    /// diffing program output against an oracle).
+    pub fn checksum_log(&self) -> &[u16] {
+        &self.checksum_log
+    }
+
+    /// Cycle numbers at which the program wrote the phase marker.
+    pub fn marks(&self) -> &[u64] {
+        &self.marks
+    }
+}
+
+/// Computes the checksum a program would produce by writing `words` to the
+/// [`CHECKSUM`] port in order. Used by benchmark oracles.
+pub fn checksum_of_words<I: IntoIterator<Item = u16>>(words: I) -> u32 {
+    let mut c: u32 = 0;
+    for w in words {
+        c ^= u32::from(w);
+        c = c.wrapping_mul(16777619);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_collects_bytes() {
+        let mut p = Ports::new();
+        for b in b"ok" {
+            p.write(CONSOLE, u16::from(*b), 0);
+        }
+        assert_eq!(p.console(), b"ok");
+    }
+
+    #[test]
+    fn halt_records_code() {
+        let mut p = Ports::new();
+        assert_eq!(p.halt_code(), None);
+        p.write(HALT, 3, 10);
+        assert_eq!(p.halt_code(), Some(3));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        let a = checksum_of_words([1, 2, 3]);
+        let b = checksum_of_words([3, 2, 1]);
+        assert_ne!(a, b);
+        let mut p = Ports::new();
+        for w in [1u16, 2, 3] {
+            p.write(CHECKSUM, w, 0);
+        }
+        assert_eq!(p.checksum(), (a, 3));
+    }
+
+    #[test]
+    fn marks_record_cycles() {
+        let mut p = Ports::new();
+        p.write(MARK, 1, 100);
+        p.write(MARK, 1, 250);
+        assert_eq!(p.marks(), &[100, 250]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Per-function execution profiling.
+//!
+//! The paper's discussion (§5.6) points at "deeper static analysis or
+//! runtime code profiling" as the way to better caching decisions. This
+//! module provides the measurement half: attach a [`Profiler`] to a
+//! [`Machine`](crate::machine::Machine) and it attributes every executed
+//! instruction to a named address range (typically the function spans the
+//! assembler reports), split by the memory the instruction was fetched
+//! from.
+//!
+//! The profile feeds the profile-guided blacklist workflow (see the
+//! `experiments` crate): functions with negligible execution share are
+//! blacklisted so they never occupy cache space.
+
+use crate::mem::Region;
+
+/// Execution counters for one profiled range.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RangeCounts {
+    /// Instructions fetched from FRAM.
+    pub fram_instrs: u64,
+    /// Instructions fetched from SRAM.
+    pub sram_instrs: u64,
+}
+
+impl RangeCounts {
+    /// Total instructions executed in the range.
+    pub fn total(&self) -> u64 {
+        self.fram_instrs + self.sram_instrs
+    }
+}
+
+/// One row of a finished profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// Range name (function name).
+    pub name: String,
+    /// The counters.
+    pub counts: RangeCounts,
+}
+
+/// A PC-attribution profiler over named address ranges.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    /// `(start, end, index)` sorted by start.
+    ranges: Vec<(u16, u16, usize)>,
+    names: Vec<String>,
+    counts: Vec<RangeCounts>,
+    other: RangeCounts,
+}
+
+impl Profiler {
+    /// Creates a profiler over `(name, start, end)` ranges (end exclusive).
+    /// Overlapping ranges attribute to the first match.
+    pub fn new<I, S>(ranges: I) -> Profiler
+    where
+        I: IntoIterator<Item = (S, u16, u16)>,
+        S: Into<String>,
+    {
+        let mut p = Profiler::default();
+        for (name, start, end) in ranges {
+            let idx = p.names.len();
+            p.names.push(name.into());
+            p.counts.push(RangeCounts::default());
+            p.ranges.push((start, end, idx));
+        }
+        p.ranges.sort_unstable();
+        p
+    }
+
+    /// Records one executed instruction at `pc` fetched from `region`.
+    pub fn record(&mut self, pc: u16, region: Region) {
+        let counts = match self.ranges.iter().find(|(s, e, _)| pc >= *s && pc < *e) {
+            Some((_, _, idx)) => &mut self.counts[*idx],
+            None => &mut self.other,
+        };
+        match region {
+            Region::Sram => counts.sram_instrs += 1,
+            _ => counts.fram_instrs += 1,
+        }
+    }
+
+    /// The finished profile, hottest range first. The catch-all row is
+    /// named `<other>`.
+    pub fn report(&self) -> Vec<ProfileRow> {
+        let mut rows: Vec<ProfileRow> = self
+            .names
+            .iter()
+            .zip(&self.counts)
+            .map(|(name, counts)| ProfileRow { name: name.clone(), counts: *counts })
+            .collect();
+        if self.other.total() > 0 {
+            rows.push(ProfileRow { name: "<other>".to_string(), counts: self.other });
+        }
+        rows.sort_by_key(|r| std::cmp::Reverse(r.counts.total()));
+        rows
+    }
+
+    /// Total instructions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(RangeCounts::total).sum::<u64>() + self.other.total()
+    }
+
+    /// Names of ranges whose execution share is below `threshold`
+    /// (0.0–1.0) — candidates for the SwapRAM blacklist.
+    pub fn cold_ranges(&self, threshold: f64) -> Vec<String> {
+        let total = self.total().max(1) as f64;
+        self.names
+            .iter()
+            .zip(&self.counts)
+            .filter(|(_, c)| (c.total() as f64 / total) < threshold)
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_and_ordering() {
+        let mut p = Profiler::new([("hot", 0x4000u16, 0x4100u16), ("cold", 0x4100, 0x4200)]);
+        for _ in 0..100 {
+            p.record(0x4010, Region::Fram);
+        }
+        p.record(0x4150, Region::Sram);
+        p.record(0x9000, Region::Fram); // outside both
+        let rows = p.report();
+        assert_eq!(rows[0].name, "hot");
+        assert_eq!(rows[0].counts.fram_instrs, 100);
+        assert_eq!(rows[1].counts.sram_instrs.max(rows[2].counts.sram_instrs), 1);
+        assert_eq!(p.total(), 102, "total includes the catch-all row");
+    }
+
+    #[test]
+    fn cold_range_detection() {
+        let mut p = Profiler::new([("hot", 0u16, 10u16), ("cold", 10, 20)]);
+        for _ in 0..99 {
+            p.record(5, Region::Fram);
+        }
+        p.record(15, Region::Fram);
+        assert_eq!(p.cold_ranges(0.05), vec!["cold".to_string()]);
+        assert!(p.cold_ranges(0.001).is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based cross-validation of the CPU's arithmetic and flag
+//! semantics against a Rust reference model, over random operand values.
+
+use msp430_sim::cpu::{Cpu, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};
+use msp430_sim::freq::Frequency;
+use msp430_sim::hwcache::HwCache;
+use msp430_sim::isa::{Instr, Opcode, Operand, Reg, Size};
+use msp430_sim::mem::{Bus, MemoryMap};
+use proptest::prelude::*;
+
+/// Reference model of one format-I word operation: returns
+/// `(result, c, z, n, v)`; `write` is false for CMP/BIT.
+fn model(op: Opcode, src: u16, dst: u16, carry_in: bool) -> Option<(u16, bool, bool, bool, bool)> {
+    let (s, d) = (u32::from(src), u32::from(dst));
+    let flags = |r: u32, c: bool, v: bool| {
+        let r16 = (r & 0xFFFF) as u16;
+        (r16, c, r16 == 0, r16 & 0x8000 != 0, v)
+    };
+    Some(match op {
+        Opcode::Add | Opcode::Addc => {
+            let cin = if matches!(op, Opcode::Addc) && carry_in { 1 } else { 0 };
+            let full = d + s + cin;
+            let r = full & 0xFFFF;
+            let v = ((d ^ r) & (s ^ r) & 0x8000) != 0;
+            flags(full, full > 0xFFFF, v)
+        }
+        Opcode::Sub | Opcode::Cmp | Opcode::Subc => {
+            let eff = (!s) & 0xFFFF;
+            let cin = if matches!(op, Opcode::Subc) {
+                u32::from(carry_in)
+            } else {
+                1
+            };
+            let full = d + eff + cin;
+            let r = full & 0xFFFF;
+            let v = ((d ^ r) & (eff ^ r) & 0x8000) != 0;
+            let f = flags(full, full > 0xFFFF, v);
+            if matches!(op, Opcode::Cmp) {
+                // CMP computes flags but never writes the destination.
+                (dst, f.1, f.2, f.3, f.4)
+            } else {
+                f
+            }
+        }
+        Opcode::Xor => {
+            let r = (d ^ s) & 0xFFFF;
+            let v = d & 0x8000 != 0 && s & 0x8000 != 0;
+            (r as u16, r != 0, r == 0, r & 0x8000 != 0, v)
+        }
+        Opcode::And => {
+            let r = d & s;
+            (r as u16, r != 0, r == 0, r & 0x8000 != 0, false)
+        }
+        _ => return None,
+    })
+}
+
+fn exec_one(op: Opcode, src: u16, dst: u16, carry_in: bool) -> (u16, bool, bool, bool, bool) {
+    let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
+    let instr = Instr::FormatI {
+        op,
+        size: Size::Word,
+        src: Operand::Reg(Reg::R12),
+        dst: Operand::Reg(Reg::R13),
+    };
+    for (k, w) in instr.encode(0x4000).unwrap().into_iter().enumerate() {
+        bus.poke_word(0x4000 + 2 * k as u16, w);
+    }
+    let mut cpu = Cpu::new();
+    cpu.set_pc(0x4000);
+    cpu.set_reg(Reg::R12, src);
+    cpu.set_reg(Reg::R13, dst);
+    cpu.set_reg(Reg::SR, if carry_in { FLAG_C } else { 0 });
+    cpu.step(&mut bus).unwrap();
+    let result = if matches!(op, Opcode::Cmp) { dst } else { cpu.reg(Reg::R13) };
+    (result, cpu.flag(FLAG_C), cpu.flag(FLAG_Z), cpu.flag(FLAG_N), cpu.flag(FLAG_V))
+}
+
+proptest! {
+    #[test]
+    fn alu_matches_reference(src in any::<u16>(), dst in any::<u16>(), carry in any::<bool>()) {
+        for op in [Opcode::Add, Opcode::Addc, Opcode::Sub, Opcode::Subc,
+                   Opcode::Cmp, Opcode::Xor, Opcode::And] {
+            let expect = model(op, src, dst, carry).unwrap();
+            let got = exec_one(op, src, dst, carry);
+            prop_assert_eq!(got, expect, "{} {:#06x}, {:#06x} (C={})", op, src, dst, carry);
+        }
+    }
+
+    /// DADD implements packed-BCD addition for valid BCD operands.
+    #[test]
+    fn dadd_is_bcd_addition(a in 0u16..10_000, b in 0u16..10_000) {
+        let to_bcd = |mut v: u16| -> u16 {
+            let mut out = 0u16;
+            for shift in [0u16, 4, 8, 12] {
+                out |= (v % 10) << shift;
+                v /= 10;
+            }
+            out
+        };
+        let got = exec_one(Opcode::Dadd, to_bcd(a), to_bcd(b), false);
+        let sum = (u32::from(a) + u32::from(b)) % 10_000;
+        let carry = u32::from(a) + u32::from(b) >= 10_000;
+        prop_assert_eq!(got.0, to_bcd(sum as u16), "{} + {}", a, b);
+        prop_assert_eq!(got.1, carry, "carry of {} + {}", a, b);
+    }
+
+    /// Byte operations always clear the destination register's high byte
+    /// and compute flags on 8 bits.
+    #[test]
+    fn byte_ops_clear_high_byte(src in any::<u16>(), dst in any::<u16>()) {
+        let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
+        let instr = Instr::FormatI {
+            op: Opcode::Add,
+            size: Size::Byte,
+            src: Operand::Reg(Reg::R12),
+            dst: Operand::Reg(Reg::R13),
+        };
+        for (k, w) in instr.encode(0x4000).unwrap().into_iter().enumerate() {
+            bus.poke_word(0x4000 + 2 * k as u16, w);
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x4000);
+        cpu.set_reg(Reg::R12, src);
+        cpu.set_reg(Reg::R13, dst);
+        cpu.step(&mut bus).unwrap();
+        let expect = (src as u8).wrapping_add(dst as u8);
+        prop_assert_eq!(cpu.reg(Reg::R13), u16::from(expect));
+        prop_assert_eq!(cpu.flag(FLAG_Z), expect == 0);
+        prop_assert_eq!(cpu.flag(FLAG_N), expect & 0x80 != 0);
+        prop_assert_eq!(cpu.flag(FLAG_C), u16::from(src as u8) + u16::from(dst as u8) > 0xFF);
+    }
+
+    /// PUSH/POP roundtrips arbitrary values through the stack.
+    #[test]
+    fn push_pop_roundtrip(v in any::<u16>()) {
+        let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
+        let push = Instr::FormatII { op: Opcode::Push, size: Size::Word, dst: Operand::Reg(Reg::R12) };
+        let pop = Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::IndirectInc(Reg::SP),
+            dst: Operand::Reg(Reg::R14),
+        };
+        let mut at = 0x4000u16;
+        for i in [push, pop] {
+            for w in i.encode(at).unwrap() {
+                bus.poke_word(at, w);
+                at += 2;
+            }
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x4000);
+        cpu.set_sp(0x3000);
+        cpu.set_reg(Reg::R12, v);
+        cpu.step(&mut bus).unwrap();
+        cpu.step(&mut bus).unwrap();
+        prop_assert_eq!(cpu.reg(Reg::R14), v);
+        prop_assert_eq!(cpu.sp(), 0x3000);
+    }
+
+    /// RRA/RRC model: arithmetic shift right and rotate-through-carry.
+    #[test]
+    fn shifts_match_reference(v in any::<u16>(), carry in any::<bool>()) {
+        let run = |op: Opcode, v: u16, cin: bool| {
+            let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
+            let i = Instr::FormatII { op, size: Size::Word, dst: Operand::Reg(Reg::R12) };
+            for (k, w) in i.encode(0x4000).unwrap().into_iter().enumerate() {
+                bus.poke_word(0x4000 + 2 * k as u16, w);
+            }
+            let mut cpu = Cpu::new();
+            cpu.set_pc(0x4000);
+            cpu.set_reg(Reg::R12, v);
+            cpu.set_reg(Reg::SR, if cin { FLAG_C } else { 0 });
+            cpu.step(&mut bus).unwrap();
+            (cpu.reg(Reg::R12), cpu.flag(FLAG_C))
+        };
+        let (rra, c1) = run(Opcode::Rra, v, carry);
+        prop_assert_eq!(rra, ((v as i16) >> 1) as u16);
+        prop_assert_eq!(c1, v & 1 != 0);
+        let (rrc, c2) = run(Opcode::Rrc, v, carry);
+        prop_assert_eq!(rrc, (v >> 1) | if carry { 0x8000 } else { 0 });
+        prop_assert_eq!(c2, v & 1 != 0);
+    }
+}

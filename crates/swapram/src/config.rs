@@ -1,0 +1,128 @@
+//! SwapRAM configuration: cache region, replacement policy, blacklist.
+
+use std::collections::BTreeSet;
+
+/// Replacement / placement policy for the software cache (paper §3.4 and
+/// the "future work" extensions of §5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// The paper's proof-of-concept design: a circular queue giving
+    /// least-recently-cached replacement.
+    CircularQueue,
+    /// A stack (most-recently-cached replacement) — the counterproductive
+    /// alternative §3.4 discusses; provided for the ablation benches.
+    Stack,
+    /// Circular queue augmented with a cost function that prefers evicting
+    /// small, cheap-to-recache functions (a §3.4 "more sophisticated data
+    /// structure" extension).
+    PriorityCost,
+    /// Circular queue plus thrash detection: when recently evicted
+    /// functions keep returning, eviction is temporarily frozen and misses
+    /// fall back to FRAM execution (the §5.4 anti-thrashing extension
+    /// suggested by the AES result).
+    FreezeOnThrash,
+}
+
+/// Configuration for the static pass and runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapConfig {
+    /// First SRAM address of the function cache.
+    pub cache_base: u16,
+    /// Size of the function cache in bytes.
+    pub cache_size: u16,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Functions excluded from caching (§3.1's blacklist interface);
+    /// their call sites keep direct `CALL #f` instructions.
+    pub blacklist: BTreeSet<String>,
+    /// Trap address the redirection entries initially point at.
+    pub trap_addr: u16,
+    /// Base address of the metadata tables section (in FRAM).
+    pub tables_base: u16,
+    /// FRAM address window the miss handler executes from (used to model
+    /// the handler's own instruction fetches; paper §5.3 "we always
+    /// execute both it and memcpy from FRAM").
+    pub handler_code_base: u16,
+    /// Thrash-detection window for [`PolicyKind::FreezeOnThrash`]: how
+    /// many recent evictions are remembered.
+    pub thrash_window: usize,
+    /// Number of misses for which eviction stays frozen once thrashing is
+    /// detected.
+    pub freeze_misses: u32,
+}
+
+impl SwapConfig {
+    /// The paper's primary configuration on the FR2355: the whole 4 KiB
+    /// SRAM is the code cache (unified-memory mode — program data lives in
+    /// FRAM).
+    pub fn unified_fr2355() -> SwapConfig {
+        SwapConfig {
+            cache_base: 0x2000,
+            cache_size: 0x1000,
+            policy: PolicyKind::CircularQueue,
+            blacklist: BTreeSet::new(),
+            trap_addr: 0x0F00,
+            tables_base: 0xB000,
+            handler_code_base: 0xB800,
+            thrash_window: 8,
+            freeze_misses: 32,
+        }
+    }
+
+    /// Split-SRAM configuration (paper §5.5): the low `data_bytes` of SRAM
+    /// hold program data and the rest is the code cache.
+    pub fn split_fr2355(data_bytes: u16) -> SwapConfig {
+        let base = 0x2000 + data_bytes;
+        SwapConfig {
+            cache_base: base,
+            cache_size: 0x3000 - base,
+            ..SwapConfig::unified_fr2355()
+        }
+    }
+
+    /// Sets the replacement policy (builder style).
+    pub fn with_policy(mut self, policy: PolicyKind) -> SwapConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// Adds a function to the blacklist (builder style).
+    pub fn with_blacklisted(mut self, name: &str) -> SwapConfig {
+        self.blacklist.insert(name.to_string());
+        self
+    }
+}
+
+impl Default for SwapConfig {
+    fn default() -> Self {
+        SwapConfig::unified_fr2355()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unified_uses_whole_sram() {
+        let c = SwapConfig::unified_fr2355();
+        assert_eq!(c.cache_base, 0x2000);
+        assert_eq!(c.cache_size, 0x1000);
+    }
+
+    #[test]
+    fn split_reserves_data() {
+        let c = SwapConfig::split_fr2355(0x400);
+        assert_eq!(c.cache_base, 0x2400);
+        assert_eq!(c.cache_size, 0xC00);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SwapConfig::unified_fr2355()
+            .with_policy(PolicyKind::Stack)
+            .with_blacklisted("isr");
+        assert_eq!(c.policy, PolicyKind::Stack);
+        assert!(c.blacklist.contains("isr"));
+    }
+}

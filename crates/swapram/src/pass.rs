@@ -1,0 +1,500 @@
+//! SwapRAM's compile-time (assembly-level) transformation pass.
+//!
+//! Implements the two-pass flow of the paper (§3.2, §4):
+//!
+//! 1. **Pass 1** rewrites every direct call to a cacheable function into the
+//!    indirect, redirectable form of Figure 3:
+//!
+//!    ```text
+//!    add  #1, &__sr_act_CALLER   ; protect the caller while on the stack
+//!    mov  #funcId, &__sr_fid     ; tell the miss handler who is called
+//!    call &__sr_redir_f          ; indirect call through the redirection word
+//!    sub  #1, &__sr_act_CALLER
+//!    ```
+//!
+//!    and emits the metadata tables (redirection words initialised to the
+//!    trap address, active counters) into a dedicated FRAM section.
+//!
+//! 2. The module is assembled once to fix layout (branch relaxation turns
+//!    out-of-range jumps into absolute branches, and final function sizes
+//!    become known), then **pass 2** scans the relaxed module for absolute
+//!    branches *inside* cacheable functions and replaces each with an
+//!    indirect branch through a per-branch relocation word
+//!    (`BR &__sr_reloc_k`, §3.3.1), initialised to the FRAM target so
+//!    uncached execution still works. The branch offset
+//!    (`target − fnBase`) is stored alongside for the runtime.
+//!
+//! The pass is programmer-transparent: it needs only `.func`/`.endfunc`
+//! markers, which the benchmark sources (like compiler output) already
+//! carry.
+
+use crate::config::SwapConfig;
+use crate::tables::{act_symbol, redir_symbol, reloc_symbol, rofs_symbol, FID_SYMBOL, TABLES_SECTION};
+use msp430_asm::ast::{AsmOperand, Insn, Item, Module, Stmt};
+use msp430_asm::error::{AsmError, AsmResult};
+use msp430_asm::expr::Expr;
+use msp430_asm::layout::LayoutConfig;
+use msp430_asm::object::{assemble, Assembly};
+use msp430_asm::program;
+use msp430_sim::isa::{Opcode, Reg, Size};
+use std::collections::BTreeMap;
+
+/// A relocation entry for one absolute branch inside a cacheable function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapReloc {
+    /// Address of the runtime-written relocation word the branch reads.
+    pub reloc_addr: u16,
+    /// Address of the static `target − fnBase` offset word.
+    pub rofs_addr: u16,
+    /// The offset value itself (also stored at `rofs_addr`).
+    pub ofs: u16,
+}
+
+/// Per-function metadata produced by the static pass — the node contents of
+/// paper §3.4 (NVRAM address, size, redirection/active-counter locations,
+/// relocation entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapFunc {
+    /// The `funcId` written at call sites.
+    pub id: u16,
+    /// Function name.
+    pub name: String,
+    /// Address of the function body in FRAM.
+    pub fram_addr: u16,
+    /// Size in bytes.
+    pub size: u16,
+    /// Address of the redirection word call sites branch through.
+    pub redir_addr: u16,
+    /// Address of the active counter.
+    pub act_addr: u16,
+    /// Relocation entries for the function's absolute branches.
+    pub relocs: Vec<SwapReloc>,
+}
+
+/// Output of the static pass: the final binary plus everything the runtime
+/// needs to manage the cache.
+#[derive(Debug, Clone)]
+pub struct Instrumented {
+    /// The final assembled program.
+    pub assembly: Assembly,
+    /// Address of the global `funcId` word.
+    pub fid_addr: u16,
+    /// Cacheable functions, indexed by `funcId`.
+    pub funcs: Vec<SwapFunc>,
+    /// Bytes of metadata emitted (the "Metadata" bars of Figure 7).
+    pub metadata_bytes: u16,
+    /// Modeled size of the miss handler + memcpy runtime code in FRAM (the
+    /// "Runtime" bars of Figure 7). Scales with the number of relocatable
+    /// branches as in §5.2 (972–1844 bytes across the paper's benchmarks).
+    pub handler_bytes: u16,
+    /// Number of call sites rewritten.
+    pub call_sites: usize,
+}
+
+impl Instrumented {
+    /// Looks up a function by id.
+    pub fn func(&self, id: u16) -> Option<&SwapFunc> {
+        self.funcs.get(usize::from(id))
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<&SwapFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Total relocatable branches across all functions.
+    pub fn reloc_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.relocs.len()).sum()
+    }
+}
+
+/// Runs the full static pass over `module` and assembles the final binary.
+///
+/// # Errors
+///
+/// Propagates assembly errors; also fails if the module already uses the
+/// reserved metadata section name.
+pub fn instrument(
+    module: &Module,
+    swap: &SwapConfig,
+    layout: &LayoutConfig,
+) -> AsmResult<Instrumented> {
+    if module.stmts.iter().any(
+        |s| matches!(&s.item, Item::Section(name) if name == TABLES_SECTION),
+    ) {
+        return Err(AsmError::global(format!(
+            "section `{TABLES_SECTION}` is reserved for SwapRAM metadata"
+        )));
+    }
+    let layout = layout.clone().with_section(TABLES_SECTION, swap.tables_base);
+
+    // Determine the cacheable set: every `.func` function except the entry
+    // point and the blacklist.
+    let fns = program::functions_of(module);
+    let mut ids: BTreeMap<String, u16> = BTreeMap::new();
+    for f in &fns {
+        if f.name == layout.entry || swap.blacklist.contains(&f.name) {
+            continue;
+        }
+        let id = ids.len() as u16;
+        ids.insert(f.name.clone(), id);
+    }
+
+    // ---- Pass 1: rewrite call sites, emit base tables. ----
+    let (mut instrumented, call_sites) = rewrite_calls(module, &ids, &fns);
+    instrumented.push(Item::Section(TABLES_SECTION.to_string()));
+    instrumented.push(Item::Align(2));
+    instrumented.push(Item::Label(FID_SYMBOL.to_string()));
+    instrumented.push(Item::Word(vec![Expr::num(0)]));
+    for (name, _) in &ids {
+        instrumented.push(Item::Label(redir_symbol(name)));
+        instrumented.push(Item::Word(vec![Expr::num(i64::from(swap.trap_addr))]));
+        instrumented.push(Item::Label(act_symbol(name)));
+        instrumented.push(Item::Word(vec![Expr::num(0)]));
+    }
+
+    // ---- Intermediate assembly: fix layout and materialise relaxation. ----
+    let intermediate = assemble(&instrumented, &layout)?;
+
+    // ---- Pass 2: relocify absolute branches inside cacheable functions. ----
+    let mut relaxed = intermediate.module.clone();
+    let spans = program::functions_of(&relaxed);
+    let mut reloc_stmts: Vec<Stmt> = Vec::new();
+    let mut relocs_by_func: BTreeMap<String, Vec<(usize, u16)>> = BTreeMap::new();
+    let mut k = 0usize;
+    for span in &spans {
+        if !ids.contains_key(&span.name) {
+            continue;
+        }
+        let fspan = intermediate
+            .function(&span.name)
+            .ok_or_else(|| AsmError::global(format!("missing span for `{}`", span.name)))?
+            .clone();
+        for i in span.body.clone() {
+            let target = match &relaxed.stmts[i].item {
+                Item::Insn(insn) => match insn.absolute_branch_target() {
+                    Some(e) => {
+                        // Resolve the branch target; RET (`mov @sp+, pc`)
+                        // and computed branches are not absolute branches.
+                        let v = match e.as_literal() {
+                            Some(v) => v,
+                            None => match e.as_symbol().and_then(|s| intermediate.symbol(s)) {
+                                Some(a) => i64::from(a),
+                                None => continue,
+                            },
+                        };
+                        v as u16
+                    }
+                    None => continue,
+                },
+                _ => continue,
+            };
+            if target < fspan.start || target >= fspan.end {
+                continue; // inter-function branch: stays absolute
+            }
+            let ofs = target - fspan.start;
+            relaxed.stmts[i] = Stmt {
+                item: Item::Insn(Insn::FormatI {
+                    op: Opcode::Mov,
+                    size: Size::Word,
+                    src: AsmOperand::Absolute(Expr::sym(reloc_symbol(k))),
+                    dst: AsmOperand::Reg(Reg::PC),
+                }),
+                line: relaxed.stmts[i].line,
+            };
+            reloc_stmts.push(Stmt::synth(Item::Label(reloc_symbol(k))));
+            reloc_stmts
+                .push(Stmt::synth(Item::Word(vec![Expr::num(i64::from(target))])));
+            reloc_stmts.push(Stmt::synth(Item::Label(rofs_symbol(k))));
+            reloc_stmts.push(Stmt::synth(Item::Word(vec![Expr::num(i64::from(ofs))])));
+            relocs_by_func.entry(span.name.clone()).or_default().push((k, ofs));
+            k += 1;
+        }
+    }
+    relaxed.push(Item::Section(TABLES_SECTION.to_string()));
+    relaxed.push(Item::Align(2));
+    relaxed.stmts.extend(reloc_stmts);
+
+    // ---- Final assembly. ----
+    let assembly = assemble(&relaxed, &layout)?;
+
+    // Layout stability check: pass 2 replacements are size-neutral, so
+    // function addresses must not have moved.
+    for span in &spans {
+        if let (Some(a), Some(b)) = (intermediate.function(&span.name), assembly.function(&span.name)) {
+            if a.start != b.start || a.end != b.end {
+                return Err(AsmError::global(format!(
+                    "internal error: function `{}` moved between passes",
+                    span.name
+                )));
+            }
+        }
+    }
+
+    let lookup = |sym: &str| -> AsmResult<u16> {
+        assembly
+            .symbol(sym)
+            .ok_or_else(|| AsmError::global(format!("missing metadata symbol `{sym}`")))
+    };
+
+    let mut funcs: Vec<SwapFunc> = Vec::with_capacity(ids.len());
+    for (name, id) in &ids {
+        let span = assembly
+            .function(name)
+            .ok_or_else(|| AsmError::global(format!("missing function `{name}`")))?;
+        let relocs = relocs_by_func
+            .get(name)
+            .map(|v| {
+                v.iter()
+                    .map(|(k, ofs)| {
+                        Ok(SwapReloc {
+                            reloc_addr: lookup(&reloc_symbol(*k))?,
+                            rofs_addr: lookup(&rofs_symbol(*k))?,
+                            ofs: *ofs,
+                        })
+                    })
+                    .collect::<AsmResult<Vec<_>>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
+        funcs.push(SwapFunc {
+            id: *id,
+            name: name.clone(),
+            fram_addr: span.start,
+            size: span.size(),
+            redir_addr: lookup(&redir_symbol(name))?,
+            act_addr: lookup(&act_symbol(name))?,
+            relocs,
+        });
+    }
+    funcs.sort_by_key(|f| f.id);
+
+    let metadata_bytes = assembly.section_size(TABLES_SECTION);
+    // Eviction logic dominates the handler; relocation-calculation code
+    // scales with the branch count (§5.2).
+    let handler_bytes = (972 + 8 * k as u32).min(1844) as u16;
+
+    Ok(Instrumented {
+        fid_addr: lookup(FID_SYMBOL)?,
+        assembly,
+        funcs,
+        metadata_bytes,
+        handler_bytes,
+        call_sites,
+    })
+}
+
+/// Pass 1 body: returns the rewritten module and the number of rewritten
+/// call sites.
+fn rewrite_calls(
+    module: &Module,
+    ids: &BTreeMap<String, u16>,
+    fns: &[program::FuncStmts],
+) -> (Module, usize) {
+    // Map statement index -> enclosing cacheable function name.
+    let mut enclosing: Vec<Option<&str>> = vec![None; module.stmts.len()];
+    for f in fns {
+        if ids.contains_key(&f.name) {
+            for slot in &mut enclosing[f.body.clone()] {
+                *slot = Some(&f.name);
+            }
+        }
+    }
+
+    let mut out = Module::new();
+    let mut call_sites = 0usize;
+    for (i, stmt) in module.stmts.iter().enumerate() {
+        let callee = match &stmt.item {
+            Item::Insn(insn) => insn
+                .call_target()
+                .and_then(|e| e.as_symbol())
+                .filter(|s| ids.contains_key(*s))
+                .map(str::to_string),
+            _ => None,
+        };
+        let Some(callee) = callee else {
+            out.stmts.push(stmt.clone());
+            continue;
+        };
+        call_sites += 1;
+        let id = ids[&callee];
+        let caller_act = enclosing[i].map(act_symbol);
+        if let Some(act) = &caller_act {
+            out.push(Item::Insn(Insn::FormatI {
+                op: Opcode::Add,
+                size: Size::Word,
+                src: AsmOperand::Imm(Expr::num(1)),
+                dst: AsmOperand::Absolute(Expr::sym(act)),
+            }));
+        }
+        out.push(Item::Insn(Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Imm(Expr::num(i64::from(id))),
+            dst: AsmOperand::Absolute(Expr::sym(FID_SYMBOL)),
+        }));
+        out.stmts.push(Stmt {
+            item: Item::Insn(Insn::FormatII {
+                op: Opcode::Call,
+                size: Size::Word,
+                dst: AsmOperand::Absolute(Expr::sym(redir_symbol(&callee))),
+            }),
+            line: stmt.line,
+        });
+        if let Some(act) = &caller_act {
+            out.push(Item::Insn(Insn::FormatI {
+                op: Opcode::Sub,
+                size: Size::Word,
+                src: AsmOperand::Imm(Expr::num(1)),
+                dst: AsmOperand::Absolute(Expr::sym(act)),
+            }));
+        }
+    }
+    (out, call_sites)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp430_asm::parser::parse;
+
+    const SRC: &str = "\
+    .text
+    .func __start
+__start:
+    mov #0x2ffe, sp
+    call #main
+    mov #0, &0x0102
+    .endfunc
+    .func main
+main:
+    mov #3, r12
+    call #work
+    ret
+    .endfunc
+    .func work
+work:
+    dec r12
+    jnz work
+    ret
+    .endfunc
+";
+
+    fn cfg() -> (SwapConfig, LayoutConfig) {
+        (SwapConfig::unified_fr2355(), LayoutConfig::new(0x4000, 0x9000))
+    }
+
+    #[test]
+    fn assigns_ids_and_tables() {
+        let m = parse(SRC).unwrap();
+        let (sc, lc) = cfg();
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        assert_eq!(inst.funcs.len(), 2, "__start is not cacheable");
+        let main = inst.func_by_name("main").unwrap();
+        let work = inst.func_by_name("work").unwrap();
+        assert_ne!(main.id, work.id);
+        assert_ne!(main.redir_addr, work.redir_addr);
+        assert_eq!(inst.call_sites, 2);
+        // Redirection words are initialised to the trap address.
+        let img = &inst.assembly.image;
+        let seg = img
+            .segments
+            .iter()
+            .find(|s| s.addr == sc.tables_base)
+            .expect("metadata segment");
+        let off = usize::from(main.redir_addr - sc.tables_base);
+        let w = u16::from(seg.bytes[off]) | (u16::from(seg.bytes[off + 1]) << 8);
+        assert_eq!(w, sc.trap_addr);
+    }
+
+    #[test]
+    fn blacklisted_function_keeps_direct_call() {
+        let m = parse(SRC).unwrap();
+        let (sc, lc) = cfg();
+        let sc = sc.with_blacklisted("work");
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        assert!(inst.func_by_name("work").is_none());
+        assert_eq!(inst.call_sites, 1, "only the call to main is rewritten");
+        // The direct call to `work` survives in the final module.
+        let direct_calls = inst
+            .assembly
+            .module
+            .stmts
+            .iter()
+            .filter(|s| matches!(&s.item, Item::Insn(i) if i.call_target().is_some()))
+            .count();
+        assert_eq!(direct_calls, 1);
+    }
+
+    #[test]
+    fn active_counter_instrumentation_only_in_cacheable_callers() {
+        let m = parse(SRC).unwrap();
+        let (sc, lc) = cfg();
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        let asm_text = inst.assembly.module.to_asm();
+        // main's call to work is bracketed by its own counter.
+        assert!(asm_text.contains(&act_symbol("main")));
+        // __start is not cacheable: its call to main has no counter ops.
+        assert!(!asm_text.contains("__sr_act___start"));
+    }
+
+    #[test]
+    fn far_branches_become_relocatable() {
+        // A function with an internal jump forced out of PC-relative range.
+        let src = "\
+    .func __start
+__start:
+    mov #0x2ffe, sp
+    call #big
+    mov #0, &0x0102
+    .endfunc
+    .func big
+big:
+    tst r12
+    jz big_end
+    .space 0x900
+    .align 2
+big_end:
+    ret
+    .endfunc
+";
+        let m = parse(src).unwrap();
+        let (sc, lc) = cfg();
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        let big = inst.func_by_name("big").unwrap();
+        assert_eq!(big.relocs.len(), 1, "the relaxed far jz must be relocified");
+        let r = big.relocs[0];
+        assert_eq!(u32::from(r.ofs), u32::from(big.size) - 2, "branch targets big_end (the ret)");
+        // The reloc word is initialised to the FRAM target.
+        let reloc_init = peek(&inst.assembly.image, r.reloc_addr);
+        assert_eq!(reloc_init, big.fram_addr + r.ofs);
+    }
+
+    fn peek(img: &msp430_sim::mem::Image, addr: u16) -> u16 {
+        for seg in &img.segments {
+            let a = u32::from(seg.addr);
+            if u32::from(addr) >= a && u32::from(addr) + 1 < a + seg.bytes.len() as u32 {
+                let off = usize::from(addr - seg.addr);
+                return u16::from(seg.bytes[off]) | (u16::from(seg.bytes[off + 1]) << 8);
+            }
+        }
+        panic!("address {addr:#06x} not in image");
+    }
+
+    #[test]
+    fn metadata_size_accounts_for_tables() {
+        let m = parse(SRC).unwrap();
+        let (sc, lc) = cfg();
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        // fid word + 2 functions x (redir + act) = 5 words minimum.
+        assert!(inst.metadata_bytes >= 10);
+        assert!(inst.handler_bytes >= 972);
+    }
+
+    #[test]
+    fn reserved_section_rejected() {
+        let m = parse("    .section srtab\n    .word 0\n").unwrap();
+        let (sc, lc) = cfg();
+        assert!(instrument(&m, &sc, &lc).is_err());
+    }
+}

@@ -1,0 +1,580 @@
+//! The SwapRAM runtime: cache-miss handler, circular-queue cache structure,
+//! eviction with call-stack integrity, and branch relocation (paper §3.3,
+//! §3.4).
+//!
+//! The runtime attaches to the simulated machine as a
+//! [`Hook`]: the indirect `CALL &__sr_redir_f`
+//! planted by the static pass initially lands in the trap window, which
+//! invokes [`SwapRuntime::on_trap`]. The handler's memory traffic —
+//! metadata reads, redirection and relocation writes, the word-by-word
+//! function copy — all go through the bus and are counted like any other
+//! access; its instruction-execution effort is charged from the
+//! [`CostModel`] and attributed to the `miss handler` / `memcpy`
+//! categories of Figure 8.
+
+use crate::config::{PolicyKind, SwapConfig};
+use crate::cost::CostModel;
+use crate::pass::{Instrumented, SwapFunc};
+use crate::stats::SwapStats;
+use msp430_sim::cpu::Cpu;
+use msp430_sim::error::{SimError, SimResult};
+use msp430_sim::machine::{Hook, TrapAction};
+use msp430_sim::mem::{AccessKind, Bus};
+use msp430_sim::trace::Category;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A cached function occupying `[addr, addr + size)` in SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Entry {
+    id: u16,
+    addr: u16,
+    size: u16,
+}
+
+/// The runtime component of SwapRAM.
+pub struct SwapRuntime {
+    funcs: Vec<SwapFunc>,
+    fid_addr: u16,
+    cfg: SwapConfig,
+    cost: CostModel,
+    /// Cached functions in caching order (front = least recently cached).
+    entries: VecDeque<Entry>,
+    /// Next placement address in the circular queue.
+    tail: u16,
+    stats: Rc<RefCell<SwapStats>>,
+    /// Cursor for replaying handler instruction fetches against the bus.
+    fetch_cursor: u16,
+    /// Recently evicted function ids (thrash detection).
+    recent_evictions: VecDeque<u16>,
+    /// Consecutive misses whose target was recently evicted.
+    thrash_run: u32,
+    /// Consecutive misses that ended in an active-counter fallback (the
+    /// §3.3.3 pathological case; also a thrash signal).
+    fallback_run: u32,
+    /// Remaining misses served without eviction after a freeze.
+    freeze_left: u32,
+}
+
+impl std::fmt::Debug for SwapRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SwapRuntime")
+            .field("funcs", &self.funcs.len())
+            .field("cached", &self.entries.len())
+            .field("tail", &self.tail)
+            .finish()
+    }
+}
+
+impl SwapRuntime {
+    /// Creates a runtime for a program instrumented by
+    /// [`crate::pass::instrument`].
+    pub fn new(inst: &Instrumented, cfg: SwapConfig) -> SwapRuntime {
+        SwapRuntime::with_cost(inst, cfg, CostModel::default())
+    }
+
+    /// Creates a runtime with an explicit cost model (for sensitivity
+    /// studies).
+    pub fn with_cost(inst: &Instrumented, cfg: SwapConfig, cost: CostModel) -> SwapRuntime {
+        let tail = cfg.cache_base;
+        let fetch_cursor = cfg.handler_code_base;
+        SwapRuntime {
+            funcs: inst.funcs.clone(),
+            fid_addr: inst.fid_addr,
+            cfg,
+            cost,
+            entries: VecDeque::new(),
+            tail,
+            stats: Rc::new(RefCell::new(SwapStats::new())),
+            fetch_cursor,
+            recent_evictions: VecDeque::new(),
+            thrash_run: 0,
+            fallback_run: 0,
+            freeze_left: 0,
+        }
+    }
+
+    /// A shared handle to the runtime counters; clone it before attaching
+    /// the runtime to a machine.
+    pub fn stats_handle(&self) -> Rc<RefCell<SwapStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// Currently cached function ids in caching order (oldest first).
+    pub fn cached_ids(&self) -> Vec<u16> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    fn end(&self) -> u32 {
+        u32::from(self.cfg.cache_base) + u32::from(self.cfg.cache_size)
+    }
+
+    /// Charges `instrs` handler instructions: Figure-8 attribution plus a
+    /// replay of the instruction fetches against the FRAM handler window
+    /// (so they pay wait states and contend for the hardware cache).
+    fn charge(&mut self, bus: &mut Bus, cat: Category, instrs: u64, cycles: u64) -> SimResult<()> {
+        bus.stats_mut().charge_modeled(cat, instrs, cycles);
+        let window = 0x400u16; // ~1 KiB of handler code (§5.2: 972–1844 B)
+        for _ in 0..instrs {
+            bus.begin_instruction();
+            bus.read_word(self.fetch_cursor, AccessKind::IFetch)?;
+            bus.end_instruction();
+            let next = self.fetch_cursor.wrapping_add(2);
+            self.fetch_cursor = if next >= self.cfg.handler_code_base + window {
+                self.cfg.handler_code_base
+            } else {
+                next
+            };
+        }
+        Ok(())
+    }
+
+    /// Aligned size (functions occupy whole words).
+    fn span_of(f: &SwapFunc) -> u16 {
+        (f.size + 1) & !1
+    }
+
+    /// Chooses the placement address for `size` bytes according to the
+    /// active policy. Returns `None` if the function cannot fit at all.
+    fn choose_place(&self, size: u16) -> Option<u16> {
+        if u32::from(size) > u32::from(self.cfg.cache_size) {
+            return None;
+        }
+        let fits_at_tail = u32::from(self.tail) + u32::from(size) <= self.end();
+        match self.cfg.policy {
+            PolicyKind::CircularQueue | PolicyKind::FreezeOnThrash => {
+                Some(if fits_at_tail { self.tail } else { self.cfg.cache_base })
+            }
+            PolicyKind::Stack => Some(if fits_at_tail {
+                self.tail
+            } else {
+                // Most-recently-cached replacement: overwrite the top.
+                (self.end() - u32::from(size)) as u16
+            }),
+            PolicyKind::PriorityCost => {
+                Some(if fits_at_tail { self.tail } else { self.cfg.cache_base })
+            }
+        }
+    }
+
+    /// Candidate placements, best first. For the simple policies this is
+    /// the single queue-natural spot; [`PolicyKind::PriorityCost`]
+    /// additionally considers starting at each cached entry — ordered by
+    /// recache cost (sum of victim sizes) — so it can route around active
+    /// functions instead of falling back to FRAM execution (the §3.3.3
+    /// pathological case).
+    fn placement_candidates(&self, size: u16) -> Vec<u16> {
+        let Some(primary) = self.choose_place(size) else {
+            return Vec::new();
+        };
+        if !matches!(self.cfg.policy, PolicyKind::PriorityCost) {
+            return vec![primary];
+        }
+        let mut cands: Vec<u16> = vec![primary, self.cfg.cache_base];
+        for e in &self.entries {
+            if u32::from(e.addr) + u32::from(size) <= self.end() {
+                cands.push(e.addr);
+            }
+        }
+        cands.sort_unstable();
+        cands.dedup();
+        let mut scored: Vec<(u64, u16)> = cands
+            .into_iter()
+            .map(|p| {
+                let cost: u64 =
+                    self.overlapping(p, size).iter().map(|e| u64::from(e.size)).sum();
+                // Prefer the queue-natural spot on ties.
+                (cost * 2 + u64::from(p != primary), p)
+            })
+            .collect();
+        scored.sort_unstable();
+        scored.into_iter().map(|(_, p)| p).collect()
+    }
+
+    /// Entries overlapping `[place, place + size)`.
+    fn overlapping(&self, place: u16, size: u16) -> Vec<Entry> {
+        let lo = u32::from(place);
+        let hi = lo + u32::from(size);
+        self.entries
+            .iter()
+            .copied()
+            .filter(|e| {
+                let a = u32::from(e.addr);
+                let b = a + u32::from(e.size);
+                a < hi && b > lo
+            })
+            .collect()
+    }
+
+    fn func(&self, id: u16) -> SimResult<&SwapFunc> {
+        self.funcs
+            .get(usize::from(id))
+            .ok_or_else(|| SimError::Hook(format!("invalid funcId {id}")))
+    }
+
+    /// Evicts `victim`: reset its redirection word to the trap address and
+    /// its relocation words to their FRAM targets (§3.3.2).
+    fn evict(&mut self, bus: &mut Bus, victim: Entry) -> SimResult<()> {
+        let f = self.func(victim.id)?.clone();
+        bus.write_word(f.redir_addr, self.cfg.trap_addr)?;
+        let reloc_count = f.relocs.len() as u64;
+        for r in &f.relocs {
+            bus.write_word(r.reloc_addr, f.fram_addr.wrapping_add(r.ofs))?;
+        }
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.evict_instrs + self.cost.reloc_instrs * reloc_count,
+            self.cost.evict_cycles + self.cost.reloc_cycles * reloc_count,
+        )?;
+        self.entries.retain(|e| e.id != victim.id);
+        let mut stats = self.stats.borrow_mut();
+        stats.evictions += 1;
+        drop(stats);
+        self.recent_evictions.push_back(victim.id);
+        while self.recent_evictions.len() > self.cfg.thrash_window {
+            self.recent_evictions.pop_front();
+        }
+        Ok(())
+    }
+
+    /// Copies the function body into SRAM through the bus and fixes up its
+    /// relocation words (§3.3.1).
+    fn fill(&mut self, bus: &mut Bus, f: &SwapFunc, place: u16) -> SimResult<()> {
+        let words = u64::from(Self::span_of(f) / 2);
+        for i in 0..words as u16 {
+            let w = bus.read_word(f.fram_addr + 2 * i, AccessKind::Read)?;
+            bus.write_word(place + 2 * i, w)?;
+        }
+        self.charge(
+            bus,
+            Category::Memcpy,
+            self.cost.copy_word_instrs * words,
+            self.cost.copy_word_cycles * words,
+        )?;
+        let reloc_count = f.relocs.len() as u64;
+        for r in &f.relocs {
+            let ofs = bus.read_word(r.rofs_addr, AccessKind::Read)?;
+            bus.write_word(r.reloc_addr, place.wrapping_add(ofs))?;
+        }
+        bus.write_word(f.redir_addr, place)?;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.reloc_instrs * reloc_count,
+            self.cost.reloc_cycles * reloc_count,
+        )?;
+        let mut stats = self.stats.borrow_mut();
+        stats.fills += 1;
+        stats.bytes_copied += u64::from(Self::span_of(f));
+        Ok(())
+    }
+
+    /// Thrash detection for [`PolicyKind::FreezeOnThrash`]: a run of misses
+    /// whose targets were all evicted recently indicates the §5.4
+    /// pathological pattern; freeze eviction for a while.
+    fn note_thrash(&mut self, id: u16) {
+        if !matches!(self.cfg.policy, PolicyKind::FreezeOnThrash) {
+            return;
+        }
+        if self.recent_evictions.contains(&id) {
+            self.thrash_run += 1;
+            if self.thrash_run >= 4 {
+                self.freeze_left = self.cfg.freeze_misses;
+                self.thrash_run = 0;
+                self.stats.borrow_mut().freezes += 1;
+            }
+        } else {
+            self.thrash_run = 0;
+        }
+    }
+
+    /// A run of active-counter fallbacks is the other thrash signature
+    /// (§5.4's AES case: a function repeatedly fails to evict its own
+    /// caller). Freeze so subsequent misses skip the scan entirely.
+    fn note_fallback_thrash(&mut self) {
+        if !matches!(self.cfg.policy, PolicyKind::FreezeOnThrash) {
+            return;
+        }
+        self.fallback_run += 1;
+        if self.fallback_run >= 4 {
+            self.freeze_left = self.cfg.freeze_misses;
+            self.fallback_run = 0;
+            self.stats.borrow_mut().freezes += 1;
+        }
+    }
+}
+
+impl Hook for SwapRuntime {
+    fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction> {
+        if trap_pc != self.cfg.trap_addr {
+            return Err(SimError::Hook(format!(
+                "unexpected trap at 0x{trap_pc:04x} (SwapRAM trap is 0x{:04x})",
+                self.cfg.trap_addr
+            )));
+        }
+        self.stats.borrow_mut().misses += 1;
+        // Handler entry: save argument registers, read funcId, look up the
+        // function-info record (one metadata read from FRAM).
+        self.charge(bus, Category::MissHandler, self.cost.entry_instrs, self.cost.entry_cycles)?;
+        let fid = bus.read_word(self.fid_addr, AccessKind::Read)?;
+        let f = self.func(fid)?.clone();
+        let exit = |rt: &mut SwapRuntime, cpu: &mut Cpu, bus: &mut Bus, target: u16| {
+            cpu.set_pc(target);
+            rt.charge(bus, Category::MissHandler, rt.cost.exit_instrs, rt.cost.exit_cycles)?;
+            Ok(TrapAction::Resume)
+        };
+
+        // Defensive: already cached (e.g. racing call sites) — re-chain.
+        if let Some(e) = self.entries.iter().find(|e| e.id == fid).copied() {
+            bus.write_word(f.redir_addr, e.addr)?;
+            self.stats.borrow_mut().rechains += 1;
+            return exit(self, cpu, bus, e.addr);
+        }
+
+        let size = Self::span_of(&f);
+        let candidates = self.placement_candidates(size);
+        // Too large to ever cache: permanently redirect to FRAM (§3's
+        // "deliberately avoid caching" escape hatch).
+        if candidates.is_empty() {
+            bus.write_word(f.redir_addr, f.fram_addr)?;
+            self.stats.borrow_mut().too_large += 1;
+            return exit(self, cpu, bus, f.fram_addr);
+        }
+
+        self.note_thrash(fid);
+        if self.freeze_left > 0 {
+            self.freeze_left -= 1;
+            self.stats.borrow_mut().frozen_fallbacks += 1;
+            return exit(self, cpu, bus, f.fram_addr);
+        }
+
+        // Flag overlapping functions for eviction; reading each flagged
+        // function's active counter is a metadata read (§3.3.2–3.3.3).
+        // A candidate blocked by an active (on-stack) function is skipped;
+        // only PriorityCost has more than one candidate to try.
+        let mut chosen: Option<(u16, Vec<Entry>)> = None;
+        for place in candidates {
+            let flagged = self.overlapping(place, size);
+            self.charge(
+                bus,
+                Category::MissHandler,
+                self.cost.scan_instrs * (flagged.len() as u64 + 1),
+                self.cost.scan_cycles * (flagged.len() as u64 + 1),
+            )?;
+            let mut blocked = false;
+            for e in &flagged {
+                let act = bus.read_word(self.func(e.id)?.act_addr, AccessKind::Read)?;
+                if act != 0 {
+                    blocked = true;
+                    break;
+                }
+            }
+            if !blocked {
+                chosen = Some((place, flagged));
+                break;
+            }
+        }
+        let Some((place, flagged)) = chosen else {
+            // Every candidate window holds call-stack code: abort and run
+            // the callee from NVRAM this time (§3.3.3).
+            self.stats.borrow_mut().active_fallbacks += 1;
+            self.note_fallback_thrash();
+            return exit(self, cpu, bus, f.fram_addr);
+        };
+        for e in flagged {
+            self.evict(bus, e)?;
+        }
+
+        self.fill(bus, &f, place)?;
+        self.fallback_run = 0;
+        self.entries.push_back(Entry { id: fid, addr: place, size });
+        self.tail = place.wrapping_add(size);
+        exit(self, cpu, bus, place)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::instrument;
+    use msp430_asm::layout::LayoutConfig;
+    use msp430_asm::parser::parse;
+    use msp430_sim::freq::Frequency;
+    use msp430_sim::machine::Fr2355;
+    use msp430_sim::ports::checksum_of_words;
+
+    /// A program with three functions: main calls `inc3` and `dbl` in a
+    /// loop and emits the result.
+    const SRC: &str = "\
+    .text
+    .func __start
+__start:
+    mov #0x2ffe, sp
+    call #main
+    mov #0, &0x0102
+    .endfunc
+    .func main
+main:
+    mov #0, r10
+    mov #5, r11
+main_loop:
+    mov r10, r12
+    call #inc3
+    call #dbl
+    mov r12, r10
+    dec r11
+    jnz main_loop
+    mov r10, &0x0104
+    ret
+    .endfunc
+    .func inc3
+inc3:
+    add #3, r12
+    ret
+    .endfunc
+    .func dbl
+dbl:
+    add r12, r12
+    ret
+    .endfunc
+";
+
+    fn expected_checksum() -> u32 {
+        let mut v: u16 = 0;
+        for _ in 0..5 {
+            v = (v + 3) * 2;
+        }
+        checksum_of_words([v])
+    }
+
+    fn build(cfg: SwapConfig) -> (msp430_sim::machine::Machine, Rc<RefCell<SwapStats>>) {
+        let m = parse(SRC).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let inst = instrument(&m, &cfg, &lc).unwrap();
+        let rt = SwapRuntime::new(&inst, cfg);
+        let stats = rt.stats_handle();
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        // SP convention: stack in SRAM would collide with the cache in
+        // unified mode; the test program parks SP at the top of SRAM and
+        // the cache region below is configured to avoid it.
+        machine.load(&inst.assembly.image);
+        machine.attach_hook(Box::new(rt));
+        (machine, stats)
+    }
+
+    #[test]
+    fn caches_functions_and_preserves_semantics() {
+        // Keep the stack clear of the cache: use a 3.5 KiB cache.
+        let cfg = SwapConfig { cache_size: 0x0E00, ..SwapConfig::unified_fr2355() };
+        let (mut machine, stats) = build(cfg);
+        let out = machine.run(1_000_000).unwrap();
+        assert!(out.success(), "exit: {:?}", out.exit);
+        assert_eq!(out.checksum.0, expected_checksum());
+        let s = stats.borrow();
+        assert_eq!(s.misses, 3, "main, inc3, dbl each miss once");
+        assert_eq!(s.fills, 3);
+        assert_eq!(s.evictions, 0, "everything fits");
+        // After the first iteration, code executes from SRAM.
+        assert!(out.stats.instructions_in(Category::AppSram) > 0);
+    }
+
+    #[test]
+    fn tiny_cache_forces_eviction_with_correct_results() {
+        // A cache barely larger than the biggest function forces constant
+        // eviction; semantics must hold (the §3.3.3 fallback may trigger).
+        let m = parse(SRC).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let probe = instrument(&m, &SwapConfig::unified_fr2355(), &lc).unwrap();
+        let biggest = probe.funcs.iter().map(|f| f.size).max().unwrap();
+        let cfg = SwapConfig {
+            cache_size: ((biggest + 8) + 1) & !1,
+            ..SwapConfig::unified_fr2355()
+        };
+        let (mut machine, stats) = build(cfg);
+        let out = machine.run(5_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+        let s = stats.borrow();
+        assert!(s.evictions > 0 || s.active_fallbacks > 0, "{s}");
+    }
+
+    #[test]
+    fn zero_size_cache_runs_everything_from_fram() {
+        let cfg = SwapConfig { cache_size: 0, ..SwapConfig::unified_fr2355() };
+        let (mut machine, stats) = build(cfg);
+        let out = machine.run(5_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+        let s = stats.borrow();
+        assert!(s.too_large >= 3);
+        assert_eq!(out.stats.instructions_in(Category::AppSram), 0);
+    }
+
+    #[test]
+    fn swapram_reduces_fram_accesses_vs_baseline() {
+        // Baseline: same program, no instrumentation.
+        let m = parse(SRC).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let base = msp430_asm::object::assemble(&m, &lc).unwrap();
+        let mut bm = Fr2355::machine(Frequency::MHZ_24);
+        bm.load(&base.image);
+        let bout = bm.run(1_000_000).unwrap();
+        assert!(bout.success());
+
+        let cfg = SwapConfig { cache_size: 0x0E00, ..SwapConfig::unified_fr2355() };
+        let (mut machine, _) = build(cfg);
+        let sout = machine.run(1_000_000).unwrap();
+        assert!(sout.success());
+        assert_eq!(sout.checksum, bout.checksum, "semantics preserved");
+        // The program is small; after warm-up it runs entirely from SRAM.
+        assert!(
+            sout.stats.instructions_in(Category::AppSram)
+                > sout.stats.instructions_in(Category::AppFram)
+        );
+    }
+
+    #[test]
+    fn stack_policy_also_correct() {
+        let cfg = SwapConfig {
+            cache_size: 0x0E00,
+            policy: PolicyKind::Stack,
+            ..SwapConfig::unified_fr2355()
+        };
+        let (mut machine, _) = build(cfg);
+        let out = machine.run(5_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+    }
+
+    #[test]
+    fn priority_cost_policy_correct() {
+        let cfg = SwapConfig {
+            cache_size: 0x0E00,
+            policy: PolicyKind::PriorityCost,
+            ..SwapConfig::unified_fr2355()
+        };
+        let (mut machine, _) = build(cfg);
+        let out = machine.run(5_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+    }
+
+    #[test]
+    fn freeze_on_thrash_policy_correct() {
+        let m = parse(SRC).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let probe = instrument(&m, &SwapConfig::unified_fr2355(), &lc).unwrap();
+        let biggest = probe.funcs.iter().map(|f| f.size).max().unwrap();
+        let cfg = SwapConfig {
+            cache_size: ((biggest + 8) + 1) & !1,
+            policy: PolicyKind::FreezeOnThrash,
+            ..SwapConfig::unified_fr2355()
+        };
+        let (mut machine, _) = build(cfg);
+        let out = machine.run(5_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+    }
+}

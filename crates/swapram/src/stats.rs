@@ -1,0 +1,75 @@
+//! Runtime counters for cache behaviour analysis.
+
+use std::fmt;
+
+/// Counters the SwapRAM runtime maintains across a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Miss-handler invocations.
+    pub misses: u64,
+    /// Functions copied into SRAM.
+    pub fills: u64,
+    /// Functions evicted to make room.
+    pub evictions: u64,
+    /// Caching aborted because a flagged function was on the call stack
+    /// (the §3.3.3 fallback: execute the callee from FRAM).
+    pub active_fallbacks: u64,
+    /// Misses served from FRAM because eviction was frozen by the
+    /// thrash detector.
+    pub frozen_fallbacks: u64,
+    /// Functions too large for the cache, permanently redirected to FRAM.
+    pub too_large: u64,
+    /// Times the thrash detector engaged an eviction freeze.
+    pub freezes: u64,
+    /// Bytes moved by the copy loop.
+    pub bytes_copied: u64,
+    /// Misses whose target was already cached (defensive re-chaining).
+    pub rechains: u64,
+}
+
+impl SwapStats {
+    /// Creates zeroed counters.
+    pub fn new() -> SwapStats {
+        SwapStats::default()
+    }
+
+    /// Fraction of misses that fell back to FRAM execution.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            (self.active_fallbacks + self.frozen_fallbacks) as f64 / self.misses as f64
+        }
+    }
+}
+
+impl fmt::Display for SwapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "misses {} (fills {}, evictions {}, active-fallbacks {}, frozen {}, too-large {}), {} bytes copied",
+            self.misses,
+            self.fills,
+            self.evictions,
+            self.active_fallbacks,
+            self.frozen_fallbacks,
+            self.too_large,
+            self.bytes_copied
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallback_rate() {
+        let mut s = SwapStats::new();
+        assert_eq!(s.fallback_rate(), 0.0);
+        s.misses = 10;
+        s.active_fallbacks = 2;
+        s.frozen_fallbacks = 3;
+        assert!((s.fallback_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Naming scheme for the metadata symbols the static pass emits.
+//!
+//! All SwapRAM metadata lives in a dedicated FRAM section so Figure 7's
+//! "Metadata" accounting falls straight out of the section table.
+
+/// Name of the metadata section.
+pub const TABLES_SECTION: &str = "srtab";
+
+/// Symbol of the global `funcId` word written before each indirect call.
+pub const FID_SYMBOL: &str = "__sr_fid";
+
+/// Symbol of a function's redirection word.
+pub fn redir_symbol(func: &str) -> String {
+    format!("__sr_redir_{func}")
+}
+
+/// Symbol of a function's active counter.
+pub fn act_symbol(func: &str) -> String {
+    format!("__sr_act_{func}")
+}
+
+/// Symbol of relocation word `k` (runtime-written branch target).
+pub fn reloc_symbol(k: usize) -> String {
+    format!("__sr_reloc_{k}")
+}
+
+/// Symbol of the static offset word for relocation `k`.
+pub fn rofs_symbol(k: usize) -> String {
+    format!("__sr_rofs_{k}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_distinct() {
+        assert_ne!(redir_symbol("f"), act_symbol("f"));
+        assert_ne!(reloc_symbol(1), rofs_symbol(1));
+        assert_ne!(reloc_symbol(1), reloc_symbol(2));
+    }
+}

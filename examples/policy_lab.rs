@@ -1,0 +1,81 @@
+//! Exploring SwapRAM's extensible eviction logic (paper §3.4 / §5.6):
+//! run the AES benchmark across cache sizes and replacement policies, and
+//! demonstrate the function blacklist.
+//!
+//! ```text
+//! cargo run --release --example policy_lab
+//! ```
+
+use mibench::builder::{build, run, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+use swapram::{PolicyKind, SwapConfig};
+
+fn measure(cfg: SwapConfig) -> (f64, swapram::SwapStats) {
+    let bench = Benchmark::Aes;
+    let built = build(bench, &System::SwapRam(cfg), &MemoryProfile::unified()).expect("build");
+    let input = input_for(bench, 1);
+    let r = run(&built, Frequency::MHZ_24, &input, 2_000_000_000).expect("run");
+    assert!(r.outcome.success());
+    assert_eq!(r.outcome.checksum.0, bench.oracle_checksum(&input), "semantics preserved");
+    (
+        Frequency::MHZ_24.cycles_to_us(r.outcome.stats.total_cycles()),
+        r.swap.expect("swap stats"),
+    )
+}
+
+fn main() {
+    let built = build(Benchmark::Aes, &System::Baseline, &MemoryProfile::unified()).unwrap();
+    let input = input_for(Benchmark::Aes, 1);
+    let base = run(&built, Frequency::MHZ_24, &input, 2_000_000_000).unwrap();
+    let base_us = Frequency::MHZ_24.cycles_to_us(base.outcome.stats.total_cycles());
+    println!("AES baseline: {base_us:.0} us\n");
+
+    println!("-- cache-size sweep (circular queue) --");
+    for size in [256u16, 384, 512, 768, 1024, 2048, 4096] {
+        let (us, s) = measure(SwapConfig { cache_size: size, ..SwapConfig::unified_fr2355() });
+        println!(
+            "cache {size:>5} B: {:>5.2}x speed   misses {:>4}  evictions {:>4}  fallbacks {:>4}",
+            base_us / us,
+            s.misses,
+            s.evictions,
+            s.active_fallbacks + s.frozen_fallbacks
+        );
+    }
+
+    println!("\n-- replacement policies with a 512 B cache --");
+    for policy in [
+        PolicyKind::CircularQueue,
+        PolicyKind::Stack,
+        PolicyKind::PriorityCost,
+        PolicyKind::FreezeOnThrash,
+    ] {
+        let (us, s) = measure(SwapConfig {
+            cache_size: 512,
+            policy,
+            ..SwapConfig::unified_fr2355()
+        });
+        println!(
+            "{policy:>15?}: {:>5.2}x speed   misses {:>4}  evictions {:>4}  freezes {:>2}",
+            base_us / us,
+            s.misses,
+            s.evictions,
+            s.freezes
+        );
+    }
+
+    println!("\n-- blacklisting cold code (key_expand runs once) --");
+    for blacklist in [false, true] {
+        let mut cfg = SwapConfig { cache_size: 512, ..SwapConfig::unified_fr2355() };
+        if blacklist {
+            cfg = cfg.with_blacklisted("key_expand");
+        }
+        let (us, s) = measure(cfg);
+        println!(
+            "blacklist={blacklist:<5} {:>5.2}x speed   misses {:>4}  bytes copied {:>6}",
+            base_us / us,
+            s.misses,
+            s.bytes_copied
+        );
+    }
+}

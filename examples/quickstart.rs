@@ -1,0 +1,94 @@
+//! Quickstart: assemble a tiny program, run it on the simulated
+//! FRAM microcontroller with and without SwapRAM, and compare.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use msp430_asm::layout::LayoutConfig;
+use msp430_sim::energy::EnergyModel;
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::Fr2355;
+use swapram::SwapConfig;
+
+/// A little program with two hot functions: a checksum over a buffer,
+/// called in a loop from `main`.
+const PROGRAM: &str = r#"
+    .text
+    .func __start
+__start:
+    mov  #0x9ffc, sp       ; stack in FRAM (unified-memory model)
+    call #main
+    mov  #0, &0x0102       ; halt(0)
+    .endfunc
+
+    .func main
+main:
+    push r10
+    mov  #200, r10         ; 200 passes
+main_loop:
+    mov  #buffer, r12
+    mov  #64, r13
+    call #checksum
+    dec  r10
+    jnz  main_loop
+    mov  r12, &0x0104      ; report the last checksum
+    pop  r10
+    ret
+    .endfunc
+
+    .func checksum
+checksum:
+    mov  #0, r14
+ck_loop:
+    add  @r12+, r14
+    swpb r14
+    xor  #0x2d2d, r14
+    dec  r13
+    jnz  ck_loop
+    mov  r14, r12
+    ret
+    .endfunc
+
+    .data
+buffer: .space 128
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = msp430_asm::parse(PROGRAM)?;
+    // Unified-memory placement: code and data in FRAM, SRAM left free.
+    let layout = LayoutConfig::new(0x4000, 0x9000);
+    let freq = Frequency::MHZ_24;
+    let energy = EnergyModel::fr2355();
+
+    // --- Baseline: execute from FRAM through the hardware cache. ---
+    let baseline = msp430_asm::assemble(&module, &layout)?;
+    let mut machine = Fr2355::machine(freq);
+    machine.load(&baseline.image);
+    let base = machine.run(10_000_000)?;
+    println!("baseline:  {:>8} cycles  {:>7.1} uJ  (FRAM accesses: {})",
+        base.stats.total_cycles(),
+        energy.energy_uj(&base.stats, freq),
+        base.stats.fram_accesses());
+
+    // --- SwapRAM: same source, instrumented + runtime attached. ---
+    let (instrumented, runtime) = swapram::build(&module, SwapConfig::unified_fr2355(), &layout)?;
+    let stats = runtime.stats_handle();
+    let mut machine = Fr2355::machine(freq);
+    machine.load(&instrumented.assembly.image);
+    machine.attach_hook(Box::new(runtime));
+    let swap = machine.run(10_000_000)?;
+    println!("SwapRAM:   {:>8} cycles  {:>7.1} uJ  (FRAM accesses: {})",
+        swap.stats.total_cycles(),
+        energy.energy_uj(&swap.stats, freq),
+        swap.stats.fram_accesses());
+
+    assert_eq!(base.checksum, swap.checksum, "results must be identical");
+    println!(
+        "speedup: {:.2}x   energy: {:.2}x   cache: {}",
+        base.stats.total_cycles() as f64 / swap.stats.total_cycles() as f64,
+        energy.energy_uj(&swap.stats, freq) / energy.energy_uj(&base.stats, freq),
+        stats.borrow()
+    );
+    Ok(())
+}

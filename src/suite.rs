@@ -1,0 +1,13 @@
+//! Umbrella crate for the SwapRAM reproduction workspace.
+//!
+//! Re-exports the member crates so integration tests and examples can use
+//! one import root. See the individual crates for the real APIs:
+//! [`msp430_sim`], [`msp430_asm`], [`swapram`], [`blockcache`],
+//! [`mibench`], [`experiments`].
+
+pub use blockcache;
+pub use experiments;
+pub use mibench;
+pub use msp430_asm;
+pub use msp430_sim;
+pub use swapram;

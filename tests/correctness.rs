@@ -1,0 +1,137 @@
+//! §5.1 semantic-equivalence validation: every benchmark, run with random
+//! input sequences, must produce bit-identical output under the baseline,
+//! SwapRAM and the block cache — all matching the Rust oracle.
+//!
+//! This is the reproduction of the paper's UART check-sequence comparison
+//! between the instrumented and uninstrumented binaries.
+
+use mibench::builder::{build, run, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+
+const SEEDS: [u64; 3] = [11, 42, 1234];
+
+fn validate(bench: Benchmark) {
+    let profile = MemoryProfile::unified();
+    let systems: [(&str, System); 3] = [
+        ("baseline", System::Baseline),
+        ("SwapRAM", System::SwapRam(swapram::SwapConfig::unified_fr2355())),
+        ("block", System::BlockCache(blockcache::BlockConfig::unified_fr2355())),
+    ];
+    for (label, system) in &systems {
+        let built = build(bench, system, &profile)
+            .unwrap_or_else(|e| panic!("{}/{label}: build: {e}", bench.name()));
+        for seed in SEEDS {
+            let input = input_for(bench, seed);
+            let expect = bench.oracle_checksum(&input);
+            let r = run(&built, Frequency::MHZ_24, &input, 4_000_000_000)
+                .unwrap_or_else(|e| panic!("{}/{label}/{seed}: run: {e}", bench.name()));
+            assert!(
+                r.outcome.success(),
+                "{}/{label}/{seed}: exit {:?}",
+                bench.name(),
+                r.outcome.exit
+            );
+            assert_eq!(
+                r.outcome.checksum.0,
+                expect,
+                "{}/{label}/{seed}: output diverges from the oracle",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn stringsearch_semantics() {
+    validate(Benchmark::Stringsearch);
+}
+
+#[test]
+fn dijkstra_semantics() {
+    validate(Benchmark::Dijkstra);
+}
+
+#[test]
+fn crc_semantics() {
+    validate(Benchmark::Crc);
+}
+
+#[test]
+fn rc4_semantics() {
+    validate(Benchmark::Rc4);
+}
+
+#[test]
+fn fft_semantics() {
+    validate(Benchmark::Fft);
+}
+
+#[test]
+fn aes_semantics() {
+    validate(Benchmark::Aes);
+}
+
+#[test]
+fn lzfx_semantics() {
+    validate(Benchmark::Lzfx);
+}
+
+#[test]
+fn bitcount_semantics() {
+    validate(Benchmark::Bitcount);
+}
+
+#[test]
+fn rsa_semantics() {
+    validate(Benchmark::Rsa);
+}
+
+/// SwapRAM must stay correct across memory profiles and frequencies.
+#[test]
+fn swapram_correct_in_split_profile() {
+    for bench in [Benchmark::Crc, Benchmark::Rsa] {
+        let built = build(
+            bench,
+            &System::SwapRam(swapram::SwapConfig::split_fr2355(0x400)),
+            &MemoryProfile::split_sram(0x400),
+        )
+        .unwrap();
+        for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
+            let input = input_for(bench, 7);
+            let r = run(&built, freq, &input, 4_000_000_000).unwrap();
+            assert!(r.outcome.success());
+            assert_eq!(r.outcome.checksum.0, bench.oracle_checksum(&input));
+        }
+    }
+}
+
+/// The final program memory state must match between baseline and SwapRAM
+/// (the paper compares "output and final program memory state").
+#[test]
+fn final_data_state_matches_baseline() {
+    use msp430_sim::machine::Fr2355;
+
+    let bench = Benchmark::Rc4;
+    let profile = MemoryProfile::unified();
+    let input = input_for(bench, 3);
+
+    let data_state = |system: &System| -> Vec<u8> {
+        let built = build(bench, system, &profile).unwrap();
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        mibench::builder::run_on(&mut machine, &built, &input, 4_000_000_000).unwrap();
+        // RC4 state array is the interesting mutable data.
+        let base = match &built.program {
+            mibench::Program::Base(a) => a.symbol("__rc4_s").unwrap(),
+            mibench::Program::Swap(i, _) => i.assembly.symbol("__rc4_s").unwrap(),
+            mibench::Program::Block(p, _) => p.assembly.symbol("__rc4_s").unwrap(),
+        };
+        (0..256).map(|i| machine.bus().peek_byte(base + i)).collect()
+    };
+
+    let baseline = data_state(&System::Baseline);
+    let swap = data_state(&System::SwapRam(swapram::SwapConfig::unified_fr2355()));
+    let block = data_state(&System::BlockCache(blockcache::BlockConfig::unified_fr2355()));
+    assert_eq!(baseline, swap, "SwapRAM must leave identical final data state");
+    assert_eq!(baseline, block, "block cache must leave identical final data state");
+}

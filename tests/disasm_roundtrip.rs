@@ -1,0 +1,82 @@
+//! Property test: random straight-line code sequences survive
+//! encode → disassemble → reassemble with byte-identical output.
+//!
+//! This is the guarantee the §4 library-instrumentation flow rests on:
+//! whatever a compiled library contains, the recovered source must lay
+//! out to the same bytes (modulo the documented CG-immediate caveat,
+//! excluded from the generator the way compiled code excludes it).
+
+use msp430_asm::disasm::{disassemble, DisasmFunc};
+use msp430_asm::layout::LayoutConfig;
+use msp430_sim::isa::{Instr, Opcode, Operand, Reg, Size};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Generates instructions compiled library code plausibly contains:
+/// no PC-writing sources (control flow is appended separately).
+fn arb_straightline() -> impl Strategy<Value = Instr> {
+    let ops = prop_oneof![
+        Just(Opcode::Mov),
+        Just(Opcode::Add),
+        Just(Opcode::Sub),
+        Just(Opcode::Xor),
+        Just(Opcode::And),
+        Just(Opcode::Bis),
+        Just(Opcode::Bic),
+    ];
+    let srcs = prop_oneof![
+        (4u8..=15).prop_map(|r| Operand::Reg(Reg::r(r))),
+        (any::<u16>(), (4u8..=15)).prop_map(|(x, r)| Operand::Indexed(x, Reg::r(r))),
+        (0x2000u16..0xBFFF).prop_map(|a| Operand::Absolute(a & !1)),
+        (4u8..=15).prop_map(|r| Operand::Indirect(Reg::r(r))),
+        any::<u16>().prop_map(Operand::Imm),
+    ];
+    let dsts = prop_oneof![
+        (4u8..=14).prop_map(|r| Operand::Reg(Reg::r(r))), // not PC
+        (any::<u16>(), (4u8..=15)).prop_map(|(x, r)| Operand::Indexed(x, Reg::r(r))),
+        (0x2000u16..0xBFFF).prop_map(|a| Operand::Absolute(a & !1)),
+    ];
+    (ops, srcs, dsts).prop_map(|(op, src, dst)| Instr::FormatI {
+        op,
+        size: Size::Word,
+        src,
+        dst,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_functions_roundtrip(body in proptest::collection::vec(arb_straightline(), 1..20)) {
+        // Encode the body plus a RET at a library base address.
+        let base = 0x6000u16;
+        let mut bytes: Vec<u8> = Vec::new();
+        let mut at = base;
+        for i in body.iter().chain(std::iter::once(&Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::IndirectInc(Reg::SP),
+            dst: Operand::Reg(Reg::PC),
+        })) {
+            for w in i.encode(at).unwrap() {
+                bytes.push((w & 0xff) as u8);
+                bytes.push((w >> 8) as u8);
+                at = at.wrapping_add(2);
+            }
+        }
+
+        // Disassemble and reassemble at the same base.
+        let funcs = vec![DisasmFunc { name: "blob".into(), start: base, end: at }];
+        let module = disassemble(&bytes, base, &funcs, &BTreeMap::new()).unwrap();
+        let cfg = LayoutConfig::new(base, 0xA000).with_entry("blob");
+        let reassembled = msp430_asm::assemble(&module, &cfg).unwrap();
+        let seg = reassembled
+            .image
+            .segments
+            .iter()
+            .find(|s| s.addr == base)
+            .expect("text segment");
+        prop_assert_eq!(&seg.bytes, &bytes, "byte-identical reassembly");
+    }
+}

@@ -1,0 +1,159 @@
+//! Call-stack integrity under recursion (paper §3.3.3, footnote 2: "using
+//! a counter rather than a binary flag allows SwapRAM to support recursive
+//! programming where one function may have multiple stack frames").
+//!
+//! A recursive Fibonacci plus a mutually recursive even/odd pair run under
+//! SwapRAM with caches small enough to force eviction attempts against
+//! functions that are multiply active.
+
+use msp430_asm::layout::LayoutConfig;
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::Fr2355;
+use msp430_sim::ports::checksum_of_words;
+use swapram::{PolicyKind, SwapConfig};
+
+const SRC: &str = "\
+    .text
+    .func __start
+__start:
+    mov  #0x9ffc, sp
+    call #main
+    mov  #0, &0x0102
+    .endfunc
+
+    .func main
+main:
+    mov  #13, r12
+    call #fib
+    mov  r12, &0x0104
+    mov  #21, r12
+    call #is_even
+    mov  r12, &0x0104
+    ret
+    .endfunc
+
+; fib(r12 = n) -> r12, naive recursion.
+    .func fib
+fib:
+    cmp  #2, r12
+    jc   fib_rec           ; n >= 2
+    ret                    ; fib(0)=0, fib(1)=1
+fib_rec:
+    push r10
+    mov  r12, r10
+    dec  r12
+    call #fib              ; fib(n-1)
+    push r12
+    mov  r10, r12
+    sub  #2, r12
+    call #fib              ; fib(n-2)
+    pop  r13
+    add  r13, r12
+    pop  r10
+    ret
+    .endfunc
+
+; Mutual recursion: is_even(n) / is_odd(n).
+    .func is_even
+is_even:
+    tst  r12
+    jnz  ie_rec
+    mov  #1, r12
+    ret
+ie_rec:
+    dec  r12
+    call #is_odd
+    ret
+    .endfunc
+
+    .func is_odd
+is_odd:
+    tst  r12
+    jnz  io_rec
+    mov  #0, r12
+    ret
+io_rec:
+    dec  r12
+    call #is_even
+    ret
+    .endfunc
+";
+
+fn expected() -> u32 {
+    fn fib(n: u32) -> u16 {
+        if n < 2 {
+            n as u16
+        } else {
+            fib(n - 1).wrapping_add(fib(n - 2))
+        }
+    }
+    checksum_of_words([fib(13), u16::from(21 % 2 == 0)])
+}
+
+fn run_with(cfg: SwapConfig) -> (msp430_sim::machine::RunOutcome, swapram::SwapStats) {
+    let module = msp430_asm::parse(SRC).unwrap();
+    let layout = LayoutConfig::new(0x4000, 0x9000);
+    let (inst, runtime) = swapram::build(&module, cfg, &layout).unwrap();
+    let stats = runtime.stats_handle();
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    machine.load(&inst.assembly.image);
+    machine.attach_hook(Box::new(runtime));
+    let out = machine.run(100_000_000).unwrap();
+    let s = stats.borrow().clone();
+    (out, s)
+}
+
+#[test]
+fn recursion_works_with_a_roomy_cache() {
+    let (out, s) = run_with(SwapConfig { cache_size: 0xE00, ..SwapConfig::unified_fr2355() });
+    assert!(out.success());
+    assert_eq!(out.checksum.0, expected());
+    assert_eq!(s.evictions, 0);
+}
+
+#[test]
+fn recursion_survives_eviction_pressure() {
+    // Cache sized so fib + the mutually recursive pair cannot all stay
+    // resident: eviction must refuse multiply-active functions.
+    // (the four functions total ~166 bytes; these sizes cannot hold them all)
+    for cache_size in [64u16, 96, 128] {
+        let (out, s) =
+            run_with(SwapConfig { cache_size, ..SwapConfig::unified_fr2355() });
+        assert!(out.success(), "cache {cache_size}: {:?}", out.exit);
+        assert_eq!(out.checksum.0, expected(), "cache {cache_size}");
+        assert!(
+            s.active_fallbacks + s.too_large > 0 || s.evictions > 0,
+            "cache {cache_size} should show pressure: {s}"
+        );
+    }
+}
+
+#[test]
+fn recursion_correct_under_every_policy() {
+    for policy in [
+        PolicyKind::CircularQueue,
+        PolicyKind::Stack,
+        PolicyKind::PriorityCost,
+        PolicyKind::FreezeOnThrash,
+    ] {
+        let (out, _) = run_with(SwapConfig {
+            cache_size: 128,
+            policy,
+            ..SwapConfig::unified_fr2355()
+        });
+        assert!(out.success(), "{policy:?}");
+        assert_eq!(out.checksum.0, expected(), "{policy:?}");
+    }
+}
+
+#[test]
+fn baseline_agrees() {
+    let module = msp430_asm::parse(SRC).unwrap();
+    let layout = LayoutConfig::new(0x4000, 0x9000);
+    let a = msp430_asm::assemble(&module, &layout).unwrap();
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    machine.load(&a.image);
+    let out = machine.run(100_000_000).unwrap();
+    assert!(out.success());
+    assert_eq!(out.checksum.0, expected());
+}
