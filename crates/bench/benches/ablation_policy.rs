@@ -1,29 +1,22 @@
 //! Runs the ablation studies (cache-size sweep, replacement policies,
 //! hardware cache) and times the eviction-regime configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::{ablation, Harness};
 use mibench::builder::System;
 use mibench::Benchmark;
 use swapram::{PolicyKind, SwapConfig};
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::ablation::render_sweep(&experiments::ablation::cache_size_sweep()));
-    println!(
-        "{}",
-        experiments::ablation::render_policies(&experiments::ablation::policy_comparison(512))
-    );
-    println!("{}", experiments::ablation::render_hw_cache(&experiments::ablation::hw_cache_ablation()));
-    let mut g = c.benchmark_group("ablation_policy");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let h = Harness::new();
+    println!("{}", ablation::render_sweep(&ablation::cache_size_sweep(&h)));
+    println!("{}", ablation::render_policies(&ablation::policy_comparison(&h, 512)));
+    println!("{}", ablation::render_hw_cache(&ablation::hw_cache_ablation(&h)));
+    let mut g = Group::new("ablation_policy");
     for policy in [PolicyKind::CircularQueue, PolicyKind::FreezeOnThrash] {
         let cfg = SwapConfig { cache_size: 512, policy, ..SwapConfig::unified_fr2355() };
-        let b = swapram_bench::built(Benchmark::Aes, &System::SwapRam(cfg));
-        g.bench_function(format!("{policy:?}"), |bch| bch.iter(|| swapram_bench::simulate(&b)));
+        let b = swapram_bench::built(&h, Benchmark::Aes, &System::SwapRam(cfg));
+        g.bench_function(format!("{policy:?}"), || swapram_bench::simulate(&b));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

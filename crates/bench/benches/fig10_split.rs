@@ -1,26 +1,22 @@
 //! Regenerates Figure 10 (split-SRAM execution) and times the split
 //! configuration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mibench::builder::{build, MemoryProfile, System};
+use experiments::Harness;
+use mibench::builder::{MemoryProfile, System};
 use mibench::Benchmark;
 use msp430_sim::freq::Frequency;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig10::render(&experiments::fig10::run(Frequency::MHZ_24)));
-    let mut g = c.benchmark_group("fig10_split");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    let b = build(
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::fig10::render(&experiments::fig10::run(&h, Frequency::MHZ_24)));
+    let mut g = Group::new("fig10_split");
+    let b = swapram_bench::built_with(
+        &h,
         Benchmark::Rsa,
         &System::SwapRam(swapram::SwapConfig::split_fr2355(0x400)),
         &MemoryProfile::split_sram(0x400),
-    )
-    .unwrap();
-    g.bench_function("rsa_split_swapram", |bch| bch.iter(|| swapram_bench::simulate(&b)));
+    );
+    g.bench_function("rsa_split_swapram", || swapram_bench::simulate(&b));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,24 +1,20 @@
 //! Regenerates Figure 1 (memory-placement matrix) and times the arith
 //! kernel under the extreme placements.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Harness;
 use mibench::builder::{MemoryProfile, System};
 use mibench::Benchmark;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig1::render(&experiments::fig1::run()));
-    let mut g = c.benchmark_group("fig1_placement");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::fig1::render(&experiments::fig1::run(&h)));
+    let mut g = Group::new("fig1_placement");
     for (name, profile) in
         [("unified_fram", MemoryProfile::unified()), ("all_sram", MemoryProfile::all_sram())]
     {
-        let b = mibench::builder::build(Benchmark::Arith, &System::Baseline, &profile).unwrap();
-        g.bench_function(name, |bch| bch.iter(|| swapram_bench::simulate(&b)));
+        let b = swapram_bench::built_with(&h, Benchmark::Arith, &System::Baseline, &profile);
+        g.bench_function(name, || swapram_bench::simulate(&b));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,41 +1,33 @@
 //! Regenerates Figure 7 (NVM usage / DNF) and times the two
 //! instrumentation passes themselves.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Harness;
 use mibench::builder::{MemoryProfile, System};
 use mibench::Benchmark;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig7::render(&experiments::fig7::run()));
-    let mut g = c.benchmark_group("fig7_static_passes");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::fig7::render(&experiments::fig7::run(&h)));
+    let mut g = Group::new("fig7_static_passes");
     let profile = MemoryProfile::unified();
-    g.bench_function("swapram_pass_aes", |bch| {
-        bch.iter(|| {
-            mibench::builder::build(
-                Benchmark::Aes,
-                &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
-                &profile,
-            )
-            .unwrap()
-            .text_bytes
-        })
+    g.bench_function("swapram_pass_aes", || {
+        mibench::builder::build(
+            Benchmark::Aes,
+            &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
+            &profile,
+        )
+        .unwrap()
+        .text_bytes
     });
-    g.bench_function("block_pass_aes", |bch| {
-        bch.iter(|| {
-            mibench::builder::build(
-                Benchmark::Aes,
-                &System::BlockCache(blockcache::BlockConfig::unified_fr2355()),
-                &profile,
-            )
-            .unwrap()
-            .text_bytes
-        })
+    g.bench_function("block_pass_aes", || {
+        mibench::builder::build(
+            Benchmark::Aes,
+            &System::BlockCache(blockcache::BlockConfig::unified_fr2355()),
+            &profile,
+        )
+        .unwrap()
+        .text_bytes
     });
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,23 +1,20 @@
 //! Regenerates Figure 8 (dynamic instruction breakdown) and times the
 //! instrumented runs that produce it.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Harness;
 use mibench::builder::System;
 use mibench::Benchmark;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig8::render(&experiments::fig8::run()));
-    let mut g = c.benchmark_group("fig8_breakdown");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::fig8::render(&experiments::fig8::run(&h)));
+    let mut g = Group::new("fig8_breakdown");
     let b = swapram_bench::built(
+        &h,
         Benchmark::Aes,
         &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
     );
-    g.bench_function("aes_swapram", |bch| bch.iter(|| swapram_bench::simulate(&b)));
+    g.bench_function("aes_swapram", || swapram_bench::simulate(&b));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

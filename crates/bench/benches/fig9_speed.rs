@@ -1,33 +1,30 @@
 //! Regenerates Figure 9 (speed/energy at 24 and 8 MHz) and times the
 //! full-suite SwapRAM sweep.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Harness;
 use mibench::builder::System;
 use mibench::Benchmark;
 use msp430_sim::freq::Frequency;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_24)));
-    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_8)));
-    let mut g = c.benchmark_group("fig9_speed");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(&h, Frequency::MHZ_24)));
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(&h, Frequency::MHZ_8)));
+    let mut g = Group::new("fig9_speed");
     for bench in [Benchmark::Crc, Benchmark::Rsa] {
-        let base = swapram_bench::built(bench, &System::Baseline);
+        let base = swapram_bench::built(&h, bench, &System::Baseline);
         let swap = swapram_bench::built(
+            &h,
             bench,
             &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
         );
-        g.bench_function(format!("{}_baseline", bench.name()), |bch| {
-            bch.iter(|| swapram_bench::simulate(&base))
+        g.bench_function(format!("{}_baseline", bench.name()), || {
+            swapram_bench::simulate(&base)
         });
-        g.bench_function(format!("{}_swapram", bench.name()), |bch| {
-            bch.iter(|| swapram_bench::simulate(&swap))
+        g.bench_function(format!("{}_swapram", bench.name()), || {
+            swapram_bench::simulate(&swap)
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,16 @@
 //! Regenerates Table 1 (sizes and code/data access ratios) and times the
 //! access-trace collection run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Harness;
 use mibench::builder::System;
 use mibench::Benchmark;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::table1::render(&experiments::table1::run()));
-    let mut g = c.benchmark_group("table1_access_trace");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    let b = swapram_bench::built(Benchmark::Crc, &System::Baseline);
-    g.bench_function("crc_baseline_trace", |bch| bch.iter(|| swapram_bench::simulate(&b)));
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::table1::render(&experiments::table1::run(&h)));
+    let mut g = Group::new("table1_access_trace");
+    let b = swapram_bench::built(&h, Benchmark::Crc, &System::Baseline);
+    g.bench_function("crc_baseline_trace", || swapram_bench::simulate(&b));
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,17 @@
 //! Regenerates Table 2 (FRAM accesses / unstalled cycles) and times each
 //! system on a representative benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::Harness;
 use mibench::Benchmark;
+use swapram_bench::Group;
 
-fn bench(c: &mut Criterion) {
-    println!("{}", experiments::table2::render(&experiments::table2::run()));
-    let mut g = c.benchmark_group("table2_systems");
-    g.sample_size(10);
-    g.measurement_time(std::time::Duration::from_secs(2));
-    g.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let h = Harness::new();
+    println!("{}", experiments::table2::render(&experiments::table2::run(&h)));
+    let mut g = Group::new("table2_systems");
     for (name, sys) in experiments::measure::systems() {
-        let b = swapram_bench::built(Benchmark::Rc4, &sys);
-        g.bench_function(name, |bch| bch.iter(|| swapram_bench::simulate(&b)));
+        let b = swapram_bench::built(&h, Benchmark::Rc4, &sys);
+        g.bench_function(name, || swapram_bench::simulate(&b));
     }
     g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

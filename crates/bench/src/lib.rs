@@ -1,26 +1,59 @@
 //! # swapram-bench — benchmark harness glue
 //!
-//! The Criterion benches under `benches/` regenerate the paper's tables
-//! and figures (printed once per bench run) and then time representative
-//! simulator executions so regressions in the simulator, the assembler or
-//! the runtimes show up as benchmark deltas.
+//! The benches under `benches/` regenerate the paper's tables and figures
+//! (printed once per bench run) and then time representative simulator
+//! executions so regressions in the simulator, the assembler or the
+//! runtimes show up as benchmark deltas.
+//!
+//! Timing uses a small std-only loop (warm-up plus a fixed sample count,
+//! reporting min/median/max wall-clock) instead of an external benchmark
+//! framework, and all builds go through the shared memoizing
+//! [`experiments::Harness`] build cache, so a bench never assembles the
+//! same (benchmark, system, profile) twice.
 
-use mibench::builder::{build, run, Built, MemoryProfile, System};
+use std::time::{Duration, Instant};
+
+use experiments::Harness;
+use mibench::builder::{run, Built, MemoryProfile, System};
 use mibench::{input_for, Benchmark};
 use msp430_sim::freq::Frequency;
 
-/// Builds a benchmark for timing loops.
+/// Samples collected per timed function.
+pub const SAMPLES: usize = 10;
+
+/// Warm-up iterations before sampling.
+pub const WARMUP: usize = 2;
+
+/// Builds a benchmark for timing loops through the shared harness build
+/// cache (unified memory profile).
 ///
 /// # Panics
 ///
 /// Panics if the build fails (benches assume valid configurations).
-pub fn built(bench: Benchmark, system: &System) -> Built {
-    build(bench, system, &MemoryProfile::unified())
-        .unwrap_or_else(|e| panic!("bench build {}: {e}", bench.name()))
+pub fn built(h: &Harness, bench: Benchmark, system: &System) -> Built {
+    built_with(h, bench, system, &MemoryProfile::unified())
 }
 
-/// Executes one full simulated run; returns total cycles so Criterion can
-/// keep the value alive.
+/// Like [`built`], with an explicit memory profile.
+///
+/// # Panics
+///
+/// Panics if the build fails.
+pub fn built_with(
+    h: &Harness,
+    bench: Benchmark,
+    system: &System,
+    profile: &MemoryProfile,
+) -> Built {
+    h.build(bench, system, profile)
+        .as_ref()
+        .as_ref()
+        .unwrap_or_else(|e| panic!("bench build {}: {e}", bench.name()))
+        .clone()
+}
+
+/// Executes one full simulated run; returns total cycles so the optimizer
+/// cannot discard the work.
 ///
 /// # Panics
 ///
@@ -30,4 +63,85 @@ pub fn simulate(b: &Built) -> u64 {
     let r = run(b, Frequency::MHZ_24, &input, 4_000_000_000).expect("bench run");
     assert!(r.outcome.success());
     r.outcome.stats.total_cycles()
+}
+
+/// A named group of timed functions, printed as a small table.
+pub struct Group {
+    name: &'static str,
+    rows: Vec<(String, Duration, Duration, Duration)>,
+}
+
+impl Group {
+    /// Starts a group.
+    pub fn new(name: &'static str) -> Self {
+        Group { name, rows: Vec::new() }
+    }
+
+    /// Times `f` ([`WARMUP`] warm-up calls, [`SAMPLES`] samples) and
+    /// records min/median/max wall-clock.
+    pub fn bench_function<R>(&mut self, label: impl Into<String>, mut f: impl FnMut() -> R) {
+        for _ in 0..WARMUP {
+            std::hint::black_box(f());
+        }
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed());
+        }
+        samples.sort();
+        self.rows.push((label.into(), samples[0], samples[SAMPLES / 2], samples[SAMPLES - 1]));
+    }
+
+    /// Prints the timing table.
+    pub fn finish(self) {
+        println!("## bench group: {}", self.name);
+        println!("{:<32} {:>12} {:>12} {:>12}", "function", "min", "median", "max");
+        for (label, min, med, max) in &self.rows {
+            println!(
+                "{label:<32} {:>12} {:>12} {:>12}",
+                format_duration(*min),
+                format_duration(*med),
+                format_duration(*max)
+            );
+        }
+        println!();
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn built_goes_through_the_shared_build_cache() {
+        let h = Harness::new();
+        let a = built(&h, Benchmark::Crc, &System::Baseline);
+        let b = built(&h, Benchmark::Crc, &System::Baseline);
+        assert_eq!(h.unique_builds(), 1);
+        assert_eq!(h.build_hits(), 1);
+        assert_eq!(a.text_bytes, b.text_bytes);
+        assert!(simulate(&a) > 0);
+    }
+
+    #[test]
+    fn group_reports_each_function_once() {
+        let mut g = Group::new("smoke");
+        g.bench_function("noop", || 0u64);
+        assert_eq!(g.rows.len(), 1);
+        g.finish();
+    }
 }

@@ -12,9 +12,10 @@
 //! 3. **Hardware read cache** — baseline FRAM execution with the 2-way
 //!    cache disabled, quantifying what the built-in cache buys (§2.2).
 
-use crate::measure::{measure, Measurement, SEED};
+use crate::harness::Harness;
+use crate::measure::{Measurement, SEED};
 use crate::report::Table;
-use mibench::builder::{build, run_on, MemoryProfile, System};
+use mibench::builder::{run_on, MemoryProfile, System};
 use mibench::{input_for, Benchmark};
 use msp430_sim::freq::Frequency;
 use msp430_sim::machine::Fr2355;
@@ -38,26 +39,31 @@ pub struct SweepPoint {
     pub baseline_us: f64,
 }
 
-/// Sweeps the SwapRAM cache size across the eviction regime.
+/// Sweeps the SwapRAM cache size across the eviction regime, with every
+/// (benchmark, cache size) point measured concurrently.
 ///
 /// # Panics
 ///
 /// Panics if a configuration fails to run.
-pub fn cache_size_sweep() -> Vec<SweepPoint> {
+pub fn cache_size_sweep(h: &Harness) -> Vec<SweepPoint> {
     let profile = MemoryProfile::unified();
-    let mut out = Vec::new();
+    let mut specs = Vec::new();
     for bench in PRESSURE_BENCHMARKS {
-        let baseline = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
-            .unwrap_or_else(|e| panic!("sweep {} baseline: {e}", bench.name()));
         for cache_bytes in [256u16, 384, 512, 768, 1024, 4096] {
-            let cfg = SwapConfig { cache_size: cache_bytes, ..SwapConfig::unified_fr2355() };
-            let m = measure(bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
-                .unwrap_or_else(|e| panic!("sweep {} @{}: {e}", bench.name(), cache_bytes));
-            assert!(m.correct, "sweep {} @{}: wrong result", bench.name(), cache_bytes);
-            out.push(SweepPoint { bench, cache_bytes, m, baseline_us: baseline.time_us });
+            specs.push((bench, cache_bytes));
         }
     }
-    out
+    h.parallel_map(specs, |(bench, cache_bytes)| {
+        let baseline = h
+            .measure("ablation-sweep", bench, &System::Baseline, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("sweep {} baseline: {e}", bench.name()));
+        let cfg = SwapConfig { cache_size: cache_bytes, ..SwapConfig::unified_fr2355() };
+        let m = h
+            .measure("ablation-sweep", bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("sweep {} @{}: {e}", bench.name(), cache_bytes));
+        assert!(m.correct, "sweep {} @{}: wrong result", bench.name(), cache_bytes);
+        SweepPoint { bench, cache_bytes, m, baseline_us: baseline.time_us }
+    })
 }
 
 /// Renders the sweep.
@@ -97,35 +103,36 @@ pub struct PolicyPoint {
     pub baseline_us: f64,
 }
 
-/// Compares replacement policies in the eviction regime.
+/// Compares replacement policies in the eviction regime, with every
+/// (benchmark, policy) point measured concurrently.
 ///
 /// # Panics
 ///
 /// Panics if a configuration fails to run.
-pub fn policy_comparison(cache_bytes: u16) -> Vec<PolicyPoint> {
+pub fn policy_comparison(h: &Harness, cache_bytes: u16) -> Vec<PolicyPoint> {
     let profile = MemoryProfile::unified();
-    let mut out = Vec::new();
+    let mut specs = Vec::new();
     for bench in PRESSURE_BENCHMARKS {
-        let baseline = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
-            .unwrap_or_else(|e| panic!("policy {} baseline: {e}", bench.name()));
         for policy in [
             PolicyKind::CircularQueue,
             PolicyKind::Stack,
             PolicyKind::PriorityCost,
             PolicyKind::FreezeOnThrash,
         ] {
-            let cfg = SwapConfig {
-                cache_size: cache_bytes,
-                policy,
-                ..SwapConfig::unified_fr2355()
-            };
-            let m = measure(bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
-                .unwrap_or_else(|e| panic!("policy {} {policy:?}: {e}", bench.name()));
-            assert!(m.correct, "policy {} {policy:?}: wrong result", bench.name());
-            out.push(PolicyPoint { bench, policy, cache_bytes, m, baseline_us: baseline.time_us });
+            specs.push((bench, policy));
         }
     }
-    out
+    h.parallel_map(specs, |(bench, policy)| {
+        let baseline = h
+            .measure("ablation-policy", bench, &System::Baseline, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("policy {} baseline: {e}", bench.name()));
+        let cfg = SwapConfig { cache_size: cache_bytes, policy, ..SwapConfig::unified_fr2355() };
+        let m = h
+            .measure("ablation-policy", bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("policy {} {policy:?}: {e}", bench.name()));
+        assert!(m.correct, "policy {} {policy:?}: wrong result", bench.name());
+        PolicyPoint { bench, policy, cache_bytes, m, baseline_us: baseline.time_us }
+    })
 }
 
 /// Renders the policy comparison.
@@ -161,32 +168,30 @@ pub struct HwCachePoint {
     pub without_cache_us: f64,
 }
 
-/// Measures the baseline with the hardware read cache disabled.
+/// Measures the baseline with the hardware read cache disabled,
+/// concurrently per benchmark. Both variants are memoized in the run
+/// cache (the disabled-cache run under the `no-hw-cache` variant key).
 ///
 /// # Panics
 ///
 /// Panics if any run fails.
-pub fn hw_cache_ablation() -> Vec<HwCachePoint> {
+pub fn hw_cache_ablation(h: &Harness) -> Vec<HwCachePoint> {
     let profile = MemoryProfile::unified();
-    Benchmark::MIBENCH
-        .into_iter()
-        .map(|bench| {
-            let with = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
-                .unwrap_or_else(|e| panic!("hw {} with: {e}", bench.name()));
-            let built = build(bench, &System::Baseline, &profile)
-                .unwrap_or_else(|e| panic!("hw {} build: {e}", bench.name()));
-            let input = input_for(bench, SEED);
-            let mut machine = Fr2355::machine_without_hw_cache(Frequency::MHZ_24);
-            let r = run_on(&mut machine, &built, &input, crate::measure::MAX_CYCLES)
-                .unwrap_or_else(|e| panic!("hw {} without: {e}", bench.name()));
-            assert!(r.outcome.success());
-            HwCachePoint {
+    h.parallel_map(Benchmark::MIBENCH.to_vec(), |bench| {
+        let with = h
+            .measure("ablation-hw", bench, &System::Baseline, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("hw {} with: {e}", bench.name()));
+        let without = h
+            .measure_without_hw_cache(
+                "ablation-hw",
                 bench,
-                with_cache_us: with.time_us,
-                without_cache_us: Frequency::MHZ_24.cycles_to_us(r.outcome.stats.total_cycles()),
-            }
-        })
-        .collect()
+                &System::Baseline,
+                &profile,
+                Frequency::MHZ_24,
+            )
+            .unwrap_or_else(|e| panic!("hw {} without: {e}", bench.name()));
+        HwCachePoint { bench, with_cache_us: with.time_us, without_cache_us: without.time_us }
+    })
 }
 
 /// Renders the hardware-cache ablation.
@@ -213,7 +218,7 @@ mod tests {
 
     #[test]
     fn small_caches_cause_evictions() {
-        let pts = cache_size_sweep();
+        let pts = cache_size_sweep(&Harness::new());
         let small_pressure: u64 = pts
             .iter()
             .filter(|p| p.cache_bytes <= 512)
@@ -231,7 +236,7 @@ mod tests {
 
     #[test]
     fn disabling_hw_cache_slows_the_baseline() {
-        for p in hw_cache_ablation() {
+        for p in hw_cache_ablation(&Harness::new()) {
             assert!(
                 p.without_cache_us > p.with_cache_us,
                 "{}: removing the read cache must hurt",
@@ -263,15 +268,20 @@ pub struct ProfileGuidedPoint {
 /// # Panics
 ///
 /// Panics if any configuration fails to run.
-pub fn profile_guided_blacklist(cache_bytes: u16) -> Vec<ProfileGuidedPoint> {
+pub fn profile_guided_blacklist(h: &Harness, cache_bytes: u16) -> Vec<ProfileGuidedPoint> {
     use msp430_sim::profile::Profiler;
     let profile = MemoryProfile::unified();
-    let mut out = Vec::new();
-    for bench in PRESSURE_BENCHMARKS {
-        let baseline = measure(bench, &System::Baseline, &profile, Frequency::MHZ_24)
+    h.parallel_map(PRESSURE_BENCHMARKS.to_vec(), |bench| {
+        let baseline = h
+            .measure("ablation-pgb", bench, &System::Baseline, &profile, Frequency::MHZ_24)
             .unwrap_or_else(|e| panic!("pgb {} baseline: {e}", bench.name()));
-        // Profile the baseline run over its function spans.
-        let built = build(bench, &System::Baseline, &profile)
+        // Profile the baseline run over its function spans (reusing the
+        // memoized baseline build; the profiling run itself is cheap and
+        // not worth a cache variant).
+        let built = h.build(bench, &System::Baseline, &profile);
+        let built = built
+            .as_ref()
+            .as_ref()
             .unwrap_or_else(|e| panic!("pgb {} build: {e}", bench.name()));
         let spans: Vec<(String, u16, u16)> = match &built.program {
             mibench::builder::Program::Base(a) => {
@@ -282,7 +292,7 @@ pub fn profile_guided_blacklist(cache_bytes: u16) -> Vec<ProfileGuidedPoint> {
         let mut machine = Fr2355::machine(Frequency::MHZ_24);
         machine.attach_profiler(Profiler::new(spans));
         let input = input_for(bench, SEED);
-        run_on(&mut machine, &built, &input, crate::measure::MAX_CYCLES)
+        run_on(&mut machine, built, &input, crate::measure::MAX_CYCLES)
             .unwrap_or_else(|e| panic!("pgb {} profile run: {e}", bench.name()));
         let profiler = machine.profiler().expect("profiler attached");
         let blacklisted: Vec<String> = profiler
@@ -292,7 +302,8 @@ pub fn profile_guided_blacklist(cache_bytes: u16) -> Vec<ProfileGuidedPoint> {
             .collect();
 
         let speedup = |cfg: SwapConfig| -> f64 {
-            let m = measure(bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
+            let m = h
+                .measure("ablation-pgb", bench, &System::SwapRam(cfg), &profile, Frequency::MHZ_24)
                 .unwrap_or_else(|e| panic!("pgb {}: {e}", bench.name()));
             assert!(m.correct);
             baseline.time_us / m.time_us
@@ -303,15 +314,14 @@ pub fn profile_guided_blacklist(cache_bytes: u16) -> Vec<ProfileGuidedPoint> {
             cfg = cfg.with_blacklisted(name);
         }
         let guided = speedup(cfg);
-        out.push(ProfileGuidedPoint {
+        ProfileGuidedPoint {
             bench,
             cache_bytes,
             plain_speedup: plain,
             guided_speedup: guided,
             blacklisted,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Renders the profile-guided blacklist study.
@@ -339,7 +349,7 @@ mod pg_tests {
 
     #[test]
     fn profile_guided_blacklist_never_hurts_much_and_often_helps() {
-        let pts = profile_guided_blacklist(512);
+        let pts = profile_guided_blacklist(&Harness::new(), 512);
         for p in &pts {
             assert!(
                 p.guided_speedup >= p.plain_speedup * 0.95,

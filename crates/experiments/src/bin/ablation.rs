@@ -1,12 +1,9 @@
 //! Runs the ablation studies (cache-size sweep, policies, hardware cache).
+use experiments::{ablation, Harness};
 fn main() {
-    println!("{}", experiments::ablation::render_sweep(&experiments::ablation::cache_size_sweep()));
-    println!("{}", experiments::ablation::render_policies(&experiments::ablation::policy_comparison(512)));
-    println!(
-        "{}",
-        experiments::ablation::render_profile_guided(
-            &experiments::ablation::profile_guided_blacklist(512)
-        )
-    );
-    println!("{}", experiments::ablation::render_hw_cache(&experiments::ablation::hw_cache_ablation()));
+    let h = Harness::new();
+    println!("{}", ablation::render_sweep(&ablation::cache_size_sweep(&h)));
+    println!("{}", ablation::render_policies(&ablation::policy_comparison(&h, 512)));
+    println!("{}", ablation::render_profile_guided(&ablation::profile_guided_blacklist(&h, 512)));
+    println!("{}", ablation::render_hw_cache(&ablation::hw_cache_ablation(&h)));
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 1 (memory-placement matrix).
+use experiments::Harness;
 fn main() {
-    println!("{}", experiments::fig1::render(&experiments::fig1::run()));
+    let h = Harness::new();
+    println!("{}", experiments::fig1::render(&experiments::fig1::run(&h)));
 }

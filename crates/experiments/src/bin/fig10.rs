@@ -1,5 +1,7 @@
 //! Regenerates Figure 10 (split-SRAM execution).
+use experiments::Harness;
 use msp430_sim::freq::Frequency;
 fn main() {
-    println!("{}", experiments::fig10::render(&experiments::fig10::run(Frequency::MHZ_24)));
+    let h = Harness::new();
+    println!("{}", experiments::fig10::render(&experiments::fig10::run(&h, Frequency::MHZ_24)));
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 7 (NVM usage and DNF).
+use experiments::Harness;
 fn main() {
-    println!("{}", experiments::fig7::render(&experiments::fig7::run()));
+    let h = Harness::new();
+    println!("{}", experiments::fig7::render(&experiments::fig7::run(&h)));
 }

@@ -1,4 +1,6 @@
 //! Regenerates Figure 8 (dynamic instruction breakdown).
+use experiments::Harness;
 fn main() {
-    println!("{}", experiments::fig8::render(&experiments::fig8::run()));
+    let h = Harness::new();
+    println!("{}", experiments::fig8::render(&experiments::fig8::run(&h)));
 }

@@ -1,6 +1,8 @@
 //! Regenerates Figure 9 (speed/energy at 24 MHz and 8 MHz).
+use experiments::Harness;
 use msp430_sim::freq::Frequency;
 fn main() {
-    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_24)));
-    println!("{}", experiments::fig9::render(&experiments::fig9::run(Frequency::MHZ_8)));
+    let h = Harness::new();
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(&h, Frequency::MHZ_24)));
+    println!("{}", experiments::fig9::render(&experiments::fig9::run(&h, Frequency::MHZ_8)));
 }

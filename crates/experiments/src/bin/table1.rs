@@ -1,4 +1,6 @@
 //! Regenerates Table 1 (sizes and code/data access ratios).
+use experiments::Harness;
 fn main() {
-    println!("{}", experiments::table1::render(&experiments::table1::run()));
+    let h = Harness::new();
+    println!("{}", experiments::table1::render(&experiments::table1::run(&h)));
 }

@@ -1,4 +1,6 @@
 //! Regenerates Table 2 (FRAM accesses and unstalled cycles).
+use experiments::Harness;
 fn main() {
-    println!("{}", experiments::table2::render(&experiments::table2::run()));
+    let h = Harness::new();
+    println!("{}", experiments::table2::render(&experiments::table2::run(&h)));
 }

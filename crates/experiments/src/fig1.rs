@@ -6,7 +6,8 @@
 //! *code* in SRAM beats placing *data* in SRAM because instruction
 //! fetches dominate; everything-in-SRAM is fastest but rarely feasible.
 
-use crate::measure::{measure, Measurement};
+use crate::harness::Harness;
+use crate::measure::Measurement;
 use crate::report::Table;
 use mibench::builder::{MemoryProfile, System};
 use mibench::Benchmark;
@@ -33,23 +34,26 @@ pub fn placements() -> [(&'static str, MemoryProfile); 4] {
     ]
 }
 
-/// Runs the full placement matrix.
+/// Runs the full placement matrix concurrently through the harness.
 ///
 /// # Panics
 ///
 /// Panics if any configuration fails to build or run (the arith kernel
 /// fits everywhere by construction).
-pub fn run() -> Vec<Fig1Point> {
-    let mut out = Vec::new();
+pub fn run(h: &Harness) -> Vec<Fig1Point> {
+    let mut specs = Vec::new();
     for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
         for (name, profile) in placements() {
-            let m = measure(Benchmark::Arith, &System::Baseline, &profile, freq)
-                .unwrap_or_else(|e| panic!("fig1 {name}: {e}"));
-            assert!(m.correct, "fig1 {name}: wrong result");
-            out.push(Fig1Point { placement: name, freq, m });
+            specs.push((name, profile, freq));
         }
     }
-    out
+    h.parallel_map(specs, |(name, profile, freq)| {
+        let m = h
+            .measure("fig1", Benchmark::Arith, &System::Baseline, &profile, freq)
+            .unwrap_or_else(|e| panic!("fig1 {name}: {e}"));
+        assert!(m.correct, "fig1 {name}: wrong result");
+        Fig1Point { placement: name, freq, m }
+    })
 }
 
 /// Renders the figure as a table, normalised to the standard
@@ -85,7 +89,7 @@ mod tests {
 
     #[test]
     fn placement_ordering_matches_paper() {
-        let pts = run();
+        let pts = run(&Harness::new());
         for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
             let time = |name: &str| {
                 pts.iter()

@@ -7,9 +7,10 @@
 //! plots) and to the standard FRAM-code/SRAM-data baseline (the
 //! comparison the section's text makes: +22% speed, -26% energy).
 
-use crate::measure::{geomean, measure, MeasureError, Measurement};
+use crate::harness::Harness;
+use crate::measure::{geomean, MeasureError, Measurement};
 use crate::report::Table;
-use mibench::builder::{build, MemoryProfile, System};
+use mibench::builder::{MemoryProfile, System};
 use mibench::Benchmark;
 use msp430_sim::freq::Frequency;
 
@@ -39,42 +40,47 @@ pub struct Fig10Row {
     pub reserved: u16,
 }
 
-/// Runs the split experiment at `freq`.
+/// Runs the split experiment at `freq`, concurrently per benchmark. The
+/// data-partition probe reuses the memoized baseline build.
 ///
 /// # Panics
 ///
 /// Panics if any required configuration fails.
-pub fn run(freq: Frequency) -> Vec<Fig10Row> {
-    SPLIT_BENCHMARKS
-        .into_iter()
-        .map(|bench| {
-            // Size the data partition from the actual data section.
-            let probe = build(bench, &System::Baseline, &MemoryProfile::unified())
-                .unwrap_or_else(|e| panic!("fig10 {} probe: {e}", bench.name()));
-            let reserved = (probe.data_bytes + STACK_RESERVE + 1) & !1;
-            let split_profile = MemoryProfile::split_sram(reserved);
+pub fn run(h: &Harness, freq: Frequency) -> Vec<Fig10Row> {
+    h.parallel_map(SPLIT_BENCHMARKS.to_vec(), |bench| {
+        // Size the data partition from the actual data section.
+        let probe = h.build(bench, &System::Baseline, &MemoryProfile::unified());
+        let probe = probe
+            .as_ref()
+            .as_ref()
+            .unwrap_or_else(|e| panic!("fig10 {} probe: {e}", bench.name()));
+        let reserved = (probe.data_bytes + STACK_RESERVE + 1) & !1;
+        let split_profile = MemoryProfile::split_sram(reserved);
 
-            let unified_baseline =
-                measure(bench, &System::Baseline, &MemoryProfile::unified(), freq)
-                    .unwrap_or_else(|e| panic!("fig10 {} unified: {e}", bench.name()));
-            let standard_baseline = measure(bench, &System::Baseline, &split_profile, freq)
-                .unwrap_or_else(|e| panic!("fig10 {} standard: {e}", bench.name()));
-            let swapram = measure(
+        let unified_baseline = h
+            .measure("fig10", bench, &System::Baseline, &MemoryProfile::unified(), freq)
+            .unwrap_or_else(|e| panic!("fig10 {} unified: {e}", bench.name()));
+        let standard_baseline = h
+            .measure("fig10", bench, &System::Baseline, &split_profile, freq)
+            .unwrap_or_else(|e| panic!("fig10 {} standard: {e}", bench.name()));
+        let swapram = h
+            .measure(
+                "fig10",
                 bench,
                 &System::SwapRam(swapram::SwapConfig::split_fr2355(reserved)),
                 &split_profile,
                 freq,
             )
             .unwrap_or_else(|e| panic!("fig10 {} SwapRAM split: {e}", bench.name()));
-            let block = measure(
-                bench,
-                &System::BlockCache(blockcache::BlockConfig::split_fr2355(reserved)),
-                &split_profile,
-                freq,
-            );
-            Fig10Row { bench, freq, unified_baseline, standard_baseline, swapram, block, reserved }
-        })
-        .collect()
+        let block = h.measure(
+            "fig10",
+            bench,
+            &System::BlockCache(blockcache::BlockConfig::split_fr2355(reserved)),
+            &split_profile,
+            freq,
+        );
+        Fig10Row { bench, freq, unified_baseline, standard_baseline, swapram, block, reserved }
+    })
 }
 
 /// Geometric means of SwapRAM speedup and energy ratio versus the
@@ -131,7 +137,7 @@ mod tests {
 
     #[test]
     fn split_swapram_beats_the_standard_configuration() {
-        let rows = run(Frequency::MHZ_24);
+        let rows = run(&Harness::new(), Frequency::MHZ_24);
         let (s, e) = summary_vs_standard(&rows);
         assert!(s > 1.0, "split SwapRAM should beat code-FRAM/data-SRAM (got {s})");
         assert!(e < 1.0, "split SwapRAM should save energy (got {e})");
@@ -139,7 +145,7 @@ mod tests {
 
     #[test]
     fn standard_beats_unified() {
-        for r in run(Frequency::MHZ_24) {
+        for r in run(&Harness::new(), Frequency::MHZ_24) {
             assert!(
                 r.standard_baseline.time_us < r.unified_baseline.time_us,
                 "{}: data-in-SRAM must beat unified FRAM",

@@ -9,9 +9,10 @@
 //! budget (default 8 KiB) alongside the natural constraint that the
 //! transformed text must fit its 12 KiB region.
 
-use mibench::builder::{build, BuildError, MemoryProfile, System};
+use mibench::builder::{BuildError, MemoryProfile, System};
 use mibench::Benchmark;
 
+use crate::harness::Harness;
 use crate::measure::systems;
 use crate::report::{pct_change, Table};
 
@@ -58,45 +59,47 @@ pub struct Fig7Row {
     pub swap: Fig7Entry,
 }
 
-/// Builds all benchmarks under both cache systems and collects sizes.
+/// Builds all benchmarks under both cache systems (through the shared
+/// memoizing build cache, concurrently) and collects sizes.
 ///
 /// # Panics
 ///
 /// Panics on unexpected build errors (region overflow is reported as DNF,
 /// not a panic).
-pub fn run() -> Vec<Fig7Row> {
+pub fn run(h: &Harness) -> Vec<Fig7Row> {
     let profile = MemoryProfile::unified();
     let [(_, base_sys), (_, block_sys), (_, swap_sys)] = systems();
-    Benchmark::MIBENCH
-        .into_iter()
-        .map(|bench| {
-            let base = build(bench, &base_sys, &profile)
-                .unwrap_or_else(|e| panic!("fig7 {} baseline: {e}", bench.name()));
-            let entry = |sys: &System, label: &'static str| match build(bench, sys, &profile) {
-                Ok(b) => Fig7Entry {
-                    system: label,
-                    app_bytes: u32::from(b.text_bytes),
-                    runtime_bytes: u32::from(b.handler_bytes),
-                    metadata_bytes: u32::from(b.metadata_bytes),
-                    hard_dnf: false,
-                },
-                Err(BuildError::DoesNotFit(_)) => Fig7Entry {
-                    system: label,
-                    app_bytes: 0,
-                    runtime_bytes: 0,
-                    metadata_bytes: 0,
-                    hard_dnf: true,
-                },
-                Err(e) => panic!("fig7 {} {label}: {e}", bench.name()),
-            };
-            Fig7Row {
-                bench,
-                baseline_text: u32::from(base.text_bytes),
-                block: entry(&block_sys, "block-based"),
-                swap: entry(&swap_sys, "SwapRAM"),
-            }
-        })
-        .collect()
+    h.parallel_map(Benchmark::MIBENCH.to_vec(), |bench| {
+        let base = h.build(bench, &base_sys, &profile);
+        let base = base
+            .as_ref()
+            .as_ref()
+            .unwrap_or_else(|e| panic!("fig7 {} baseline: {e}", bench.name()));
+        let entry = |sys: &System, label: &'static str| match h.build(bench, sys, &profile).as_ref()
+        {
+            Ok(b) => Fig7Entry {
+                system: label,
+                app_bytes: u32::from(b.text_bytes),
+                runtime_bytes: u32::from(b.handler_bytes),
+                metadata_bytes: u32::from(b.metadata_bytes),
+                hard_dnf: false,
+            },
+            Err(BuildError::DoesNotFit(_)) => Fig7Entry {
+                system: label,
+                app_bytes: 0,
+                runtime_bytes: 0,
+                metadata_bytes: 0,
+                hard_dnf: true,
+            },
+            Err(e) => panic!("fig7 {} {label}: {e}", bench.name()),
+        };
+        Fig7Row {
+            bench,
+            baseline_text: u32::from(base.text_bytes),
+            block: entry(&block_sys, "block-based"),
+            swap: entry(&swap_sys, "SwapRAM"),
+        }
+    })
 }
 
 /// Average SwapRAM total-NVM increase across the suite.
@@ -164,7 +167,7 @@ mod tests {
 
     #[test]
     fn block_transform_is_much_larger_than_swapram() {
-        let rows = run();
+        let rows = run(&Harness::new());
         for r in &rows {
             if r.block.hard_dnf {
                 continue;
@@ -184,7 +187,7 @@ mod tests {
 
     #[test]
     fn swapram_growth_is_moderate() {
-        let rows = run();
+        let rows = run(&Harness::new());
         let g = swap_avg_increase(&rows);
         assert!(g > 0.0, "instrumentation must add code");
         assert!(g < 3.0, "SwapRAM growth should stay moderate (got {:+.0}%)", g * 100.0);

@@ -2,7 +2,8 @@
 //! from FRAM vs SRAM, miss-handler work and memcpy — normalized to the
 //! unified-memory baseline's instruction count.
 
-use crate::measure::{measure, systems, MeasureError, Measurement};
+use crate::harness::Harness;
+use crate::measure::{systems, MeasureError, Measurement};
 use crate::report::Table;
 use mibench::builder::MemoryProfile;
 use mibench::Benchmark;
@@ -35,30 +36,30 @@ impl Fig8Row {
     }
 }
 
-/// Runs the breakdown for all nine benchmarks.
+/// Runs the breakdown for all nine benchmarks concurrently. The
+/// measurements are shared with Table 2 through the harness run cache.
 ///
 /// # Panics
 ///
 /// Panics if baseline or SwapRAM runs fail.
-pub fn run() -> Vec<Fig8Row> {
+pub fn run(h: &Harness) -> Vec<Fig8Row> {
     let profile = MemoryProfile::unified();
     let [(_, base_sys), (_, block_sys), (_, swap_sys)] = systems();
-    Benchmark::MIBENCH
-        .into_iter()
-        .map(|bench| {
-            let base = measure(bench, &base_sys, &profile, Frequency::MHZ_8)
-                .unwrap_or_else(|e| panic!("fig8 {} baseline: {e}", bench.name()));
-            let swapram = measure(bench, &swap_sys, &profile, Frequency::MHZ_8)
-                .unwrap_or_else(|e| panic!("fig8 {} SwapRAM: {e}", bench.name()));
-            let block = measure(bench, &block_sys, &profile, Frequency::MHZ_8);
-            Fig8Row {
-                bench,
-                baseline_instructions: base.stats.total_instructions(),
-                swapram,
-                block,
-            }
-        })
-        .collect()
+    h.parallel_map(Benchmark::MIBENCH.to_vec(), |bench| {
+        let base = h
+            .measure("fig8", bench, &base_sys, &profile, Frequency::MHZ_8)
+            .unwrap_or_else(|e| panic!("fig8 {} baseline: {e}", bench.name()));
+        let swapram = h
+            .measure("fig8", bench, &swap_sys, &profile, Frequency::MHZ_8)
+            .unwrap_or_else(|e| panic!("fig8 {} SwapRAM: {e}", bench.name()));
+        let block = h.measure("fig8", bench, &block_sys, &profile, Frequency::MHZ_8);
+        Fig8Row {
+            bench,
+            baseline_instructions: base.stats.total_instructions(),
+            swapram,
+            block,
+        }
+    })
 }
 
 /// Renders the figure.
@@ -104,7 +105,7 @@ mod tests {
 
     #[test]
     fn swapram_moves_execution_to_sram_with_small_runtime_share() {
-        for r in run() {
+        for r in run(&Harness::new()) {
             let n = r.normalized(&r.swapram);
             assert!(
                 n[1] > n[0],
@@ -122,7 +123,7 @@ mod tests {
 
     #[test]
     fn block_based_inflates_instruction_count() {
-        for r in run() {
+        for r in run(&Harness::new()) {
             if let Ok(b) = &r.block {
                 let total: f64 = r.normalized(b).iter().sum();
                 assert!(

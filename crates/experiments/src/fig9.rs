@@ -2,7 +2,8 @@
 //! 8 MHz variant reported in the paper's text), normalized to the
 //! unified-memory baseline.
 
-use crate::measure::{geomean, measure, systems, MeasureError, Measurement};
+use crate::harness::Harness;
+use crate::measure::{geomean, systems, MeasureError, Measurement};
 use crate::report::Table;
 use mibench::builder::MemoryProfile;
 use mibench::Benchmark;
@@ -35,25 +36,25 @@ impl Fig9Row {
     }
 }
 
-/// Runs the matrix at one operating point.
+/// Runs the matrix at one operating point, concurrently through the
+/// shared harness.
 ///
 /// # Panics
 ///
 /// Panics if baseline or SwapRAM runs fail.
-pub fn run(freq: Frequency) -> Vec<Fig9Row> {
+pub fn run(h: &Harness, freq: Frequency) -> Vec<Fig9Row> {
     let profile = MemoryProfile::unified();
     let [(_, base_sys), (_, block_sys), (_, swap_sys)] = systems();
-    Benchmark::MIBENCH
-        .into_iter()
-        .map(|bench| {
-            let baseline = measure(bench, &base_sys, &profile, freq)
-                .unwrap_or_else(|e| panic!("fig9 {} baseline: {e}", bench.name()));
-            let swapram = measure(bench, &swap_sys, &profile, freq)
-                .unwrap_or_else(|e| panic!("fig9 {} SwapRAM: {e}", bench.name()));
-            let block = measure(bench, &block_sys, &profile, freq);
-            Fig9Row { bench, freq, baseline, swapram, block }
-        })
-        .collect()
+    h.parallel_map(Benchmark::MIBENCH.to_vec(), |bench| {
+        let baseline = h
+            .measure("fig9", bench, &base_sys, &profile, freq)
+            .unwrap_or_else(|e| panic!("fig9 {} baseline: {e}", bench.name()));
+        let swapram = h
+            .measure("fig9", bench, &swap_sys, &profile, freq)
+            .unwrap_or_else(|e| panic!("fig9 {} SwapRAM: {e}", bench.name()));
+        let block = h.measure("fig9", bench, &block_sys, &profile, freq);
+        Fig9Row { bench, freq, baseline, swapram, block }
+    })
 }
 
 /// Suite-level geometric means: `(swap_speedup, swap_energy_ratio,
@@ -115,8 +116,9 @@ mod tests {
 
     #[test]
     fn swapram_wins_at_both_frequencies() {
+        let h = Harness::new();
         for freq in [Frequency::MHZ_24, Frequency::MHZ_8] {
-            let rows = run(freq);
+            let rows = run(&h, freq);
             let (ss, se, bs, _be) = summary(&rows);
             assert!(ss > 1.0, "{freq:?}: SwapRAM should speed up the suite (got {ss})");
             assert!(se < 1.0, "{freq:?}: SwapRAM should save energy (got {se})");
@@ -127,8 +129,9 @@ mod tests {
 
     #[test]
     fn improvement_larger_at_24mhz_than_8mhz() {
-        let (s24, ..) = summary(&run(Frequency::MHZ_24));
-        let (s8, ..) = summary(&run(Frequency::MHZ_8));
+        let h = Harness::new();
+        let (s24, ..) = summary(&run(&h, Frequency::MHZ_24));
+        let (s8, ..) = summary(&run(&h, Frequency::MHZ_8));
         assert!(
             s24 >= s8 * 0.98,
             "wait-state elimination should make 24 MHz gains at least comparable (24: {s24}, 8: {s8})"

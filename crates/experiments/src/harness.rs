@@ -1,0 +1,548 @@
+//! # The shared measurement harness
+//!
+//! Every figure/table runner used to call [`crate::measure::measure`]
+//! directly, re-assembling and re-linking the same (benchmark, system,
+//! memory profile) triples dozens of times and simulating the full run
+//! matrix serially on one core. This module centralizes both halves:
+//!
+//! * **Build memoization** — [`Harness::build`] keys
+//!   [`mibench::builder::Built`] artifacts by the full `(benchmark,
+//!   system, profile)` configuration (including cache sizes, policies and
+//!   blacklists, via their `Debug` forms) in a thread-safe cache, so each
+//!   unique build is performed exactly once per process. `Built` is plain
+//!   owned data (`Send + Sync`), so one cached artifact serves every
+//!   worker thread.
+//!
+//! * **Run memoization + parallel execution** — [`Harness::measure`]
+//!   memoizes complete [`Measurement`]s keyed by configuration × frequency
+//!   (simulations are deterministic, see the determinism tests), and
+//!   [`Harness::parallel_map`] fans independent work items out over
+//!   `std::thread::scope` workers. The worker count comes from the
+//!   `SWAPRAM_JOBS` environment variable, defaulting to the number of
+//!   available cores.
+//!
+//! Every memoized run is recorded as a [`RunRecord`] tagged with the
+//! experiments that requested it; [`Harness::json_report`] serializes the
+//! full record set (plus cache-hit counters and wall-clock) with the
+//! std-only writer in [`crate::json`] — the `all` binary writes it to
+//! `BENCH_experiments.json`.
+//!
+//! Determinism: identical tables regardless of parallelism. Results are
+//! memoized by configuration and assembled in declaration order, so a
+//! `SWAPRAM_JOBS=1` run and a 16-way run render byte-identical output.
+
+use crate::measure::{measure_built, measure_built_on, MeasureError, Measurement};
+use crate::json::Json;
+use mibench::builder::{build, BuildError, Built, MemoryProfile, System};
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Environment variable controlling the worker-thread count.
+pub const JOBS_ENV: &str = "SWAPRAM_JOBS";
+
+/// One memoized benchmark execution: the configuration that produced it,
+/// its outcome, and how long the (single) build+simulate took.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// System label ("baseline" / "SwapRAM" / "block-based").
+    pub system: &'static str,
+    /// Full system configuration (`Debug` form — distinguishes cache
+    /// sizes, policies and blacklists).
+    pub config: String,
+    /// Memory-profile name.
+    pub profile: &'static str,
+    /// Machine variant: `""` for the stock FR2355, `"no-hw-cache"` for
+    /// the hardware-cache ablation.
+    pub variant: &'static str,
+    /// Operating frequency in MHz.
+    pub freq_mhz: u32,
+    /// The measurement, or why it is missing (DNF / failure).
+    pub result: Result<Measurement, MeasureError>,
+    /// Wall-clock milliseconds the memoized build+run took (first
+    /// request only; later requests are cache hits).
+    pub wall_ms: f64,
+}
+
+type BuildCell = Arc<OnceLock<Arc<Result<Built, BuildError>>>>;
+type RunCell = Arc<OnceLock<Arc<RunRecord>>>;
+
+/// Thread-safe memoizing measurement engine shared by all experiments.
+pub struct Harness {
+    jobs: usize,
+    created: Instant,
+    builds: Mutex<HashMap<String, BuildCell>>,
+    build_hits: AtomicU64,
+    build_misses: AtomicU64,
+    runs: Mutex<HashMap<String, RunCell>>,
+    run_hits: AtomicU64,
+    run_misses: AtomicU64,
+    /// run key → experiments that requested it (for the JSON report).
+    tags: Mutex<BTreeMap<String, BTreeSet<&'static str>>>,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::new()
+    }
+}
+
+impl Harness {
+    /// Creates a harness with the default worker count: `SWAPRAM_JOBS` if
+    /// set (minimum 1), otherwise the number of available cores.
+    pub fn new() -> Harness {
+        Harness::with_jobs(default_jobs())
+    }
+
+    /// Creates a harness with an explicit worker count (1 = sequential).
+    pub fn with_jobs(jobs: usize) -> Harness {
+        Harness {
+            jobs: jobs.max(1),
+            created: Instant::now(),
+            builds: Mutex::new(HashMap::new()),
+            build_hits: AtomicU64::new(0),
+            build_misses: AtomicU64::new(0),
+            runs: Mutex::new(HashMap::new()),
+            run_hits: AtomicU64::new(0),
+            run_misses: AtomicU64::new(0),
+            tags: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Worker-thread count used by [`Harness::parallel_map`].
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Build-cache hits so far.
+    pub fn build_hits(&self) -> u64 {
+        self.build_hits.load(Ordering::Relaxed)
+    }
+
+    /// Build-cache misses (= actual builds performed).
+    pub fn build_misses(&self) -> u64 {
+        self.build_misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct (benchmark, system, profile) configurations built.
+    pub fn unique_builds(&self) -> usize {
+        self.builds.lock().unwrap().len()
+    }
+
+    /// Run-cache hits so far.
+    pub fn run_hits(&self) -> u64 {
+        self.run_hits.load(Ordering::Relaxed)
+    }
+
+    /// Run-cache misses (= actual simulations performed).
+    pub fn run_misses(&self) -> u64 {
+        self.run_misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the memoized build for a configuration, building it on
+    /// first request. Concurrent requesters block until the single build
+    /// completes; exactly one build per unique key ever runs.
+    pub fn build(
+        &self,
+        bench: Benchmark,
+        system: &System,
+        profile: &MemoryProfile,
+    ) -> Arc<Result<Built, BuildError>> {
+        let key = build_key(bench, system, profile);
+        let cell: BuildCell = {
+            let mut map = self.builds.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built_here = false;
+        let out = Arc::clone(cell.get_or_init(|| {
+            built_here = true;
+            self.build_misses.fetch_add(1, Ordering::Relaxed);
+            Arc::new(build(bench, system, profile))
+        }));
+        if !built_here {
+            self.build_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Memoized build + simulate at the default experiment seed, on the
+    /// stock FR2355 machine. `tag` names the requesting experiment for
+    /// the JSON report.
+    ///
+    /// # Errors
+    ///
+    /// [`MeasureError::DoesNotFit`] for DNF configurations, otherwise
+    /// [`MeasureError::Failed`].
+    pub fn measure(
+        &self,
+        tag: &'static str,
+        bench: Benchmark,
+        system: &System,
+        profile: &MemoryProfile,
+        freq: Frequency,
+    ) -> Result<Measurement, MeasureError> {
+        self.measure_variant(tag, "", bench, system, profile, freq)
+    }
+
+    /// Like [`Harness::measure`], but simulating on an FR2355 with the
+    /// hardware FRAM read cache disabled (ablation C).
+    ///
+    /// # Errors
+    ///
+    /// See [`Harness::measure`].
+    pub fn measure_without_hw_cache(
+        &self,
+        tag: &'static str,
+        bench: Benchmark,
+        system: &System,
+        profile: &MemoryProfile,
+        freq: Frequency,
+    ) -> Result<Measurement, MeasureError> {
+        self.measure_variant(tag, "no-hw-cache", bench, system, profile, freq)
+    }
+
+    fn measure_variant(
+        &self,
+        tag: &'static str,
+        variant: &'static str,
+        bench: Benchmark,
+        system: &System,
+        profile: &MemoryProfile,
+        freq: Frequency,
+    ) -> Result<Measurement, MeasureError> {
+        let key = run_key(bench, system, profile, freq, variant);
+        self.tags.lock().unwrap().entry(key.clone()).or_default().insert(tag);
+        let cell: RunCell = {
+            let mut map = self.runs.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut ran_here = false;
+        let rec = Arc::clone(cell.get_or_init(|| {
+            ran_here = true;
+            self.run_misses.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            let result = self.build(bench, system, profile).as_ref().as_ref().map_err(
+                MeasureError::from,
+            ).and_then(|built| {
+                if variant == "no-hw-cache" {
+                    let mut machine =
+                        msp430_sim::machine::Fr2355::machine_without_hw_cache(freq);
+                    measure_built_on(&mut machine, built, system.label(), freq)
+                } else {
+                    measure_built(built, system.label(), freq)
+                }
+            });
+            Arc::new(RunRecord {
+                bench,
+                system: system.label(),
+                config: format!("{system:?}"),
+                profile: profile.name,
+                variant,
+                freq_mhz: freq.mhz,
+                result,
+                wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            })
+        }));
+        if !ran_here {
+            self.run_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        rec.result.clone()
+    }
+
+    /// Applies `f` to every item on a scoped worker pool, preserving
+    /// input order in the output. With `jobs() == 1` (or a single item)
+    /// this degenerates to a plain sequential map — results are identical
+    /// either way because all measurement state is memoized per key.
+    pub fn parallel_map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+        let work: Vec<(usize, Mutex<Option<T>>)> =
+            items.into_iter().enumerate().map(|(i, t)| (i, Mutex::new(Some(t)))).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((idx, slot)) = work.get(i) else { break };
+                    let item = slot.lock().unwrap().take().expect("item taken once");
+                    let r = f(item);
+                    *slots[*idx].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("worker filled slot"))
+            .collect()
+    }
+
+    /// All memoized run records, sorted by cache key (deterministic).
+    pub fn records(&self) -> Vec<(Arc<RunRecord>, Vec<&'static str>)> {
+        let runs = self.runs.lock().unwrap();
+        let tags = self.tags.lock().unwrap();
+        let mut keys: Vec<&String> = runs.keys().collect();
+        keys.sort();
+        keys.iter()
+            .filter_map(|k| {
+                let rec = runs[*k].get()?;
+                let ts = tags.get(*k).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                Some((Arc::clone(rec), ts))
+            })
+            .collect()
+    }
+
+    /// Serializes every memoized run plus cache counters and wall-clock
+    /// into the `BENCH_experiments.json` document.
+    pub fn json_report(&self) -> Json {
+        let runs: Vec<Json> =
+            self.records().into_iter().map(|(r, tags)| run_record_json(&r, &tags)).collect();
+        Json::obj(vec![
+            ("schema", Json::U64(1)),
+            ("generator", Json::str("swapram experiments harness")),
+            ("jobs", Json::U64(self.jobs as u64)),
+            ("wall_ms", Json::F64(self.created.elapsed().as_secs_f64() * 1e3)),
+            (
+                "build_cache",
+                Json::obj(vec![
+                    ("unique", Json::U64(self.unique_builds() as u64)),
+                    ("hits", Json::U64(self.build_hits())),
+                    ("misses", Json::U64(self.build_misses())),
+                ]),
+            ),
+            (
+                "run_cache",
+                Json::obj(vec![
+                    ("unique", Json::U64(self.runs.lock().unwrap().len() as u64)),
+                    ("hits", Json::U64(self.run_hits())),
+                    ("misses", Json::U64(self.run_misses())),
+                ]),
+            ),
+            ("runs", Json::Arr(runs)),
+        ])
+    }
+
+    /// Writes [`Harness::json_report`] (pretty-printed) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut doc = self.json_report().pretty(2);
+        doc.push('\n');
+        std::fs::write(path, doc)
+    }
+}
+
+/// Default worker count: `SWAPRAM_JOBS` if set, else available cores.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn build_key(bench: Benchmark, system: &System, profile: &MemoryProfile) -> String {
+    format!("{}|{system:?}|{profile:?}", bench.name())
+}
+
+fn run_key(
+    bench: Benchmark,
+    system: &System,
+    profile: &MemoryProfile,
+    freq: Frequency,
+    variant: &str,
+) -> String {
+    format!("{}|{variant}|{}MHz|{system:?}|{profile:?}", bench.name(), freq.mhz)
+}
+
+/// Serializes one run record (with its experiment tags) — the element
+/// type of the report's `runs` array. Public so the golden-snapshot
+/// tests can pin the schema.
+pub fn run_record_json(r: &RunRecord, tags: &[&'static str]) -> Json {
+    let result = match &r.result {
+        Ok(m) => {
+            let shares = m.instruction_shares();
+            let mut fields = vec![
+                ("status", Json::str("ok")),
+                ("correct", Json::Bool(m.correct)),
+                ("time_us", Json::F64(m.time_us)),
+                ("energy_uj", Json::F64(m.energy_uj)),
+                ("total_cycles", Json::U64(m.total_cycles())),
+                ("unstalled_cycles", Json::U64(m.unstalled_cycles())),
+                ("fram_accesses", Json::U64(m.fram_accesses())),
+                ("sram_accesses", Json::U64(m.stats.sram_accesses())),
+                ("total_instructions", Json::U64(m.stats.total_instructions())),
+                (
+                    "instruction_shares",
+                    Json::Arr(shares.iter().map(|s| Json::F64(*s)).collect()),
+                ),
+                (
+                    "sizes",
+                    Json::obj(vec![
+                        ("text_bytes", Json::U64(u64::from(m.built.text_bytes))),
+                        ("data_bytes", Json::U64(u64::from(m.built.data_bytes))),
+                        ("metadata_bytes", Json::U64(u64::from(m.built.metadata_bytes))),
+                        ("handler_bytes", Json::U64(u64::from(m.built.handler_bytes))),
+                    ]),
+                ),
+            ];
+            fields.push((
+                "swap",
+                match &m.swap {
+                    Some(s) => Json::obj(vec![
+                        ("misses", Json::U64(s.misses)),
+                        ("fills", Json::U64(s.fills)),
+                        ("evictions", Json::U64(s.evictions)),
+                        ("active_fallbacks", Json::U64(s.active_fallbacks)),
+                        ("frozen_fallbacks", Json::U64(s.frozen_fallbacks)),
+                        ("too_large", Json::U64(s.too_large)),
+                        ("freezes", Json::U64(s.freezes)),
+                        ("bytes_copied", Json::U64(s.bytes_copied)),
+                    ]),
+                    None => Json::Null,
+                },
+            ));
+            fields.push((
+                "block",
+                match &m.block {
+                    Some(b) => Json::obj(vec![
+                        ("traps", Json::U64(b.traps)),
+                        ("fills", Json::U64(b.fills)),
+                        ("chains", Json::U64(b.chains)),
+                        ("flushes", Json::U64(b.flushes)),
+                        ("returns", Json::U64(b.returns)),
+                        ("too_large", Json::U64(b.too_large)),
+                        ("bytes_copied", Json::U64(b.bytes_copied)),
+                    ]),
+                    None => Json::Null,
+                },
+            ));
+            Json::obj(fields)
+        }
+        Err(MeasureError::DoesNotFit(msg)) => Json::obj(vec![
+            ("status", Json::str("dnf")),
+            ("message", Json::str(msg.clone())),
+        ]),
+        Err(MeasureError::Failed(msg)) => Json::obj(vec![
+            ("status", Json::str("failed")),
+            ("message", Json::str(msg.clone())),
+        ]),
+    };
+    Json::obj(vec![
+        ("bench", Json::str(r.bench.name())),
+        ("system", Json::str(r.system)),
+        ("config", Json::str(r.config.clone())),
+        ("profile", Json::str(r.profile)),
+        ("variant", Json::str(r.variant)),
+        ("freq_mhz", Json::U64(u64::from(r.freq_mhz))),
+        ("experiments", Json::Arr(tags.iter().map(|t| Json::str(*t)).collect())),
+        ("wall_ms", Json::F64(r.wall_ms)),
+        ("result", result),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crc_baseline(h: &Harness) -> Measurement {
+        h.measure(
+            "test",
+            Benchmark::Crc,
+            &System::Baseline,
+            &MemoryProfile::unified(),
+            Frequency::MHZ_24,
+        )
+        .expect("crc baseline runs")
+    }
+
+    #[test]
+    fn build_cache_builds_each_key_once() {
+        let h = Harness::with_jobs(1);
+        let profile = MemoryProfile::unified();
+        let a = h.build(Benchmark::Crc, &System::Baseline, &profile);
+        let b = h.build(Benchmark::Crc, &System::Baseline, &profile);
+        assert!(Arc::ptr_eq(&a, &b), "same memoized artifact");
+        assert_eq!(h.build_misses(), 1);
+        assert_eq!(h.build_hits(), 1);
+        assert_eq!(h.unique_builds(), 1);
+        // A different profile is a different key.
+        h.build(Benchmark::Crc, &System::Baseline, &MemoryProfile::all_sram());
+        assert_eq!(h.build_misses(), 2);
+    }
+
+    #[test]
+    fn run_cache_memoizes_measurements() {
+        let h = Harness::with_jobs(1);
+        let m1 = crc_baseline(&h);
+        let m2 = crc_baseline(&h);
+        assert_eq!(h.run_misses(), 1);
+        assert_eq!(h.run_hits(), 1);
+        assert_eq!(m1.stats, m2.stats);
+        // The build underneath was requested once by the run cache.
+        assert_eq!(h.build_misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_build() {
+        let h = Harness::with_jobs(4);
+        let results = h.parallel_map(vec![0u32; 8], |_| crc_baseline(&h).stats);
+        assert_eq!(h.build_misses(), 1, "one build despite 8 concurrent requests");
+        assert_eq!(h.run_misses(), 1, "one simulation despite 8 concurrent requests");
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "identical stats from every thread");
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let h = Harness::with_jobs(4);
+        let out = h.parallel_map((0..100).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dnf_configurations_are_memoized_errors() {
+        let h = Harness::with_jobs(1);
+        let tiny = MemoryProfile {
+            name: "tiny",
+            text_base: 0x4000,
+            data_base: 0x4040,
+            stack_top: 0x9FFC,
+        };
+        for _ in 0..2 {
+            let e = h
+                .measure("test", Benchmark::Crc, &System::Baseline, &tiny, Frequency::MHZ_24)
+                .unwrap_err();
+            assert!(matches!(e, MeasureError::DoesNotFit(_)), "{e}");
+        }
+        assert_eq!(h.run_misses(), 1);
+        assert_eq!(h.run_hits(), 1);
+    }
+
+    #[test]
+    fn json_report_names_every_run() {
+        let h = Harness::with_jobs(1);
+        crc_baseline(&h);
+        let doc = h.json_report().render();
+        assert!(doc.contains("\"bench\":\"crc\""));
+        assert!(doc.contains("\"status\":\"ok\""));
+        assert!(doc.contains("\"experiments\":[\"test\"]"));
+        assert!(doc.contains("\"build_cache\""));
+    }
+}

@@ -1,10 +1,17 @@
 //! # experiments — regenerating the paper's evaluation
 //!
 //! One module per table/figure of the SwapRAM paper's evaluation (§2, §5),
-//! each with a `run()` that produces structured results and a `render()`
-//! that prints the same rows/series the paper reports. Binaries under
-//! `src/bin/` wrap each module; `cargo run -p experiments --bin all`
-//! regenerates everything (the content of EXPERIMENTS.md).
+//! each with a `run(&Harness, ..)` that declares its measurement matrix
+//! and a `render()` that prints the same rows/series the paper reports.
+//! Binaries under `src/bin/` wrap each module; `cargo run -p experiments
+//! --release --bin all` regenerates everything (the content of
+//! EXPERIMENTS.md) plus the machine-readable `BENCH_experiments.json`.
+//!
+//! All modules share one [`harness::Harness`]: builds are memoized per
+//! (benchmark, system, memory profile), simulations are memoized per
+//! configuration × frequency, and independent matrix entries execute
+//! concurrently on `SWAPRAM_JOBS` worker threads (default: all cores).
+//! Results are identical regardless of the worker count.
 //!
 //! | Module    | Paper artefact                                     |
 //! |-----------|----------------------------------------------------|
@@ -23,38 +30,54 @@ pub mod fig10;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod harness;
+pub mod json;
 pub mod measure;
 pub mod report;
 pub mod table1;
 pub mod table2;
 
+pub use harness::Harness;
+
 use msp430_sim::freq::Frequency;
 
-/// Runs every experiment and renders the full report.
-pub fn run_all() -> String {
+/// Runs every experiment through `h` and renders the full report.
+pub fn run_all(h: &Harness) -> String {
+    run_report(h, false)
+}
+
+/// Like [`run_all`], but `fast` skips the ablation studies and the 8 MHz
+/// Figure-9 variant (the CI configuration).
+pub fn run_report(h: &Harness, fast: bool) -> String {
     let mut out = String::new();
-    out.push_str(&fig1::render(&fig1::run()));
+    out.push_str(&fig1::render(&fig1::run(h)));
     out.push('\n');
-    out.push_str(&table1::render(&table1::run()));
+    out.push_str(&table1::render(&table1::run(h)));
     out.push('\n');
-    out.push_str(&fig7::render(&fig7::run()));
+    out.push_str(&fig7::render(&fig7::run(h)));
     out.push('\n');
-    out.push_str(&table2::render(&table2::run()));
+    out.push_str(&table2::render(&table2::run(h)));
     out.push('\n');
-    out.push_str(&fig8::render(&fig8::run()));
+    out.push_str(&fig8::render(&fig8::run(h)));
     out.push('\n');
-    out.push_str(&fig9::render(&fig9::run(Frequency::MHZ_24)));
+    out.push_str(&fig9::render(&fig9::run(h, Frequency::MHZ_24)));
     out.push('\n');
-    out.push_str(&fig9::render(&fig9::run(Frequency::MHZ_8)));
+    if !fast {
+        out.push_str(&fig9::render(&fig9::run(h, Frequency::MHZ_8)));
+        out.push('\n');
+    }
+    out.push_str(&fig10::render(&fig10::run(h, Frequency::MHZ_24)));
     out.push('\n');
-    out.push_str(&fig10::render(&fig10::run(Frequency::MHZ_24)));
-    out.push('\n');
-    out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep()));
-    out.push('\n');
-    out.push_str(&ablation::render_policies(&ablation::policy_comparison(512)));
-    out.push('\n');
-    out.push_str(&ablation::render_profile_guided(&ablation::profile_guided_blacklist(512)));
-    out.push('\n');
-    out.push_str(&ablation::render_hw_cache(&ablation::hw_cache_ablation()));
+    if !fast {
+        out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep(h)));
+        out.push('\n');
+        out.push_str(&ablation::render_policies(&ablation::policy_comparison(h, 512)));
+        out.push('\n');
+        out.push_str(&ablation::render_profile_guided(&ablation::profile_guided_blacklist(
+            h, 512,
+        )));
+        out.push('\n');
+        out.push_str(&ablation::render_hw_cache(&ablation::hw_cache_ablation(h)));
+    }
     out
 }

@@ -1,7 +1,7 @@
 //! Shared measurement plumbing: build + run a benchmark under a system
 //! and operating point, and collect every metric the paper reports.
 
-use mibench::builder::{build, run, BuildError, Built, MemoryProfile, System};
+use mibench::builder::{build, BuildError, Built, MemoryProfile, System};
 use mibench::{input_for, Benchmark};
 use msp430_sim::energy::EnergyModel;
 use msp430_sim::freq::Frequency;
@@ -100,6 +100,15 @@ impl std::fmt::Display for MeasureError {
     }
 }
 
+impl From<&BuildError> for MeasureError {
+    fn from(e: &BuildError) -> MeasureError {
+        match e {
+            BuildError::DoesNotFit(m) => MeasureError::DoesNotFit(m.clone()),
+            BuildError::Asm(m) => MeasureError::Failed(m.to_string()),
+        }
+    }
+}
+
 /// Default input seed for all experiments (deterministic).
 pub const SEED: u64 = 1;
 
@@ -135,9 +144,25 @@ pub fn measure_built(
     system: &'static str,
     freq: Frequency,
 ) -> Result<Measurement, MeasureError> {
+    let mut machine = msp430_sim::machine::Fr2355::machine(freq);
+    measure_built_on(&mut machine, built, system, freq)
+}
+
+/// Runs an already-built benchmark on a caller-provided (fresh) machine —
+/// the hook ablation studies use to e.g. disable the hardware cache.
+///
+/// # Errors
+///
+/// [`MeasureError::Failed`] on simulation errors or cycle-limit overruns.
+pub fn measure_built_on(
+    machine: &mut msp430_sim::machine::Machine,
+    built: &Built,
+    system: &'static str,
+    freq: Frequency,
+) -> Result<Measurement, MeasureError> {
     let input = input_for(built.bench, SEED);
-    let result =
-        run(built, freq, &input, MAX_CYCLES).map_err(|e| MeasureError::Failed(e.to_string()))?;
+    let result = mibench::builder::run_on(machine, built, &input, MAX_CYCLES)
+        .map_err(|e| MeasureError::Failed(e.to_string()))?;
     if !result.outcome.success() {
         return Err(MeasureError::Failed(format!("exit {:?}", result.outcome.exit)));
     }

@@ -5,7 +5,8 @@
 //! unified-memory run provides the access trace, and the assembler's
 //! section table provides the static sizes.
 
-use crate::measure::{measure, Measurement};
+use crate::harness::Harness;
+use crate::measure::Measurement;
 use crate::report::Table;
 use mibench::builder::{MemoryProfile, System};
 use mibench::Benchmark;
@@ -26,27 +27,25 @@ pub struct Table1Row {
     pub m: Measurement,
 }
 
-/// Runs the baseline trace for all nine benchmarks.
+/// Runs the baseline trace for all nine benchmarks concurrently.
 ///
 /// # Panics
 ///
 /// Panics if a benchmark fails to build or run.
-pub fn run() -> Vec<Table1Row> {
-    Benchmark::MIBENCH
-        .into_iter()
-        .map(|bench| {
-            let m = measure(bench, &System::Baseline, &MemoryProfile::unified(), Frequency::MHZ_8)
-                .unwrap_or_else(|e| panic!("table1 {}: {e}", bench.name()));
-            assert!(m.correct, "table1 {}: wrong result", bench.name());
-            Table1Row {
-                bench,
-                binary_bytes: m.built.text_bytes,
-                ram_bytes: m.built.data_bytes,
-                ratio: m.stats.code_data_ratio().unwrap_or(f64::NAN),
-                m,
-            }
-        })
-        .collect()
+pub fn run(h: &Harness) -> Vec<Table1Row> {
+    h.parallel_map(Benchmark::MIBENCH.to_vec(), |bench| {
+        let m = h
+            .measure("table1", bench, &System::Baseline, &MemoryProfile::unified(), Frequency::MHZ_8)
+            .unwrap_or_else(|e| panic!("table1 {}: {e}", bench.name()));
+        assert!(m.correct, "table1 {}: wrong result", bench.name());
+        Table1Row {
+            bench,
+            binary_bytes: m.built.text_bytes,
+            ram_bytes: m.built.data_bytes,
+            ratio: m.stats.code_data_ratio().unwrap_or(f64::NAN),
+            m,
+        }
+    })
 }
 
 /// Average code/data ratio across the suite (paper: 3.035).
@@ -84,7 +83,7 @@ mod tests {
 
     #[test]
     fn code_accesses_dominate_everywhere() {
-        let rows = run();
+        let rows = run(&Harness::new());
         for r in &rows {
             assert!(
                 r.ratio > 1.0,

@@ -2,7 +2,8 @@
 //! block-based caching and SwapRAM across the nine benchmarks, with
 //! geometric-mean deltas.
 
-use crate::measure::{geomean, measure, systems, MeasureError, Measurement};
+use crate::harness::Harness;
+use crate::measure::{geomean, systems, MeasureError, Measurement};
 use crate::report::{pct_change, Table};
 use mibench::builder::MemoryProfile;
 use mibench::Benchmark;
@@ -27,20 +28,19 @@ pub struct Table2Row {
 /// # Panics
 ///
 /// Panics if the baseline or SwapRAM runs fail (block-based may DNF).
-pub fn run() -> Vec<Table2Row> {
+pub fn run(h: &Harness) -> Vec<Table2Row> {
     let profile = MemoryProfile::unified();
     let [(_, base_sys), (_, block_sys), (_, swap_sys)] = systems();
-    Benchmark::MIBENCH
-        .into_iter()
-        .map(|bench| {
-            let baseline = measure(bench, &base_sys, &profile, Frequency::MHZ_8)
-                .unwrap_or_else(|e| panic!("table2 {} baseline: {e}", bench.name()));
-            let block = measure(bench, &block_sys, &profile, Frequency::MHZ_8);
-            let swapram = measure(bench, &swap_sys, &profile, Frequency::MHZ_8)
-                .unwrap_or_else(|e| panic!("table2 {} SwapRAM: {e}", bench.name()));
-            Table2Row { bench, baseline, block, swapram }
-        })
-        .collect()
+    h.parallel_map(Benchmark::MIBENCH.to_vec(), |bench| {
+        let baseline = h
+            .measure("table2", bench, &base_sys, &profile, Frequency::MHZ_8)
+            .unwrap_or_else(|e| panic!("table2 {} baseline: {e}", bench.name()));
+        let block = h.measure("table2", bench, &block_sys, &profile, Frequency::MHZ_8);
+        let swapram = h
+            .measure("table2", bench, &swap_sys, &profile, Frequency::MHZ_8)
+            .unwrap_or_else(|e| panic!("table2 {} SwapRAM: {e}", bench.name()));
+        Table2Row { bench, baseline, block, swapram }
+    })
 }
 
 /// Geometric-mean FRAM-access and cycle deltas `(swap_fram, swap_cycles,
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn swapram_eliminates_most_fram_accesses() {
-        let rows = run();
+        let rows = run(&Harness::new());
         let (sf, sc, _bf, bc) = geomeans(&rows);
         // Paper: -65% FRAM geomean. Our leaner benchmarks shift more.
         assert!(sf < 0.6, "SwapRAM should eliminate most FRAM accesses (got ratio {sf})");

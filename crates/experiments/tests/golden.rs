@@ -1,0 +1,141 @@
+//! Golden-snapshot tests for the two human/machine-readable output
+//! formats: the aligned text tables of [`experiments::report`] and the
+//! `BENCH_experiments.json` schema produced by the harness. Any change to
+//! either format must update these snapshots deliberately.
+
+use experiments::harness::{run_record_json, RunRecord};
+use experiments::json::Json;
+use experiments::measure::{BuildSizes, MeasureError, Measurement};
+use experiments::report::{pct_change, ratio, Table};
+use mibench::Benchmark;
+use msp430_sim::freq::Frequency;
+use msp430_sim::trace::Stats;
+
+#[test]
+fn table_rendering_snapshot() {
+    let mut t = Table::new("Table X — demo", &["benchmark", "value", "delta"]);
+    t.row(vec!["crc".into(), "123".into(), pct_change(0.35, 1.0)]);
+    t.row(vec!["stringsearch".into(), "7".into(), ratio(1.257)]);
+    t.note("paper: -65%");
+    let expected = "\
+== Table X — demo ==
+   benchmark  value  delta
+--------------------------
+         crc    123   -65%
+stringsearch      7  1.26x
+note: paper: -65%
+";
+    assert_eq!(t.render(), expected);
+}
+
+fn synthetic_measurement() -> Measurement {
+    let stats = Stats {
+        fram_ifetch: 10,
+        fram_read: 5,
+        fram_write: 1,
+        sram_ifetch: 2,
+        sram_read: 1,
+        sram_write: 1,
+        mmio_accesses: 0,
+        unstalled_cycles: 100,
+        wait_cycles: 20,
+        contention_cycles: 5,
+        hw_cache_hits: 8,
+        hw_cache_misses: 2,
+        instructions: [3, 1, 0, 0],
+    };
+    Measurement {
+        bench: Benchmark::Crc,
+        system: "baseline",
+        freq: Frequency::MHZ_8,
+        stats,
+        time_us: 15.625,
+        energy_uj: 0.5,
+        correct: true,
+        built: BuildSizes { text_bytes: 252, data_bytes: 64, metadata_bytes: 0, handler_bytes: 0 },
+        swap: None,
+        block: None,
+    }
+}
+
+#[test]
+fn run_record_json_snapshot() {
+    let rec = RunRecord {
+        bench: Benchmark::Crc,
+        system: "baseline",
+        config: "Baseline".into(),
+        profile: "unified",
+        variant: "",
+        freq_mhz: 8,
+        result: Ok(synthetic_measurement()),
+        wall_ms: 1.5,
+    };
+    let expected = concat!(
+        r#"{"bench":"crc","system":"baseline","config":"Baseline","profile":"unified","#,
+        r#""variant":"","freq_mhz":8,"experiments":["correctness"],"wall_ms":1.5,"#,
+        r#""result":{"status":"ok","correct":true,"time_us":15.625,"energy_uj":0.5,"#,
+        r#""total_cycles":125,"unstalled_cycles":100,"fram_accesses":16,"sram_accesses":4,"#,
+        r#""total_instructions":4,"instruction_shares":[0.75,0.25,0.0,0.0],"#,
+        r#""sizes":{"text_bytes":252,"data_bytes":64,"metadata_bytes":0,"handler_bytes":0},"#,
+        r#""swap":null,"block":null}}"#
+    );
+    assert_eq!(run_record_json(&rec, &["correctness"]).render(), expected);
+}
+
+#[test]
+fn dnf_record_json_snapshot() {
+    let rec = RunRecord {
+        bench: Benchmark::Aes,
+        system: "block-based",
+        config: "BlockCache(..)".into(),
+        profile: "unified",
+        variant: "",
+        freq_mhz: 24,
+        result: Err(MeasureError::DoesNotFit("text 14000 > 12288".into())),
+        wall_ms: 0.25,
+    };
+    let expected = concat!(
+        r#"{"bench":"aes","system":"block-based","config":"BlockCache(..)","#,
+        r#""profile":"unified","variant":"","freq_mhz":24,"experiments":[],"wall_ms":0.25,"#,
+        r#""result":{"status":"dnf","message":"text 14000 > 12288"}}"#
+    );
+    assert_eq!(run_record_json(&rec, &[]).render(), expected);
+}
+
+#[test]
+fn pretty_printing_snapshot() {
+    let doc = Json::obj(vec![
+        ("schema", Json::U64(1)),
+        ("runs", Json::Arr(vec![Json::obj(vec![("bench", Json::str("crc"))])])),
+        ("empty", Json::Arr(vec![])),
+    ]);
+    let expected = "\
+{
+  \"schema\": 1,
+  \"runs\": [
+    {
+      \"bench\": \"crc\"
+    }
+  ],
+  \"empty\": []
+}";
+    assert_eq!(doc.pretty(2), expected);
+}
+
+/// The real report must carry the pinned top-level schema: running one
+/// measurement through a harness yields a document with exactly these
+/// keys, schema version 1, and one run entry per unique configuration.
+#[test]
+fn json_report_schema_snapshot() {
+    use experiments::Harness;
+    use mibench::builder::{MemoryProfile, System};
+
+    let h = Harness::with_jobs(1);
+    h.measure("golden", Benchmark::Crc, &System::Baseline, &MemoryProfile::unified(), Frequency::MHZ_24)
+        .expect("crc baseline");
+    let doc = h.json_report().render();
+    assert!(doc.starts_with(r#"{"schema":1,"generator":"swapram experiments harness","jobs":1,"#));
+    for key in ["\"build_cache\":{", "\"run_cache\":{", "\"runs\":[", "\"experiments\":[\"golden\"]"] {
+        assert!(doc.contains(key), "missing {key} in {doc}");
+    }
+}

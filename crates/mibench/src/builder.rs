@@ -148,6 +148,14 @@ pub struct Built {
     pub handler_bytes: u16,
 }
 
+// The experiment harness shares `Built` artifacts across worker threads
+// and clones them out of its memoizing cache; keep the struct plain owned
+// data (no Rc/RefCell — those live only in per-run runtimes).
+const _: () = {
+    const fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+    assert_send_sync_clone::<Built>();
+};
+
 impl Built {
     /// The loadable image.
     pub fn image(&self) -> &Image {

@@ -35,6 +35,7 @@ pub mod machine;
 pub mod mem;
 pub mod ports;
 pub mod profile;
+pub mod rng;
 pub mod trace;
 
 pub use cpu::Cpu;

@@ -1,12 +1,15 @@
-//! Property-based cross-validation of the CPU's arithmetic and flag
-//! semantics against a Rust reference model, over random operand values.
+//! Randomized cross-validation of the CPU's arithmetic and flag
+//! semantics against a Rust reference model, over seeded-random operand
+//! values (std-only replacement for the previous proptest version).
 
 use msp430_sim::cpu::{Cpu, FLAG_C, FLAG_N, FLAG_V, FLAG_Z};
 use msp430_sim::freq::Frequency;
 use msp430_sim::hwcache::HwCache;
 use msp430_sim::isa::{Instr, Opcode, Operand, Reg, Size};
 use msp430_sim::mem::{Bus, MemoryMap};
-use proptest::prelude::*;
+use msp430_sim::rng::SplitMix64;
+
+const CASES: usize = 256;
 
 /// Reference model of one format-I word operation: returns
 /// `(result, c, z, n, v)`; `write` is false for CMP/BIT.
@@ -76,39 +79,70 @@ fn exec_one(op: Opcode, src: u16, dst: u16, carry_in: bool) -> (u16, bool, bool,
     (result, cpu.flag(FLAG_C), cpu.flag(FLAG_Z), cpu.flag(FLAG_N), cpu.flag(FLAG_V))
 }
 
-proptest! {
-    #[test]
-    fn alu_matches_reference(src in any::<u16>(), dst in any::<u16>(), carry in any::<bool>()) {
-        for op in [Opcode::Add, Opcode::Addc, Opcode::Sub, Opcode::Subc,
-                   Opcode::Cmp, Opcode::Xor, Opcode::And] {
-            let expect = model(op, src, dst, carry).unwrap();
-            let got = exec_one(op, src, dst, carry);
-            prop_assert_eq!(got, expect, "{} {:#06x}, {:#06x} (C={})", op, src, dst, carry);
+#[test]
+fn alu_matches_reference() {
+    let mut r = SplitMix64::new(0xA1);
+    // Deliberate edge operands plus random sweep.
+    let edges = [0u16, 1, 0x7FFF, 0x8000, 0xFFFF];
+    let mut cases: Vec<(u16, u16, bool)> = Vec::new();
+    for &s in &edges {
+        for &d in &edges {
+            cases.push((s, d, false));
+            cases.push((s, d, true));
         }
     }
+    for _ in 0..CASES {
+        cases.push((r.next_u16(), r.next_u16(), r.next_bool()));
+    }
+    for (src, dst, carry) in cases {
+        for op in [
+            Opcode::Add,
+            Opcode::Addc,
+            Opcode::Sub,
+            Opcode::Subc,
+            Opcode::Cmp,
+            Opcode::Xor,
+            Opcode::And,
+        ] {
+            let expect = model(op, src, dst, carry).unwrap();
+            let got = exec_one(op, src, dst, carry);
+            assert_eq!(got, expect, "{op} {src:#06x}, {dst:#06x} (C={carry})");
+        }
+    }
+}
 
-    /// DADD implements packed-BCD addition for valid BCD operands.
-    #[test]
-    fn dadd_is_bcd_addition(a in 0u16..10_000, b in 0u16..10_000) {
-        let to_bcd = |mut v: u16| -> u16 {
-            let mut out = 0u16;
-            for shift in [0u16, 4, 8, 12] {
-                out |= (v % 10) << shift;
-                v /= 10;
-            }
-            out
-        };
+/// DADD implements packed-BCD addition for valid BCD operands.
+#[test]
+fn dadd_is_bcd_addition() {
+    let mut r = SplitMix64::new(0xA2);
+    let to_bcd = |mut v: u16| -> u16 {
+        let mut out = 0u16;
+        for shift in [0u16, 4, 8, 12] {
+            out |= (v % 10) << shift;
+            v /= 10;
+        }
+        out
+    };
+    let mut cases: Vec<(u16, u16)> = vec![(0, 0), (9999, 9999), (9999, 1), (5000, 5000)];
+    for _ in 0..CASES {
+        cases.push((r.below(10_000) as u16, r.below(10_000) as u16));
+    }
+    for (a, b) in cases {
         let got = exec_one(Opcode::Dadd, to_bcd(a), to_bcd(b), false);
         let sum = (u32::from(a) + u32::from(b)) % 10_000;
         let carry = u32::from(a) + u32::from(b) >= 10_000;
-        prop_assert_eq!(got.0, to_bcd(sum as u16), "{} + {}", a, b);
-        prop_assert_eq!(got.1, carry, "carry of {} + {}", a, b);
+        assert_eq!(got.0, to_bcd(sum as u16), "{a} + {b}");
+        assert_eq!(got.1, carry, "carry of {a} + {b}");
     }
+}
 
-    /// Byte operations always clear the destination register's high byte
-    /// and compute flags on 8 bits.
-    #[test]
-    fn byte_ops_clear_high_byte(src in any::<u16>(), dst in any::<u16>()) {
+/// Byte operations always clear the destination register's high byte
+/// and compute flags on 8 bits.
+#[test]
+fn byte_ops_clear_high_byte() {
+    let mut r = SplitMix64::new(0xA3);
+    for _ in 0..CASES {
+        let (src, dst) = (r.next_u16(), r.next_u16());
         let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
         let instr = Instr::FormatI {
             op: Opcode::Add,
@@ -125,17 +159,22 @@ proptest! {
         cpu.set_reg(Reg::R13, dst);
         cpu.step(&mut bus).unwrap();
         let expect = (src as u8).wrapping_add(dst as u8);
-        prop_assert_eq!(cpu.reg(Reg::R13), u16::from(expect));
-        prop_assert_eq!(cpu.flag(FLAG_Z), expect == 0);
-        prop_assert_eq!(cpu.flag(FLAG_N), expect & 0x80 != 0);
-        prop_assert_eq!(cpu.flag(FLAG_C), u16::from(src as u8) + u16::from(dst as u8) > 0xFF);
+        assert_eq!(cpu.reg(Reg::R13), u16::from(expect));
+        assert_eq!(cpu.flag(FLAG_Z), expect == 0);
+        assert_eq!(cpu.flag(FLAG_N), expect & 0x80 != 0);
+        assert_eq!(cpu.flag(FLAG_C), u16::from(src as u8) + u16::from(dst as u8) > 0xFF);
     }
+}
 
-    /// PUSH/POP roundtrips arbitrary values through the stack.
-    #[test]
-    fn push_pop_roundtrip(v in any::<u16>()) {
+/// PUSH/POP roundtrips arbitrary values through the stack.
+#[test]
+fn push_pop_roundtrip() {
+    let mut r = SplitMix64::new(0xA4);
+    for _ in 0..CASES {
+        let v = r.next_u16();
         let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
-        let push = Instr::FormatII { op: Opcode::Push, size: Size::Word, dst: Operand::Reg(Reg::R12) };
+        let push =
+            Instr::FormatII { op: Opcode::Push, size: Size::Word, dst: Operand::Reg(Reg::R12) };
         let pop = Instr::FormatI {
             op: Opcode::Mov,
             size: Size::Word,
@@ -155,31 +194,35 @@ proptest! {
         cpu.set_reg(Reg::R12, v);
         cpu.step(&mut bus).unwrap();
         cpu.step(&mut bus).unwrap();
-        prop_assert_eq!(cpu.reg(Reg::R14), v);
-        prop_assert_eq!(cpu.sp(), 0x3000);
+        assert_eq!(cpu.reg(Reg::R14), v);
+        assert_eq!(cpu.sp(), 0x3000);
     }
+}
 
-    /// RRA/RRC model: arithmetic shift right and rotate-through-carry.
-    #[test]
-    fn shifts_match_reference(v in any::<u16>(), carry in any::<bool>()) {
-        let run = |op: Opcode, v: u16, cin: bool| {
-            let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
-            let i = Instr::FormatII { op, size: Size::Word, dst: Operand::Reg(Reg::R12) };
-            for (k, w) in i.encode(0x4000).unwrap().into_iter().enumerate() {
-                bus.poke_word(0x4000 + 2 * k as u16, w);
-            }
-            let mut cpu = Cpu::new();
-            cpu.set_pc(0x4000);
-            cpu.set_reg(Reg::R12, v);
-            cpu.set_reg(Reg::SR, if cin { FLAG_C } else { 0 });
-            cpu.step(&mut bus).unwrap();
-            (cpu.reg(Reg::R12), cpu.flag(FLAG_C))
-        };
+/// RRA/RRC model: arithmetic shift right and rotate-through-carry.
+#[test]
+fn shifts_match_reference() {
+    let mut rng = SplitMix64::new(0xA5);
+    let run = |op: Opcode, v: u16, cin: bool| {
+        let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_8);
+        let i = Instr::FormatII { op, size: Size::Word, dst: Operand::Reg(Reg::R12) };
+        for (k, w) in i.encode(0x4000).unwrap().into_iter().enumerate() {
+            bus.poke_word(0x4000 + 2 * k as u16, w);
+        }
+        let mut cpu = Cpu::new();
+        cpu.set_pc(0x4000);
+        cpu.set_reg(Reg::R12, v);
+        cpu.set_reg(Reg::SR, if cin { FLAG_C } else { 0 });
+        cpu.step(&mut bus).unwrap();
+        (cpu.reg(Reg::R12), cpu.flag(FLAG_C))
+    };
+    for _ in 0..CASES {
+        let (v, carry) = (rng.next_u16(), rng.next_bool());
         let (rra, c1) = run(Opcode::Rra, v, carry);
-        prop_assert_eq!(rra, ((v as i16) >> 1) as u16);
-        prop_assert_eq!(c1, v & 1 != 0);
+        assert_eq!(rra, ((v as i16) >> 1) as u16);
+        assert_eq!(c1, v & 1 != 0);
         let (rrc, c2) = run(Opcode::Rrc, v, carry);
-        prop_assert_eq!(rrc, (v >> 1) | if carry { 0x8000 } else { 0 });
-        prop_assert_eq!(c2, v & 1 != 0);
+        assert_eq!(rrc, (v >> 1) | if carry { 0x8000 } else { 0 });
+        assert_eq!(c2, v & 1 != 0);
     }
 }

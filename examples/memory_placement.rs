@@ -8,12 +8,13 @@
 
 use experiments::fig1;
 use experiments::measure::measure;
+use experiments::Harness;
 use mibench::builder::System;
 use mibench::Benchmark;
 use msp430_sim::freq::Frequency;
 
 fn main() {
-    println!("{}", fig1::render(&fig1::run()));
+    println!("{}", fig1::render(&fig1::run(&Harness::new())));
     println!("Why: the stall breakdown at 24 MHz —\n");
     println!(
         "{:<34} {:>10} {:>10} {:>11}",

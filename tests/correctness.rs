@@ -3,28 +3,54 @@
 //! SwapRAM and the block cache — all matching the Rust oracle.
 //!
 //! This is the reproduction of the paper's UART check-sequence comparison
-//! between the instrumented and uninstrumented binaries.
+//! between the instrumented and uninstrumented binaries. All builds go
+//! through one shared [`experiments::Harness`], so the 9 benchmarks × 3
+//! systems matrix assembles each configuration exactly once even though
+//! the tests run as independent functions.
 
+use std::sync::OnceLock;
+
+use experiments::Harness;
 use mibench::builder::{build, run, MemoryProfile, System};
 use mibench::{input_for, Benchmark};
 use msp430_sim::freq::Frequency;
 
 const SEEDS: [u64; 3] = [11, 42, 1234];
 
-fn validate(bench: Benchmark) {
-    let profile = MemoryProfile::unified();
-    let systems: [(&str, System); 3] = [
+fn harness() -> &'static Harness {
+    static H: OnceLock<Harness> = OnceLock::new();
+    H.get_or_init(Harness::new)
+}
+
+fn systems() -> [(&'static str, System); 3] {
+    [
         ("baseline", System::Baseline),
         ("SwapRAM", System::SwapRam(swapram::SwapConfig::unified_fr2355())),
         ("block", System::BlockCache(blockcache::BlockConfig::unified_fr2355())),
-    ];
-    for (label, system) in &systems {
-        let built = build(bench, system, &profile)
+    ]
+}
+
+fn validate(bench: Benchmark) {
+    let h = harness();
+    let profile = MemoryProfile::unified();
+    for (label, system) in &systems() {
+        // The harness's own measurement (fixed experiment seed) must agree
+        // with the oracle.
+        let m = h
+            .measure("correctness", bench, system, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("{}/{label}: measure: {e}", bench.name()));
+        assert!(m.correct, "{}/{label}: harness measurement diverges from oracle", bench.name());
+
+        // And so must runs over the independent seed set.
+        let built = h.build(bench, system, &profile);
+        let built = built
+            .as_ref()
+            .as_ref()
             .unwrap_or_else(|e| panic!("{}/{label}: build: {e}", bench.name()));
         for seed in SEEDS {
             let input = input_for(bench, seed);
             let expect = bench.oracle_checksum(&input);
-            let r = run(&built, Frequency::MHZ_24, &input, 4_000_000_000)
+            let r = run(built, Frequency::MHZ_24, &input, 4_000_000_000)
                 .unwrap_or_else(|e| panic!("{}/{label}/{seed}: run: {e}", bench.name()));
             assert!(
                 r.outcome.success(),
@@ -85,6 +111,46 @@ fn bitcount_semantics() {
 #[test]
 fn rsa_semantics() {
     validate(Benchmark::Rsa);
+}
+
+/// The full 9 × 3 matrix shares one build per configuration: after all
+/// benchmark tests above, the harness must hold exactly one build per
+/// (benchmark, system) pair it saw — re-requests are cache hits.
+#[test]
+fn matrix_builds_are_shared() {
+    for bench in Benchmark::MIBENCH {
+        validate(bench);
+    }
+    let h = harness();
+    assert_eq!(h.build_misses(), h.unique_builds() as u64);
+    assert!(h.build_hits() > 0, "repeated requests must hit the cache");
+}
+
+/// DNF determination must match Figure 7's expected set. At our benchmark
+/// scale nothing fails to fit: no build overflows its physical regions
+/// (hard DNF) and nothing exceeds the scaled 8 KiB NVM budget — Figure
+/// 7's DNF column is expected to be empty, unlike the paper's block-based
+/// 4-of-9 at full MiBench2 scale.
+#[test]
+fn fig7_dnf_set_is_expected() {
+    const EXPECTED_DNF: [&str; 0] = [];
+
+    let rows = experiments::fig7::run(harness());
+    assert_eq!(rows.len(), Benchmark::MIBENCH.len());
+    let mut hard: Vec<&str> = Vec::new();
+    let mut scaled: Vec<&str> = Vec::new();
+    for r in &rows {
+        for e in [&r.block, &r.swap] {
+            if e.hard_dnf {
+                hard.push(r.bench.name());
+            }
+            if e.dnf_scaled() {
+                scaled.push(r.bench.name());
+            }
+        }
+    }
+    assert_eq!(hard, EXPECTED_DNF, "hard (region-overflow) DNF set changed");
+    assert_eq!(scaled, EXPECTED_DNF, "scaled-budget DNF set changed");
 }
 
 /// SwapRAM must stay correct across memory profiles and frequencies.

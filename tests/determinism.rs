@@ -1,0 +1,110 @@
+//! Determinism guarantees behind the harness's run memoization: the
+//! simulator is a pure function of (benchmark, system, profile,
+//! frequency, seed), so repeating a configuration — from scratch, or from
+//! concurrent harness threads — must yield byte-identical statistics and
+//! output checksums. This is what makes caching `Measurement`s sound and
+//! the parallel experiment tables independent of the worker count.
+
+use experiments::Harness;
+use mibench::builder::{build, run, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+use msp430_sim::trace::Stats;
+
+const SEED: u64 = 1;
+
+/// One full from-scratch build + run; returns the stats and checksum.
+fn execute(bench: Benchmark, system: &System, freq: Frequency) -> (Stats, (u32, u64)) {
+    let built = build(bench, system, &MemoryProfile::unified())
+        .unwrap_or_else(|e| panic!("{}: build: {e}", bench.name()));
+    let input = input_for(bench, SEED);
+    let r = run(&built, freq, &input, 4_000_000_000)
+        .unwrap_or_else(|e| panic!("{}: run: {e}", bench.name()));
+    assert!(r.outcome.success());
+    (r.outcome.stats, r.outcome.checksum)
+}
+
+/// Back-to-back sequential repetitions are byte-identical.
+#[test]
+fn repeated_runs_are_identical_sequentially() {
+    let configs = [
+        (Benchmark::Crc, System::Baseline),
+        (Benchmark::Aes, System::SwapRam(swapram::SwapConfig::unified_fr2355())),
+        (Benchmark::Rc4, System::BlockCache(blockcache::BlockConfig::unified_fr2355())),
+    ];
+    for (bench, system) in &configs {
+        for freq in [Frequency::MHZ_8, Frequency::MHZ_24] {
+            let (stats_a, sum_a) = execute(*bench, system, freq);
+            let (stats_b, sum_b) = execute(*bench, system, freq);
+            assert_eq!(stats_a, stats_b, "{}: stats differ across runs", bench.name());
+            assert_eq!(sum_a, sum_b, "{}: checksum differs across runs", bench.name());
+        }
+    }
+}
+
+/// Two harness threads measuring the same configuration concurrently —
+/// each through its *own* harness, so nothing is shared — agree exactly
+/// with each other and with a sequential reference.
+#[test]
+fn concurrent_harness_threads_agree() {
+    let bench = Benchmark::Aes;
+    let system = System::SwapRam(swapram::SwapConfig::unified_fr2355());
+    let freq = Frequency::MHZ_24;
+
+    let (ref_stats, _) = execute(bench, &system, freq);
+
+    let measured: Vec<Stats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let system = system.clone();
+                scope.spawn(move || {
+                    let h = Harness::new();
+                    let m = h
+                        .measure("determinism", bench, &system, &MemoryProfile::unified(), freq)
+                        .expect("measure");
+                    assert!(m.correct);
+                    m.stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+
+    assert_eq!(measured[0], measured[1], "concurrent threads disagree");
+    assert_eq!(measured[0], ref_stats, "threaded result differs from sequential reference");
+}
+
+/// One *shared* harness serves concurrent requesters a single memoized
+/// measurement: both receive results identical to the sequential
+/// reference, and only one build/run is performed.
+#[test]
+fn shared_harness_is_deterministic_under_contention() {
+    let bench = Benchmark::Crc;
+    let system = System::Baseline;
+    let freq = Frequency::MHZ_24;
+
+    let (ref_stats, _) = execute(bench, &system, freq);
+
+    let h = Harness::new();
+    let measured: Vec<Stats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let h = &h;
+                let system = system.clone();
+                scope.spawn(move || {
+                    let m = h
+                        .measure("determinism", bench, &system, &MemoryProfile::unified(), freq)
+                        .expect("measure");
+                    assert!(m.correct);
+                    m.stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("thread")).collect()
+    });
+
+    assert_eq!(measured[0], ref_stats);
+    assert_eq!(measured[1], ref_stats);
+    assert_eq!(h.unique_builds(), 1, "shared harness must build once");
+    assert_eq!(h.run_misses(), 1, "shared harness must simulate once");
+}

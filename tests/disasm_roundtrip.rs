@@ -1,4 +1,4 @@
-//! Property test: random straight-line code sequences survive
+//! Randomized test: random straight-line code sequences survive
 //! encode → disassemble → reassemble with byte-identical output.
 //!
 //! This is the guarantee the §4 library-instrumentation flow rests on:
@@ -9,46 +9,44 @@
 use msp430_asm::disasm::{disassemble, DisasmFunc};
 use msp430_asm::layout::LayoutConfig;
 use msp430_sim::isa::{Instr, Opcode, Operand, Reg, Size};
-use proptest::prelude::*;
+use msp430_sim::rng::SplitMix64;
 use std::collections::BTreeMap;
+
+const STRAIGHTLINE_OPS: [Opcode; 7] = [
+    Opcode::Mov,
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Xor,
+    Opcode::And,
+    Opcode::Bis,
+    Opcode::Bic,
+];
 
 /// Generates instructions compiled library code plausibly contains:
 /// no PC-writing sources (control flow is appended separately).
-fn arb_straightline() -> impl Strategy<Value = Instr> {
-    let ops = prop_oneof![
-        Just(Opcode::Mov),
-        Just(Opcode::Add),
-        Just(Opcode::Sub),
-        Just(Opcode::Xor),
-        Just(Opcode::And),
-        Just(Opcode::Bis),
-        Just(Opcode::Bic),
-    ];
-    let srcs = prop_oneof![
-        (4u8..=15).prop_map(|r| Operand::Reg(Reg::r(r))),
-        (any::<u16>(), (4u8..=15)).prop_map(|(x, r)| Operand::Indexed(x, Reg::r(r))),
-        (0x2000u16..0xBFFF).prop_map(|a| Operand::Absolute(a & !1)),
-        (4u8..=15).prop_map(|r| Operand::Indirect(Reg::r(r))),
-        any::<u16>().prop_map(Operand::Imm),
-    ];
-    let dsts = prop_oneof![
-        (4u8..=14).prop_map(|r| Operand::Reg(Reg::r(r))), // not PC
-        (any::<u16>(), (4u8..=15)).prop_map(|(x, r)| Operand::Indexed(x, Reg::r(r))),
-        (0x2000u16..0xBFFF).prop_map(|a| Operand::Absolute(a & !1)),
-    ];
-    (ops, srcs, dsts).prop_map(|(op, src, dst)| Instr::FormatI {
-        op,
-        size: Size::Word,
-        src,
-        dst,
-    })
+fn arb_straightline(r: &mut SplitMix64) -> Instr {
+    let src = match r.below(5) {
+        0 => Operand::Reg(Reg::r(4 + r.below(12) as u8)),
+        1 => Operand::Indexed(r.next_u16(), Reg::r(4 + r.below(12) as u8)),
+        2 => Operand::Absolute((0x2000 + r.below(0x9FFF) as u16) & !1),
+        3 => Operand::Indirect(Reg::r(4 + r.below(12) as u8)),
+        _ => Operand::Imm(r.next_u16()),
+    };
+    let dst = match r.below(3) {
+        0 => Operand::Reg(Reg::r(4 + r.below(11) as u8)), // not PC
+        1 => Operand::Indexed(r.next_u16(), Reg::r(4 + r.below(12) as u8)),
+        _ => Operand::Absolute((0x2000 + r.below(0x9FFF) as u16) & !1),
+    };
+    Instr::FormatI { op: *r.pick(&STRAIGHTLINE_OPS), size: Size::Word, src, dst }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn random_functions_roundtrip() {
+    let mut rng = SplitMix64::new(0xC1);
+    for case in 0..64 {
+        let body: Vec<Instr> =
+            (0..1 + rng.below(19) as usize).map(|_| arb_straightline(&mut rng)).collect();
 
-    #[test]
-    fn random_functions_roundtrip(body in proptest::collection::vec(arb_straightline(), 1..20)) {
         // Encode the body plus a RET at a library base address.
         let base = 0x6000u16;
         let mut bytes: Vec<u8> = Vec::new();
@@ -77,6 +75,6 @@ proptest! {
             .iter()
             .find(|s| s.addr == base)
             .expect("text segment");
-        prop_assert_eq!(&seg.bytes, &bytes, "byte-identical reassembly");
+        assert_eq!(&seg.bytes, &bytes, "case {case}: byte-identical reassembly");
     }
 }

@@ -1,150 +1,201 @@
-//! Property-based tests over the core data structures and invariants:
+//! Randomized tests over the core data structures and invariants:
 //! instruction encode/decode, expression evaluation, oracle algorithm
 //! properties, and end-to-end system equivalence on random inputs.
+//!
+//! Cases are drawn from the seeded [`SplitMix64`] generator (std-only
+//! replacement for the previous proptest strategies), so every run is
+//! reproducible.
 
 use msp430_sim::isa::{Instr, Opcode, Operand, Reg, Size};
-use proptest::prelude::*;
+use msp430_sim::rng::SplitMix64;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..=15).prop_map(Reg::r)
-}
-
-fn arb_src() -> impl Strategy<Value = Operand> {
-    prop_oneof![
+fn arb_src(r: &mut SplitMix64) -> Operand {
+    match r.below(7) {
         // R3 as a register-mode source reads as the constant generator's
         // 0 on a real MSP430 and decodes as `#0`, so it is excluded.
-        (0u8..=15).prop_filter("R3 source aliases CG", |r| *r != 3)
-            .prop_map(|r| Operand::Reg(Reg::r(r))),
-        (any::<u16>(), (4u8..=15).prop_map(Reg::r)).prop_map(|(x, r)| Operand::Indexed(x, r)),
-        any::<u16>().prop_map(|a| Operand::Absolute(a)),
-        (4u8..=15).prop_map(|r| Operand::Indirect(Reg::r(r))),
-        (4u8..=15).prop_map(|r| Operand::IndirectInc(Reg::r(r))),
-        any::<u16>().prop_map(Operand::Imm),
+        0 => loop {
+            let reg = r.below(16) as u8;
+            if reg != 3 {
+                break Operand::Reg(Reg::r(reg));
+            }
+        },
+        1 => Operand::Indexed(r.next_u16(), Reg::r(4 + r.below(12) as u8)),
+        2 => Operand::Absolute(r.next_u16()),
+        3 => Operand::Indirect(Reg::r(4 + r.below(12) as u8)),
+        4 => Operand::IndirectInc(Reg::r(4 + r.below(12) as u8)),
+        5 => Operand::Imm(r.next_u16()),
         // Symbolic targets must be even: the extension word stores
         // `target - ext_addr` and both are word addresses in practice.
-        any::<u16>().prop_map(|a| Operand::Symbolic(a & !1)),
-    ]
+        _ => Operand::Symbolic(r.next_u16() & !1),
+    }
 }
 
-fn arb_dst() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        arb_reg().prop_map(Operand::Reg),
-        (any::<u16>(), (4u8..=15).prop_map(Reg::r)).prop_map(|(x, r)| Operand::Indexed(x, r)),
-        any::<u16>().prop_map(|a| Operand::Absolute(a)),
-        any::<u16>().prop_map(|a| Operand::Symbolic(a & !1)),
-    ]
+fn arb_dst(r: &mut SplitMix64) -> Operand {
+    match r.below(4) {
+        0 => Operand::Reg(Reg::r(r.below(16) as u8)),
+        1 => Operand::Indexed(r.next_u16(), Reg::r(4 + r.below(12) as u8)),
+        2 => Operand::Absolute(r.next_u16()),
+        _ => Operand::Symbolic(r.next_u16() & !1),
+    }
 }
 
-fn arb_format_i() -> impl Strategy<Value = Instr> {
-    let ops = prop_oneof![
-        Just(Opcode::Mov),
-        Just(Opcode::Add),
-        Just(Opcode::Addc),
-        Just(Opcode::Subc),
-        Just(Opcode::Sub),
-        Just(Opcode::Cmp),
-        Just(Opcode::Dadd),
-        Just(Opcode::Bit),
-        Just(Opcode::Bic),
-        Just(Opcode::Bis),
-        Just(Opcode::Xor),
-        Just(Opcode::And),
-    ];
-    let sizes = prop_oneof![Just(Size::Word), Just(Size::Byte)];
-    (ops, sizes, arb_src(), arb_dst())
-        .prop_map(|(op, size, src, dst)| Instr::FormatI { op, size, src, dst })
+const FORMAT_I_OPS: [Opcode; 12] = [
+    Opcode::Mov,
+    Opcode::Add,
+    Opcode::Addc,
+    Opcode::Subc,
+    Opcode::Sub,
+    Opcode::Cmp,
+    Opcode::Dadd,
+    Opcode::Bit,
+    Opcode::Bic,
+    Opcode::Bis,
+    Opcode::Xor,
+    Opcode::And,
+];
+
+fn arb_format_i(r: &mut SplitMix64) -> Instr {
+    Instr::FormatI {
+        op: *r.pick(&FORMAT_I_OPS),
+        size: if r.next_bool() { Size::Word } else { Size::Byte },
+        src: arb_src(r),
+        dst: arb_dst(r),
+    }
 }
 
-proptest! {
-    /// Encode→decode is the identity for every well-formed format-I
-    /// instruction at every even address.
-    #[test]
-    fn format_i_roundtrips(instr in arb_format_i(), at in (0u16..0x7FFF).prop_map(|a| a * 2)) {
+/// Encode→decode is the identity for every well-formed format-I
+/// instruction at every even address.
+#[test]
+fn format_i_roundtrips() {
+    let mut r = SplitMix64::new(0xB1);
+    for _ in 0..512 {
+        let instr = arb_format_i(&mut r);
+        let at = (r.below(0x7FFF) as u16) * 2;
         let words = instr.encode(at).expect("encodable");
         let back = Instr::decode(&words, at).expect("decodable");
-        prop_assert_eq!(instr, back);
+        assert_eq!(instr, back);
     }
+}
 
-    /// Jumps roundtrip across the full offset range.
-    #[test]
-    fn jumps_roundtrip(off in -512i16..=511, cond in 0u8..8) {
-        let op = [Opcode::Jnz, Opcode::Jz, Opcode::Jnc, Opcode::Jc,
-                  Opcode::Jn, Opcode::Jge, Opcode::Jl, Opcode::Jmp][cond as usize];
-        let i = Instr::Jump { op, offset_words: off };
-        let words = i.encode(0x4000).unwrap();
-        prop_assert_eq!(words.len(), 1);
-        prop_assert_eq!(Instr::decode(&words, 0x4000).unwrap(), i);
+/// Jumps roundtrip across the full offset range.
+#[test]
+fn jumps_roundtrip() {
+    let mut r = SplitMix64::new(0xB2);
+    let conds = [
+        Opcode::Jnz,
+        Opcode::Jz,
+        Opcode::Jnc,
+        Opcode::Jc,
+        Opcode::Jn,
+        Opcode::Jge,
+        Opcode::Jl,
+        Opcode::Jmp,
+    ];
+    let mut offsets: Vec<i16> = vec![-512, -1, 0, 1, 511];
+    for _ in 0..128 {
+        offsets.push(r.range_i64(-512, 511) as i16);
     }
-
-    /// The assembler's expression grammar matches a reference evaluation.
-    #[test]
-    fn expressions_evaluate(a in -1000i64..1000, b in 1i64..100, c in 0i64..16) {
-        let src = format!("({a} + {b}) * 2 - ({a} / {b}) + (1 << {c})");
-        let e = msp430_asm::expr::parse_expr_full(&src).unwrap();
-        let expect = (a + b) * 2 - (a / b) + (1 << c);
-        prop_assert_eq!(e.eval(&Default::default()).unwrap(), expect);
-    }
-
-    /// LZFX compression is lossless for arbitrary inputs.
-    #[test]
-    fn lzfx_roundtrips(data in proptest::collection::vec(any::<u8>(), 1..2000)) {
-        let comp = mibench::oracle::lzfx_compress(&data);
-        let dec = mibench::oracle::lzfx_decompress(&comp, data.len());
-        prop_assert_eq!(dec, data);
-    }
-
-    /// The output checksum is order-sensitive and deterministic.
-    #[test]
-    fn checksum_detects_reordering(mut words in proptest::collection::vec(any::<u16>(), 2..50)) {
-        use msp430_sim::ports::checksum_of_words;
-        let a = checksum_of_words(words.iter().copied());
-        words.swap(0, 1);
-        let b = checksum_of_words(words.iter().copied());
-        if words[0] != words[1] {
-            prop_assert_ne!(a, b);
-        } else {
-            prop_assert_eq!(a, b);
+    for off in offsets {
+        for op in conds {
+            let i = Instr::Jump { op, offset_words: off };
+            let words = i.encode(0x4000).unwrap();
+            assert_eq!(words.len(), 1);
+            assert_eq!(Instr::decode(&words, 0x4000).unwrap(), i);
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// End-to-end: SwapRAM output equals the oracle for random seeds on a
-    /// fast benchmark (deeper sweep than the fixed-seed integration test).
-    #[test]
-    fn swapram_matches_oracle_random_inputs(seed in any::<u64>()) {
-        use mibench::builder::{build, run, MemoryProfile, System};
-        use msp430_sim::freq::Frequency;
-        let bench = mibench::Benchmark::Rc4;
-        let built = build(
-            bench,
-            &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
-            &MemoryProfile::unified(),
-        )
-        .unwrap();
-        let input = mibench::input_for(bench, seed);
-        let r = run(&built, Frequency::MHZ_24, &input, 1_000_000_000).unwrap();
-        prop_assert!(r.outcome.success());
-        prop_assert_eq!(r.outcome.checksum.0, bench.oracle_checksum(&input));
+/// The assembler's expression grammar matches a reference evaluation.
+#[test]
+fn expressions_evaluate() {
+    let mut r = SplitMix64::new(0xB3);
+    for _ in 0..256 {
+        let a = r.range_i64(-1000, 999);
+        let b = r.range_i64(1, 99);
+        let c = r.range_i64(0, 15);
+        let src = format!("({a} + {b}) * 2 - ({a} / {b}) + (1 << {c})");
+        let e = msp430_asm::expr::parse_expr_full(&src).unwrap();
+        let expect = (a + b) * 2 - (a / b) + (1 << c);
+        assert_eq!(e.eval(&Default::default()).unwrap(), expect, "{src}");
     }
+}
 
-    /// Eviction-regime SwapRAM (tiny cache) also stays correct on random
-    /// seeds — the call-stack-integrity invariant under pressure.
-    #[test]
-    fn tiny_cache_swapram_is_correct(seed in any::<u64>()) {
-        use mibench::builder::{build, run, MemoryProfile, System};
-        use msp430_sim::freq::Frequency;
-        let bench = mibench::Benchmark::Aes;
-        let cfg = swapram::SwapConfig {
-            cache_size: 384,
-            ..swapram::SwapConfig::unified_fr2355()
+/// LZFX compression is lossless for arbitrary inputs.
+#[test]
+fn lzfx_roundtrips() {
+    let mut r = SplitMix64::new(0xB4);
+    for _ in 0..64 {
+        let len = 1 + r.below(2000) as usize;
+        // Mix fully random and compressible (repeated-byte) data.
+        let data = if r.next_bool() {
+            r.bytes(len)
+        } else {
+            let b = r.next_u8();
+            vec![b; len]
         };
-        let built = build(bench, &System::SwapRam(cfg), &MemoryProfile::unified()).unwrap();
+        let comp = mibench::oracle::lzfx_compress(&data);
+        let dec = mibench::oracle::lzfx_decompress(&comp, data.len());
+        assert_eq!(dec, data);
+    }
+}
+
+/// The output checksum is order-sensitive and deterministic.
+#[test]
+fn checksum_detects_reordering() {
+    use msp430_sim::ports::checksum_of_words;
+    let mut r = SplitMix64::new(0xB5);
+    for _ in 0..256 {
+        let len = 2 + r.below(48) as usize;
+        let mut words: Vec<u16> = (0..len).map(|_| r.next_u16()).collect();
+        let a = checksum_of_words(words.iter().copied());
+        words.swap(0, 1);
+        let b = checksum_of_words(words.iter().copied());
+        if words[0] != words[1] {
+            assert_ne!(a, b);
+        } else {
+            assert_eq!(a, b);
+        }
+    }
+}
+
+/// End-to-end: SwapRAM output equals the oracle for random seeds on a
+/// fast benchmark (deeper sweep than the fixed-seed integration test).
+#[test]
+fn swapram_matches_oracle_random_inputs() {
+    use mibench::builder::{build, run, MemoryProfile, System};
+    use msp430_sim::freq::Frequency;
+    let bench = mibench::Benchmark::Rc4;
+    let built = build(
+        bench,
+        &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
+        &MemoryProfile::unified(),
+    )
+    .unwrap();
+    let mut r = SplitMix64::new(0xB6);
+    for _ in 0..8 {
+        let seed = r.next_u64();
         let input = mibench::input_for(bench, seed);
-        let r = run(&built, Frequency::MHZ_24, &input, 1_000_000_000).unwrap();
-        prop_assert!(r.outcome.success());
-        prop_assert_eq!(r.outcome.checksum.0, bench.oracle_checksum(&input));
+        let res = run(&built, Frequency::MHZ_24, &input, 1_000_000_000).unwrap();
+        assert!(res.outcome.success(), "seed {seed}");
+        assert_eq!(res.outcome.checksum.0, bench.oracle_checksum(&input), "seed {seed}");
+    }
+}
+
+/// Eviction-regime SwapRAM (tiny cache) also stays correct on random
+/// seeds — the call-stack-integrity invariant under pressure.
+#[test]
+fn tiny_cache_swapram_is_correct() {
+    use mibench::builder::{build, run, MemoryProfile, System};
+    use msp430_sim::freq::Frequency;
+    let bench = mibench::Benchmark::Aes;
+    let cfg = swapram::SwapConfig { cache_size: 384, ..swapram::SwapConfig::unified_fr2355() };
+    let built = build(bench, &System::SwapRam(cfg), &MemoryProfile::unified()).unwrap();
+    let mut r = SplitMix64::new(0xB7);
+    for _ in 0..8 {
+        let seed = r.next_u64();
+        let input = mibench::input_for(bench, seed);
+        let res = run(&built, Frequency::MHZ_24, &input, 1_000_000_000).unwrap();
+        assert!(res.outcome.success(), "seed {seed}");
+        assert_eq!(res.outcome.checksum.0, bench.oracle_checksum(&input), "seed {seed}");
     }
 }
