@@ -1,0 +1,59 @@
+//! Runs the power-loss resilience suite: every MiBench benchmark under
+//! seeded interruption schedules, with SwapRAM boot-time recovery on each
+//! reboot, for both recovery protocols.
+//!
+//! Flags / environment:
+//! - `--fast` or `SWAPRAM_FAST=1`: 3 schedules per benchmark instead of 8
+//!   (the CI configuration).
+//! - `--json <path>`: also write the JSON report (clean runs + the
+//!   `resilience` section) to `path`.
+//! - `SWAPRAM_FAULT_SEED=<n>`: base seed for the schedules (default
+//!   0xF00D). Identical seeds yield byte-identical resilience rows
+//!   regardless of `SWAPRAM_JOBS`.
+
+use experiments::{resilience, Harness};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast")
+        || std::env::var("SWAPRAM_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
+
+    let schedules =
+        if fast { resilience::FAST_SCHEDULES } else { resilience::DEFAULT_SCHEDULES };
+    let seed = resilience::base_seed();
+    let h = Harness::new();
+    eprintln!(
+        "resilience: {} schedules/benchmark, base seed {seed:#x}, {} worker thread(s)",
+        schedules,
+        h.jobs()
+    );
+
+    let rows = resilience::run(&h, schedules, seed);
+    print!("{}", resilience::render(&rows));
+
+    if let Some(path) = json_path {
+        if let Err(e) = h.write_json(std::path::Path::new(&path)) {
+            eprintln!("resilience: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("resilience: JSON -> {path}");
+    }
+
+    let failed: Vec<&resilience::ResilienceRow> =
+        rows.iter().filter(|r| !(r.survived && r.correct)).collect();
+    if !failed.is_empty() {
+        for r in failed {
+            eprintln!(
+                "FAIL {} seed {:#x} ({:?}): survived={} correct={} error={:?}",
+                r.bench.name(),
+                r.seed,
+                r.recovery,
+                r.survived,
+                r.correct,
+                r.error
+            );
+        }
+        std::process::exit(1);
+    }
+}

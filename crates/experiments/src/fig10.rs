@@ -111,7 +111,7 @@ pub fn render(rows: &[Fig10Row]) -> String {
         let speed = |m: &Measurement| r.unified_baseline.time_us / m.time_us;
         let bb = match &r.block {
             Ok(b) => format!("{:.2}", speed(b)),
-            Err(MeasureError::DoesNotFit(_)) => "DNF".into(),
+            Err(MeasureError::DoesNotFit(_) | MeasureError::CycleLimit(_)) => "DNF".into(),
             Err(e) => format!("{e}"),
         };
         t.row(vec![

@@ -86,7 +86,9 @@ pub fn render(rows: &[Fig9Row]) -> String {
                 format!("{:.2}", b.speedup_vs(&r.baseline)),
                 format!("{:.2}", b.energy_ratio_vs(&r.baseline)),
             ),
-            Err(MeasureError::DoesNotFit(_)) => ("DNF".into(), "DNF".into()),
+            Err(MeasureError::DoesNotFit(_) | MeasureError::CycleLimit(_)) => {
+                ("DNF".into(), "DNF".into())
+            }
             Err(e) => (format!("{e}"), "-".into()),
         };
         t.row(vec![

@@ -84,6 +84,9 @@ pub struct Harness {
     run_misses: AtomicU64,
     /// run key → experiments that requested it (for the JSON report).
     tags: Mutex<BTreeMap<String, BTreeSet<&'static str>>>,
+    /// Extra top-level report sections (e.g. the resilience rows), keyed
+    /// by section name; rendered after `runs` in name order.
+    sections: Mutex<BTreeMap<&'static str, Json>>,
 }
 
 impl Default for Harness {
@@ -111,7 +114,16 @@ impl Harness {
             run_hits: AtomicU64::new(0),
             run_misses: AtomicU64::new(0),
             tags: Mutex::new(BTreeMap::new()),
+            sections: Mutex::new(BTreeMap::new()),
         }
+    }
+
+    /// Attaches an extra top-level section to the JSON report. Experiments
+    /// whose output is not a plain run matrix (the resilience schedules)
+    /// publish their deterministic row sets this way; re-registering a
+    /// name replaces the section.
+    pub fn add_section(&self, name: &'static str, doc: Json) {
+        self.sections.lock().unwrap().insert(name, doc);
     }
 
     /// Worker-thread count used by [`Harness::parallel_map`].
@@ -309,7 +321,7 @@ impl Harness {
     pub fn json_report(&self) -> Json {
         let runs: Vec<Json> =
             self.records().into_iter().map(|(r, tags)| run_record_json(&r, &tags)).collect();
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("schema", Json::U64(1)),
             ("generator", Json::str("swapram experiments harness")),
             ("jobs", Json::U64(self.jobs as u64)),
@@ -331,7 +343,12 @@ impl Harness {
                 ]),
             ),
             ("runs", Json::Arr(runs)),
-        ])
+        ]);
+        let Json::Obj(members) = &mut doc else { unreachable!() };
+        for (name, section) in self.sections.lock().unwrap().iter() {
+            members.push(((*name).to_string(), section.clone()));
+        }
+        doc
     }
 
     /// Writes [`Harness::json_report`] (pretty-printed) to `path`.
@@ -437,6 +454,11 @@ pub fn run_record_json(r: &RunRecord, tags: &[&'static str]) -> Json {
         Err(MeasureError::DoesNotFit(msg)) => Json::obj(vec![
             ("status", Json::str("dnf")),
             ("message", Json::str(msg.clone())),
+        ]),
+        Err(MeasureError::CycleLimit(c)) => Json::obj(vec![
+            ("status", Json::str("dnf")),
+            ("message", Json::str(format!("cycle budget exhausted after {c} cycles"))),
+            ("cycles_run", Json::U64(*c)),
         ]),
         Err(MeasureError::Failed(msg)) => Json::obj(vec![
             ("status", Json::str("failed")),

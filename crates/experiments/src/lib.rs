@@ -23,6 +23,7 @@
 //! | [`fig9`]  | Figure 9 — speed/energy at 24 MHz (and 8 MHz)      |
 //! | [`fig10`] | Figure 10 — split-SRAM execution                   |
 //! | [`ablation`]| cache-size sweep, policies, hardware cache       |
+//! | [`resilience`]| power-loss fault injection + crash recovery    |
 
 pub mod ablation;
 pub mod fig1;
@@ -34,6 +35,7 @@ pub mod harness;
 pub mod json;
 pub mod measure;
 pub mod report;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 
@@ -67,6 +69,10 @@ pub fn run_report(h: &Harness, fast: bool) -> String {
         out.push('\n');
     }
     out.push_str(&fig10::render(&fig10::run(h, Frequency::MHZ_24)));
+    out.push('\n');
+    let schedules =
+        if fast { resilience::FAST_SCHEDULES } else { resilience::DEFAULT_SCHEDULES };
+    out.push_str(&resilience::render(&resilience::run(h, schedules, resilience::base_seed())));
     out.push('\n');
     if !fast {
         out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep(h)));

@@ -87,6 +87,9 @@ impl Measurement {
 pub enum MeasureError {
     /// The program does not fit the device (Figure 7's DNF).
     DoesNotFit(String),
+    /// The run exhausted its cycle budget — a DNF in time rather than
+    /// space. Carries the cycle count at which the run was cut off.
+    CycleLimit(u64),
     /// Anything else.
     Failed(String),
 }
@@ -95,6 +98,9 @@ impl std::fmt::Display for MeasureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MeasureError::DoesNotFit(m) => write!(f, "DNF: {m}"),
+            MeasureError::CycleLimit(c) => {
+                write!(f, "DNF: cycle budget exhausted after {c} cycles")
+            }
             MeasureError::Failed(m) => write!(f, "failed: {m}"),
         }
     }
@@ -164,6 +170,11 @@ pub fn measure_built_on(
     let result = mibench::builder::run_on(machine, built, &input, MAX_CYCLES)
         .map_err(|e| MeasureError::Failed(e.to_string()))?;
     if !result.outcome.success() {
+        // A cycle-limit overrun is a "did not finish", not an opaque
+        // failure: keep it distinguishable so reports can tag it DNF.
+        if result.outcome.exit == msp430_sim::machine::ExitReason::CycleLimit {
+            return Err(MeasureError::CycleLimit(result.outcome.stats.total_cycles()));
+        }
         return Err(MeasureError::Failed(format!("exit {:?}", result.outcome.exit)));
     }
     let energy = EnergyModel::fr2355();

@@ -1,0 +1,362 @@
+//! Resilience experiment — intermittent execution under injected power
+//! loss (the paper's fault model, §3.3): every MiBench benchmark runs
+//! under a set of seeded power-loss schedules; each reboot performs the
+//! SwapRAM boot-time recovery protocol and the episode must still produce
+//! the benchmark's oracle checksum.
+//!
+//! What a reboot does, mirroring the hardware model:
+//!
+//! * SRAM (the software cache) and registers vanish; FRAM persists.
+//! * Application FRAM state (code, data, input buffers) is restored to its
+//!   initial image — application-level checkpointing is an orthogonal
+//!   concern (JIT checkpointing per Hibernus/QuickRecall); this experiment
+//!   isolates the *caching runtime's* crash consistency.
+//! * The `srtab` metadata section is deliberately **not** restored: it
+//!   carries whatever torn redirection/relocation state the power loss
+//!   left behind, and [`swapram::SwapRuntime::recover`] must repair it.
+//!
+//! Rows carry only deterministic quantities (no wall-clock), so identical
+//! seeds yield byte-identical JSON regardless of `SWAPRAM_JOBS`.
+
+use crate::harness::Harness;
+use crate::json::Json;
+use crate::measure::{MeasureError, SEED};
+use crate::report::Table;
+use mibench::builder::{Built, MemoryProfile, Program, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::fault::FaultPlan;
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::{ExitReason, Fr2355, Machine};
+use msp430_sim::rng::SplitMix64;
+use swapram::{RecoveryMode, SwapConfig, SwapRuntime};
+
+/// Environment variable overriding the base fault seed.
+pub const FAULT_SEED_ENV: &str = "SWAPRAM_FAULT_SEED";
+
+/// Default base seed when [`FAULT_SEED_ENV`] is unset.
+pub const DEFAULT_FAULT_SEED: u64 = 0xF00D;
+
+/// Schedules per benchmark in the full configuration (the acceptance
+/// floor: every benchmark must survive at least this many).
+pub const DEFAULT_SCHEDULES: usize = 8;
+
+/// Schedules per benchmark in `--fast` (CI) mode.
+pub const FAST_SCHEDULES: usize = 3;
+
+/// Base fault seed: `SWAPRAM_FAULT_SEED` if set, else the default.
+pub fn base_seed() -> u64 {
+    std::env::var(FAULT_SEED_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_FAULT_SEED)
+}
+
+/// One benchmark episode under one seeded interruption schedule.
+#[derive(Debug, Clone)]
+pub struct ResilienceRow {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// Recovery protocol under test.
+    pub recovery: RecoveryMode,
+    /// Schedule seed (drives loss count and loss cycles).
+    pub seed: u64,
+    /// Power losses injected.
+    pub losses: u32,
+    /// Boots taken (losses + 1 when every loss fired before completion).
+    pub boots: u32,
+    /// The episode completed within its cycle budget.
+    pub survived: bool,
+    /// Final output checksum matched the benchmark oracle.
+    pub correct: bool,
+    /// Cycles of the uninterrupted run (same build, same input).
+    pub clean_cycles: u64,
+    /// Cumulative cycles across all boots, including replayed work.
+    pub total_cycles: u64,
+    /// Functions rewound by boot-time recovery, summed over reboots.
+    pub recovered_functions: u64,
+    /// Misses degraded to FRAM execution instead of caching.
+    pub degraded: u64,
+    /// Dirty-log appends performed (0 under full-scan recovery).
+    pub journal_appends: u64,
+    /// Recoveries that found a torn log and fell back to the full scan.
+    pub journal_fallbacks: u64,
+    /// Deterministic error description, when the episode failed outright.
+    pub error: Option<String>,
+}
+
+impl ResilienceRow {
+    /// Replay + recovery overhead relative to the uninterrupted run.
+    pub fn overhead_pct(&self) -> f64 {
+        if self.clean_cycles == 0 {
+            return 0.0;
+        }
+        (self.total_cycles as f64 / self.clean_cycles as f64 - 1.0) * 100.0
+    }
+}
+
+/// The SwapRAM system configuration under a given recovery protocol.
+fn system_for(recovery: RecoveryMode) -> (System, SwapConfig) {
+    let cfg = SwapConfig::unified_fr2355().with_recovery(recovery);
+    (System::SwapRam(cfg.clone()), cfg)
+}
+
+/// Runs the full resilience matrix: every MiBench benchmark × both
+/// recovery protocols × `schedules` seeded interruption schedules, fanned
+/// out on the harness worker pool. Also registers the deterministic row
+/// set as the report's `resilience` section.
+pub fn run(h: &Harness, schedules: usize, base_seed: u64) -> Vec<ResilienceRow> {
+    let profile = MemoryProfile::unified();
+    let mut items: Vec<(Benchmark, RecoveryMode, u64, u64)> = Vec::new();
+    for recovery in [RecoveryMode::FullScan, RecoveryMode::DirtyLog] {
+        let (system, _) = system_for(recovery);
+        for bench in Benchmark::MIBENCH {
+            // The uninterrupted reference run rides the normal memoized
+            // pipeline (and lands in the report's `runs`, tagged).
+            let clean = h
+                .measure("resilience", bench, &system, &profile, Frequency::MHZ_24)
+                .unwrap_or_else(|e| panic!("{} clean run failed: {e}", bench.name()));
+            assert!(clean.correct, "{} clean run must match its oracle", bench.name());
+            let clean_cycles = clean.total_cycles();
+            for i in 0..schedules {
+                let seed = schedule_seed(base_seed, bench, recovery, i);
+                items.push((bench, recovery, seed, clean_cycles));
+            }
+        }
+    }
+    let rows = h.parallel_map(items, |(bench, recovery, seed, clean_cycles)| {
+        let (system, cfg) = system_for(recovery);
+        let built = h.build(bench, &system, &profile);
+        let built = built.as_ref().as_ref().expect("SwapRAM build fits");
+        episode(built, &cfg, bench, recovery, seed, clean_cycles)
+    });
+    h.add_section("resilience", rows_json(&rows));
+    rows
+}
+
+/// Derives the per-episode schedule seed. Folding the benchmark name and
+/// recovery mode in keeps schedules distinct across the matrix while the
+/// row's published seed stays reproducible from `(base, bench, mode, i)`.
+fn schedule_seed(base: u64, bench: Benchmark, recovery: RecoveryMode, i: usize) -> u64 {
+    let mut x = SplitMix64::new(base);
+    let mut tag = 0u64;
+    for b in bench.name().bytes() {
+        tag = tag.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    if recovery == RecoveryMode::DirtyLog {
+        tag = tag.wrapping_add(0x5eed);
+    }
+    x.next_u64().wrapping_add(tag).wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Executes one benchmark under one interruption schedule: run until power
+/// loss, reboot (SRAM/registers cleared, app FRAM restored, metadata kept
+/// torn), recover, repeat until the program halts or the budget runs out.
+fn episode(
+    built: &Built,
+    cfg: &SwapConfig,
+    bench: Benchmark,
+    recovery: RecoveryMode,
+    seed: u64,
+    clean_cycles: u64,
+) -> ResilienceRow {
+    let mut rng = SplitMix64::new(seed);
+    let losses = 1 + rng.below(3) as u32;
+    let window = (clean_cycles / 10).max(1)..(clean_cycles * 9 / 10).max(2);
+    let plan = FaultPlan::power_losses(rng.next_u64(), losses as usize, window);
+    let losses = plan.events().len() as u32; // deduplication may drop some
+    // Every reboot replays a prefix plus pays recovery; (losses + 2)
+    // uninterrupted runs' worth of cycles is a generous, deterministic cap.
+    let budget = clean_cycles * (u64::from(losses) + 2) + 1_000_000;
+
+    let mut row = ResilienceRow {
+        bench,
+        recovery,
+        seed,
+        losses,
+        boots: 1,
+        survived: false,
+        correct: false,
+        clean_cycles,
+        total_cycles: 0,
+        recovered_functions: 0,
+        degraded: 0,
+        journal_appends: 0,
+        journal_fallbacks: 0,
+        error: None,
+    };
+
+    let Program::Swap(inst, _) = &built.program else {
+        row.error = Some("resilience requires a SwapRAM build".into());
+        return row;
+    };
+    let input = input_for(bench, SEED);
+
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    machine.load(built.image());
+    poke_app_state(&mut machine, built, &input, false);
+    machine.attach_fault_plan(plan);
+    let mut handles = Vec::new();
+    {
+        let rt = SwapRuntime::new(inst, cfg.clone());
+        handles.push(rt.stats_handle());
+        machine.attach_hook(Box::new(rt));
+    }
+
+    loop {
+        let out = match machine.run(budget) {
+            Ok(out) => out,
+            Err(e) => {
+                row.error = Some(e.to_string());
+                break;
+            }
+        };
+        row.total_cycles = out.stats.total_cycles();
+        match out.exit {
+            ExitReason::Halted(0) => {
+                row.survived = true;
+                row.correct = out.checksum.0 == bench.oracle_checksum(&input);
+                break;
+            }
+            ExitReason::PowerLoss => {
+                row.boots += 1;
+                machine.power_cycle();
+                poke_app_state(&mut machine, built, &input, true);
+                let mut rt = SwapRuntime::new(inst, cfg.clone());
+                if let Err(e) = rt.recover(machine.bus_mut()) {
+                    row.error = Some(format!("recovery failed: {e}"));
+                    break;
+                }
+                handles.push(rt.stats_handle());
+                machine.attach_hook(Box::new(rt));
+            }
+            ExitReason::CycleLimit => {
+                // DNF: record the episode as not survived, not an error.
+                row.error = Some(MeasureError::CycleLimit(row.total_cycles).to_string());
+                break;
+            }
+            other => {
+                row.error = Some(format!("exit {other:?}"));
+                break;
+            }
+        }
+    }
+
+    for handle in handles {
+        let s = handle.borrow();
+        row.recovered_functions += s.recovered_functions;
+        row.degraded += s.degraded;
+        row.journal_appends += s.journal_appends;
+        row.journal_fallbacks += s.journal_fallbacks;
+    }
+    row
+}
+
+/// (Re)initializes application state: every image segment except the
+/// `srtab` metadata tables, plus the input and corpus buffers. On reboot
+/// (`skip_metadata`) the metadata section is left exactly as the power
+/// loss tore it — that is what recovery must repair.
+fn poke_app_state(machine: &mut Machine, built: &Built, input: &[u8], skip_metadata: bool) {
+    let tables_base = match &built.program {
+        Program::Swap(_, cfg) => cfg.tables_base,
+        _ => 0,
+    };
+    if skip_metadata {
+        for seg in &built.image().segments {
+            if seg.addr == tables_base {
+                continue;
+            }
+            for (i, b) in seg.bytes.iter().enumerate() {
+                machine.bus_mut().poke_byte(seg.addr.wrapping_add(i as u16), *b);
+            }
+        }
+    }
+    for (i, b) in input.iter().enumerate() {
+        machine.bus_mut().poke_byte(built.input_addr.wrapping_add(i as u16), *b);
+    }
+    if let Some(base) = built.corpus_addr {
+        for (i, b) in mibench::corpus::text().iter().enumerate() {
+            machine.bus_mut().poke_byte(base.wrapping_add(i as u16), *b);
+        }
+    }
+}
+
+/// Serializes rows as the report's `resilience` section. Wall-clock is
+/// deliberately absent: the section must be byte-identical for identical
+/// seeds across `SWAPRAM_JOBS` settings.
+pub fn rows_json(rows: &[ResilienceRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("bench", Json::str(r.bench.name())),
+                    (
+                        "recovery",
+                        Json::str(match r.recovery {
+                            RecoveryMode::FullScan => "full-scan",
+                            RecoveryMode::DirtyLog => "dirty-log",
+                        }),
+                    ),
+                    ("seed", Json::U64(r.seed)),
+                    ("losses", Json::U64(u64::from(r.losses))),
+                    ("boots", Json::U64(u64::from(r.boots))),
+                    ("survived", Json::Bool(r.survived)),
+                    ("correct", Json::Bool(r.correct)),
+                    ("clean_cycles", Json::U64(r.clean_cycles)),
+                    ("total_cycles", Json::U64(r.total_cycles)),
+                    ("overhead_pct", Json::F64(r.overhead_pct())),
+                    ("recovered_functions", Json::U64(r.recovered_functions)),
+                    ("degraded", Json::U64(r.degraded)),
+                    ("journal_appends", Json::U64(r.journal_appends)),
+                    ("journal_fallbacks", Json::U64(r.journal_fallbacks)),
+                ];
+                if let Some(e) = &r.error {
+                    fields.push(("error", Json::str(e.clone())));
+                }
+                Json::obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// Renders the per-benchmark survival table (aggregated over schedules).
+pub fn render(rows: &[ResilienceRow]) -> String {
+    let mut out = String::new();
+    for recovery in [RecoveryMode::FullScan, RecoveryMode::DirtyLog] {
+        let mode = match recovery {
+            RecoveryMode::FullScan => "full-scan",
+            RecoveryMode::DirtyLog => "dirty-log",
+        };
+        let mut t = Table::new(
+            &format!("Resilience — power-loss survival under {mode} recovery"),
+            &["benchmark", "schedules", "losses", "recovered", "avg overhead", "ok"],
+        );
+        let mut all_ok = true;
+        for bench in Benchmark::MIBENCH {
+            let bs: Vec<&ResilienceRow> =
+                rows.iter().filter(|r| r.bench == bench && r.recovery == recovery).collect();
+            if bs.is_empty() {
+                continue;
+            }
+            let ok = bs.iter().all(|r| r.survived && r.correct);
+            all_ok &= ok;
+            let overhead =
+                bs.iter().map(|r| r.overhead_pct()).sum::<f64>() / bs.len() as f64;
+            t.row(vec![
+                bench.short_name().into(),
+                bs.len().to_string(),
+                bs.iter().map(|r| u64::from(r.losses)).sum::<u64>().to_string(),
+                bs.iter().map(|r| r.recovered_functions).sum::<u64>().to_string(),
+                format!("{overhead:+.1}%"),
+                if ok { "yes".into() } else { "NO".into() },
+            ]);
+        }
+        t.note(if all_ok {
+            "every schedule recovered and matched its oracle checksum"
+        } else {
+            "SOME SCHEDULES FAILED"
+        });
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}

@@ -87,7 +87,7 @@ pub fn render(rows: &[Table2Row]) -> String {
                 (b.fram_accesses().to_string(), pct_change(b.fram_accesses() as f64, r.baseline.fram_accesses() as f64)),
                 (b.unstalled_cycles().to_string(), pct_change(b.unstalled_cycles() as f64, r.baseline.unstalled_cycles() as f64)),
             ),
-            Err(MeasureError::DoesNotFit(_)) => {
+            Err(MeasureError::DoesNotFit(_) | MeasureError::CycleLimit(_)) => {
                 (("DNF".to_string(), "-".to_string()), ("DNF".to_string(), "-".to_string()))
             }
             Err(e) => ((format!("{e}"), "-".into()), (format!("{e}"), "-".into())),

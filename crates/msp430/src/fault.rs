@@ -1,0 +1,182 @@
+//! Deterministic fault injection: power-loss and bit-flip schedules.
+//!
+//! NVRAM systems must survive arbitrary interruption — after a power loss
+//! the FRAM survives but SRAM and the register file do not, so any
+//! FRAM-resident state that points into SRAM (like SwapRAM's redirection
+//! words) becomes a wild-jump hazard on the next boot. This module models
+//! the adversary: a [`FaultPlan`] is a cycle-ordered schedule of
+//! [`FaultEvent`]s, either generated explicitly or drawn from the seeded
+//! [`SplitMix64`](crate::rng::SplitMix64) generator so every fault run is
+//! reproducible by construction.
+//!
+//! The plan attaches to a [`Machine`](crate::machine::Machine); events
+//! whose cycle has been reached fire between instructions. A
+//! [`FaultKind::PowerLoss`] ends the run with
+//! [`ExitReason::PowerLoss`](crate::machine::ExitReason::PowerLoss) — the
+//! driver then calls
+//! [`Machine::power_cycle`](crate::machine::Machine::power_cycle) (SRAM
+//! and registers cleared, FRAM persistent) and resumes. A
+//! [`FaultKind::BitFlip`] silently corrupts one bit of backing memory, the
+//! way a marginal write or a particle strike would; flips in FRAM also
+//! invalidate the hardware read-cache line so the corruption is visible.
+//!
+//! Cycle counts are *cumulative* across power cycles (the machine's
+//! statistics survive a reboot — they model the experimenter's bench
+//! clock, not on-chip state), so a schedule of increasing cycle numbers
+//! interrupts successive boots.
+
+use crate::rng::SplitMix64;
+
+/// What a scheduled fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Supply failure: volatile state (SRAM, registers, hardware cache,
+    /// I/O ports) is lost; FRAM persists.
+    PowerLoss,
+    /// A single-bit corruption of backing memory at `addr`, bit `bit`
+    /// (0–7).
+    BitFlip {
+        /// Byte address of the corruption.
+        addr: u16,
+        /// Bit index within the byte.
+        bit: u8,
+    },
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Cumulative machine cycle at (or after) which the fault fires.
+    pub cycle: u64,
+    /// The fault itself.
+    pub kind: FaultKind,
+}
+
+/// A cycle-ordered schedule of faults with a firing cursor.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+    next: usize,
+}
+
+impl FaultPlan {
+    /// Creates a plan from explicit events (sorted by cycle internally;
+    /// ties fire in the given order).
+    pub fn new(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.cycle);
+        FaultPlan { events, next: 0 }
+    }
+
+    /// A schedule of `count` power losses drawn uniformly from
+    /// `window.clone()` (cumulative cycles) using the seeded generator.
+    /// The draws are deduplicated and sorted, so the plan may hold fewer
+    /// than `count` events for tiny windows.
+    pub fn power_losses(seed: u64, count: usize, window: std::ops::Range<u64>) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let span = (window.end - window.start).max(1);
+        let mut cycles: Vec<u64> =
+            (0..count).map(|_| window.start + rng.below(span)).collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+        FaultPlan::new(
+            cycles.into_iter().map(|cycle| FaultEvent { cycle, kind: FaultKind::PowerLoss }).collect(),
+        )
+    }
+
+    /// A schedule of `count` single-bit flips at cycles in `window`,
+    /// targeting byte addresses in `addrs` (seeded, reproducible).
+    pub fn bit_flips(
+        seed: u64,
+        count: usize,
+        window: std::ops::Range<u64>,
+        addrs: std::ops::Range<u16>,
+    ) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let span = (window.end - window.start).max(1);
+        let aspan = u64::from(addrs.end - addrs.start).max(1);
+        FaultPlan::new(
+            (0..count)
+                .map(|_| FaultEvent {
+                    cycle: window.start + rng.below(span),
+                    kind: FaultKind::BitFlip {
+                        addr: addrs.start + rng.below(aspan) as u16,
+                        bit: (rng.below(8)) as u8,
+                    },
+                })
+                .collect(),
+        )
+    }
+
+    /// All events, fired or not, in schedule order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Events that have not fired yet.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Events already fired.
+    pub fn fired(&self) -> usize {
+        self.next
+    }
+
+    /// Takes the next event due at or before `cycle`, advancing the
+    /// cursor. Returns `None` when nothing is due.
+    pub fn take_due(&mut self, cycle: u64) -> Option<FaultEvent> {
+        let ev = *self.events.get(self.next)?;
+        if ev.cycle <= cycle {
+            self.next += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_cycle_order() {
+        let mut p = FaultPlan::new(vec![
+            FaultEvent { cycle: 50, kind: FaultKind::PowerLoss },
+            FaultEvent { cycle: 10, kind: FaultKind::BitFlip { addr: 0x2000, bit: 3 } },
+        ]);
+        assert_eq!(p.remaining(), 2);
+        assert_eq!(p.take_due(5), None);
+        let first = p.take_due(20).unwrap();
+        assert_eq!(first.cycle, 10);
+        assert_eq!(p.take_due(20), None, "second event not due yet");
+        assert_eq!(p.take_due(50).unwrap().kind, FaultKind::PowerLoss);
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn seeded_schedules_are_deterministic() {
+        let a = FaultPlan::power_losses(9, 4, 100..10_000);
+        let b = FaultPlan::power_losses(9, 4, 100..10_000);
+        let c = FaultPlan::power_losses(10, 4, 100..10_000);
+        assert_eq!(a.events(), b.events());
+        assert_ne!(a.events(), c.events());
+        assert!(a.events().windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        assert!(a.events().iter().all(|e| (100..10_000).contains(&e.cycle)));
+    }
+
+    #[test]
+    fn bit_flip_schedules_target_requested_range() {
+        let p = FaultPlan::bit_flips(3, 16, 0..1000, 0x4000..0x4100);
+        assert_eq!(p.events().len(), 16);
+        for e in p.events() {
+            match e.kind {
+                FaultKind::BitFlip { addr, bit } => {
+                    assert!((0x4000..0x4100).contains(&addr));
+                    assert!(bit < 8);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -28,6 +28,7 @@
 pub mod cpu;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod freq;
 pub mod hwcache;
 pub mod isa;
@@ -41,6 +42,7 @@ pub mod trace;
 pub use cpu::Cpu;
 pub use energy::EnergyModel;
 pub use error::{SimError, SimResult};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use freq::Frequency;
 pub use isa::{AddrMode, Instr, Opcode, Operand, Reg};
 pub use machine::{ExitReason, Hook, Machine, RunOutcome, TrapAction};

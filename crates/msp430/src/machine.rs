@@ -9,6 +9,7 @@
 
 use crate::cpu::Cpu;
 use crate::error::{SimError, SimResult};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::freq::Frequency;
 use crate::hwcache::HwCache;
 use crate::mem::{Bus, Image, MemoryMap};
@@ -46,6 +47,10 @@ pub enum ExitReason {
     Halted(u16),
     /// The cycle budget was exhausted.
     CycleLimit,
+    /// A scheduled [`FaultKind::PowerLoss`] fired. Call
+    /// [`Machine::power_cycle`] and [`Machine::run`] again to model the
+    /// reboot.
+    PowerLoss,
 }
 
 /// Everything a finished run produced.
@@ -76,6 +81,10 @@ pub struct Machine {
     bus: Bus,
     hook: Option<Box<dyn Hook>>,
     profiler: Option<Profiler>,
+    faults: Option<FaultPlan>,
+    /// Entry point of the last loaded image — the reset vector a
+    /// [`Machine::power_cycle`] reboots to.
+    entry: u16,
 }
 
 impl std::fmt::Debug for Machine {
@@ -90,7 +99,7 @@ impl std::fmt::Debug for Machine {
 impl Machine {
     /// Creates a machine over `bus` with no runtime hook.
     pub fn new(bus: Bus) -> Machine {
-        Machine { cpu: Cpu::new(), bus, hook: None, profiler: None }
+        Machine { cpu: Cpu::new(), bus, hook: None, profiler: None, faults: None, entry: 0 }
     }
 
     /// Attaches a per-function execution profiler (see
@@ -134,10 +143,42 @@ impl Machine {
         self.hook.take()
     }
 
-    /// Loads a program image and points the PC at its entry.
+    /// Loads a program image and points the PC at its entry, remembering
+    /// the entry as the reset vector for [`Machine::power_cycle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a segment overflows the address space — a malformed
+    /// image is a host-side construction bug, not a runtime condition
+    /// (use [`Bus::load_image`] directly for a fallible load).
     pub fn load(&mut self, image: &Image) {
-        self.bus.load_image(image);
+        self.bus.load_image(image).expect("malformed image");
+        self.entry = image.entry;
         self.cpu.set_pc(image.entry);
+    }
+
+    /// Attaches a fault-injection schedule, replacing any previous one.
+    pub fn attach_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Models a reboot after power loss: the register file resets and the
+    /// PC returns to the loaded image's entry; the bus loses all volatile
+    /// state while FRAM persists (see [`Bus::power_cycle`]). Any attached
+    /// hook is dropped — software runtimes hold volatile state and must
+    /// be rebuilt and re-attached by the caller, exactly as a real
+    /// runtime reconstructs itself from persistent metadata at boot. The
+    /// fault plan and statistics survive (cumulative cycle schedules).
+    pub fn power_cycle(&mut self) {
+        self.cpu = Cpu::new();
+        self.cpu.set_pc(self.entry);
+        self.bus.power_cycle();
+        self.hook = None;
     }
 
     /// Executes one instruction or services one trap.
@@ -180,11 +221,28 @@ impl Machine {
             if let Some(code) = self.step()? {
                 break ExitReason::Halted(code);
             }
+            if let Some(reason) = self.fire_due_faults() {
+                break reason;
+            }
             if self.bus.stats().total_cycles() >= max_cycles {
                 break ExitReason::CycleLimit;
             }
         };
         Ok(self.outcome(exit))
+    }
+
+    /// Fires every scheduled fault whose cycle has been reached. Bit flips
+    /// apply silently; a power loss stops the firing sweep (later events
+    /// stay pending for subsequent boots) and returns the exit reason.
+    fn fire_due_faults(&mut self) -> Option<ExitReason> {
+        let now = self.bus.stats().total_cycles();
+        loop {
+            let ev = self.faults.as_mut()?.take_due(now)?;
+            match ev.kind {
+                FaultKind::PowerLoss => return Some(ExitReason::PowerLoss),
+                FaultKind::BitFlip { addr, bit } => self.bus.flip_bit(addr, bit),
+            }
+        }
     }
 
     /// Snapshots the current run outcome with the given exit reason.
@@ -307,10 +365,61 @@ mod tests {
         ));
         // Landing pad at 0x4100 halts.
         let pad = image_of(&[halt_with(0)], 0x4100);
-        m.bus_mut().load_image(&pad);
+        m.bus_mut().load_image(&pad).unwrap();
         m.attach_hook(Box::new(Bouncer { hits: 0 }));
         let out = m.run(1_000).unwrap();
         assert!(out.success());
+    }
+
+    #[test]
+    fn scheduled_power_loss_interrupts_and_reboot_restarts() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // Spin forever; only the fault plan can stop this run.
+        m.load(&image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4000));
+        m.attach_fault_plan(FaultPlan::new(vec![
+            FaultEvent { cycle: 40, kind: FaultKind::PowerLoss },
+            FaultEvent { cycle: 90, kind: FaultKind::PowerLoss },
+        ]));
+        m.cpu_mut().set_reg(crate::isa::Reg::R12, 0x1234);
+        m.bus_mut().poke_word(0x2000, 0xBEEF);
+
+        let out = m.run(1_000_000).unwrap();
+        assert_eq!(out.exit, ExitReason::PowerLoss);
+        assert!(out.stats.total_cycles() >= 40);
+
+        m.power_cycle();
+        assert_eq!(m.cpu().pc(), 0x4000, "reboot returns to the entry");
+        assert_eq!(m.cpu().reg(crate::isa::Reg::R12), 0, "registers are volatile");
+        assert_eq!(m.bus().peek_word(0x2000), 0, "SRAM is volatile");
+
+        // The second boot runs until the second scheduled loss.
+        let out2 = m.run(1_000_000).unwrap();
+        assert_eq!(out2.exit, ExitReason::PowerLoss);
+        assert!(out2.stats.total_cycles() >= 90, "cycles accumulate across boots");
+        assert_eq!(m.fault_plan().unwrap().remaining(), 0);
+
+        // With the schedule exhausted the budget takes over again.
+        m.power_cycle();
+        let out3 = m.run(out2.stats.total_cycles() + 100).unwrap();
+        assert_eq!(out3.exit, ExitReason::CycleLimit);
+    }
+
+    #[test]
+    fn scheduled_bit_flip_corrupts_memory_mid_run() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.load(&image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4000));
+        m.bus_mut().poke_word(0x5000, 0x0000);
+        m.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            cycle: 20,
+            kind: FaultKind::BitFlip { addr: 0x5000, bit: 1 },
+        }]));
+        let out = m.run(200).unwrap();
+        assert_eq!(out.exit, ExitReason::CycleLimit, "bit flips do not stop the run");
+        assert_eq!(m.bus().peek_byte(0x5000), 0x02);
     }
 
     #[test]

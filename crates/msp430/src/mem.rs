@@ -408,11 +408,44 @@ impl Bus {
     }
 
     /// Copies `image` into memory (host-side, no accounting).
-    pub fn load_image(&mut self, image: &Image) {
+    ///
+    /// # Errors
+    ///
+    /// Faults if a segment extends past the top of the 16-bit address
+    /// space instead of corrupting low memory or panicking.
+    pub fn load_image(&mut self, image: &Image) -> SimResult<()> {
         for seg in &image.segments {
-            for (i, b) in seg.bytes.iter().enumerate() {
-                self.mem[usize::from(seg.addr) + i] = *b;
+            let start = usize::from(seg.addr);
+            let end = start + seg.bytes.len();
+            if end > self.mem.len() {
+                return Err(self.fault(seg.addr, "image segment overflows address space"));
             }
+            self.mem[start..end].copy_from_slice(&seg.bytes);
+        }
+        Ok(())
+    }
+
+    /// Models a power loss: volatile state (SRAM contents, the hardware
+    /// read cache, simulator port state, in-flight contention tracking)
+    /// is lost while FRAM contents persist. Statistics are *kept* — they
+    /// model the experimenter's bench instruments, not on-chip state, so
+    /// cycle counts stay monotonic across reboots and fault schedules can
+    /// use cumulative cycles.
+    pub fn power_cycle(&mut self) {
+        let sram = self.map.sram;
+        self.mem[usize::from(sram.start)..sram.end as usize].fill(0);
+        self.cache.flush();
+        self.ports = Ports::new();
+        self.instr_lines.clear();
+    }
+
+    /// Flips bit `bit` (0–7) of the byte at `addr` — a silent fault
+    /// injection, no accounting. Flips in FRAM invalidate the covering
+    /// hardware cache line so the corruption is observable.
+    pub fn flip_bit(&mut self, addr: u16, bit: u8) {
+        self.mem[usize::from(addr)] ^= 1 << (bit & 7);
+        if self.map.region_of(addr) == Region::Fram {
+            self.cache.invalidate(addr);
         }
     }
 }
@@ -521,8 +554,49 @@ mod tests {
             segments: vec![Segment { addr: 0x4000, bytes: vec![0xAA, 0x55] }],
             entry: 0x4000,
         };
-        b.load_image(&img);
+        b.load_image(&img).unwrap();
         assert_eq!(b.stats().fram_accesses(), 0);
         assert_eq!(b.peek_word(0x4000), 0x55AA);
+    }
+
+    #[test]
+    fn overflowing_image_is_a_typed_fault() {
+        let mut b = bus(Frequency::MHZ_8);
+        let img = Image {
+            segments: vec![Segment { addr: 0xFFFE, bytes: vec![1, 2, 3] }],
+            entry: 0xFFFE,
+        };
+        assert!(matches!(b.load_image(&img), Err(SimError::BusFault { addr: 0xFFFE, .. })));
+    }
+
+    #[test]
+    fn power_cycle_clears_sram_keeps_fram_and_stats() {
+        let mut b = bus(Frequency::MHZ_24);
+        b.write_word(0x2000, 0xBEEF).unwrap();
+        b.write_word(0x4000, 0xCAFE).unwrap();
+        b.read_word(0x4000, AccessKind::Read).unwrap(); // fill the cache line
+        b.write_word(crate::ports::CHECKSUM, 0x1111).unwrap();
+        let cycles = b.stats().total_cycles();
+        b.power_cycle();
+        assert_eq!(b.peek_word(0x2000), 0, "SRAM must clear");
+        assert_eq!(b.peek_word(0x4000), 0xCAFE, "FRAM must persist");
+        assert_eq!(b.ports().checksum().1, 0, "port state must reset");
+        assert_eq!(b.stats().total_cycles(), cycles, "stats must survive");
+        // The hardware cache was flushed: the next read of a previously
+        // cached line misses again.
+        b.read_word(0x4000, AccessKind::Read).unwrap();
+        let misses = b.stats().hw_cache_misses;
+        assert!(misses >= 2, "flush must force a re-miss (got {misses})");
+    }
+
+    #[test]
+    fn flip_bit_corrupts_and_invalidates() {
+        let mut b = bus(Frequency::MHZ_24);
+        b.poke_word(0x4000, 0x0001);
+        b.read_word(0x4000, AccessKind::Read).unwrap(); // cache the line
+        b.flip_bit(0x4000, 0);
+        assert_eq!(b.read_word(0x4000, AccessKind::Read).unwrap(), 0x0000);
+        b.flip_bit(0x2000, 7);
+        assert_eq!(b.peek_byte(0x2000), 0x80);
     }
 }

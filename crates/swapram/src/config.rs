@@ -23,6 +23,28 @@ pub enum PolicyKind {
     FreezeOnThrash,
 }
 
+/// How the runtime repairs FRAM-resident metadata after a power loss.
+///
+/// After a reboot the SRAM cache contents are gone, but the redirection
+/// and relocation words in FRAM may still point into the vanished cache —
+/// the wild-jump hazard a crash-consistent runtime must close before the
+/// application executes its first instrumented call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Boot-time sweep over every function's metadata: rewind any
+    /// redirection word pointing into SRAM back to the trap address,
+    /// reset relocation words to their FRAM targets, clear active
+    /// counters. O(functions) reads, O(dirty) writes. Always available.
+    FullScan,
+    /// Generation-tagged write-ahead dirty log: the miss handler appends
+    /// a function id to a persistent journal *before* its first metadata
+    /// write, so recovery rewinds only the logged set — O(dirty) — and
+    /// validates each entry's generation tag, falling back to
+    /// [`RecoveryMode::FullScan`] on a torn or stale log. Requires the
+    /// static pass to emit the journal words (≤ 256 functions).
+    DirtyLog,
+}
+
 /// Configuration for the static pass and runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwapConfig {
@@ -49,6 +71,11 @@ pub struct SwapConfig {
     /// Number of misses for which eviction stays frozen once thrashing is
     /// detected.
     pub freeze_misses: u32,
+    /// Boot-time crash-recovery protocol.
+    pub recovery: RecoveryMode,
+    /// Run the metadata invariant checker after every serviced miss and
+    /// recovery (host-side verification oracle; off in measurement runs).
+    pub check_invariants: bool,
 }
 
 impl SwapConfig {
@@ -66,6 +93,8 @@ impl SwapConfig {
             handler_code_base: 0xB800,
             thrash_window: 8,
             freeze_misses: 32,
+            recovery: RecoveryMode::FullScan,
+            check_invariants: false,
         }
     }
 
@@ -89,6 +118,18 @@ impl SwapConfig {
     /// Adds a function to the blacklist (builder style).
     pub fn with_blacklisted(mut self, name: &str) -> SwapConfig {
         self.blacklist.insert(name.to_string());
+        self
+    }
+
+    /// Sets the crash-recovery protocol (builder style).
+    pub fn with_recovery(mut self, recovery: RecoveryMode) -> SwapConfig {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Enables or disables the per-miss invariant checker (builder style).
+    pub fn with_invariant_checks(mut self, on: bool) -> SwapConfig {
+        self.check_invariants = on;
         self
     }
 }
@@ -121,8 +162,19 @@ mod tests {
     fn builders() {
         let c = SwapConfig::unified_fr2355()
             .with_policy(PolicyKind::Stack)
-            .with_blacklisted("isr");
+            .with_blacklisted("isr")
+            .with_recovery(RecoveryMode::DirtyLog)
+            .with_invariant_checks(true);
         assert_eq!(c.policy, PolicyKind::Stack);
         assert!(c.blacklist.contains("isr"));
+        assert_eq!(c.recovery, RecoveryMode::DirtyLog);
+        assert!(c.check_invariants);
+    }
+
+    #[test]
+    fn defaults_keep_legacy_behavior() {
+        let c = SwapConfig::unified_fr2355();
+        assert_eq!(c.recovery, RecoveryMode::FullScan);
+        assert!(!c.check_invariants);
     }
 }

@@ -41,6 +41,21 @@ pub struct CostModel {
     pub exit_instrs: u64,
     /// Cycles for handler exit.
     pub exit_cycles: u64,
+    /// Boot-time recovery entry: read the journal header / set up the
+    /// metadata sweep.
+    pub recover_base_instrs: u64,
+    /// Cycles for recovery entry.
+    pub recover_base_cycles: u64,
+    /// Per function inspected or rewound during recovery (redirection
+    /// reset and active-counter clear; relocation words reuse the
+    /// per-reloc charge).
+    pub recover_func_instrs: u64,
+    /// Cycles per recovered function.
+    pub recover_func_cycles: u64,
+    /// Per dirty-log append (read header, write slot, bump count).
+    pub journal_append_instrs: u64,
+    /// Cycles per dirty-log append.
+    pub journal_append_cycles: u64,
 }
 
 impl CostModel {
@@ -59,6 +74,12 @@ impl CostModel {
             copy_word_cycles: 6,
             exit_instrs: 8,
             exit_cycles: 22,
+            recover_base_instrs: 12,
+            recover_base_cycles: 30,
+            recover_func_instrs: 8,
+            recover_func_cycles: 20,
+            journal_append_instrs: 6,
+            journal_append_cycles: 16,
         }
     }
 }

@@ -53,15 +53,16 @@
 
 pub mod config;
 pub mod cost;
+pub mod invariants;
 pub mod pass;
 pub mod runtime;
 pub mod stats;
 pub mod tables;
 
-pub use config::{PolicyKind, SwapConfig};
+pub use config::{PolicyKind, RecoveryMode, SwapConfig};
 pub use cost::CostModel;
-pub use pass::{Instrumented, SwapFunc, SwapReloc};
-pub use runtime::SwapRuntime;
+pub use pass::{Instrumented, Journal, SwapFunc, SwapReloc};
+pub use runtime::{RecoveryOutcome, SwapRuntime};
 pub use stats::SwapStats;
 
 use msp430_asm::ast::Module;

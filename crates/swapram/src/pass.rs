@@ -28,8 +28,11 @@
 //! markers, which the benchmark sources (like compiler output) already
 //! carry.
 
-use crate::config::SwapConfig;
-use crate::tables::{act_symbol, redir_symbol, reloc_symbol, rofs_symbol, FID_SYMBOL, TABLES_SECTION};
+use crate::config::{RecoveryMode, SwapConfig};
+use crate::tables::{
+    act_symbol, redir_symbol, reloc_symbol, rofs_symbol, DIRTY_COUNT_SYMBOL, DIRTY_SLOTS_SYMBOL,
+    FID_SYMBOL, GEN_SYMBOL, TABLES_SECTION,
+};
 use msp430_asm::ast::{AsmOperand, Insn, Item, Module, Stmt};
 use msp430_asm::error::{AsmError, AsmResult};
 use msp430_asm::expr::Expr;
@@ -71,6 +74,27 @@ pub struct SwapFunc {
     pub relocs: Vec<SwapReloc>,
 }
 
+/// FRAM layout of the generation-tagged dirty log the pass emits under
+/// [`RecoveryMode::DirtyLog`] (see `crate::runtime` for the protocol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Journal {
+    /// Address of the persistent recovery-generation word (initialised
+    /// to 1 so a generation tag is never all-zero).
+    pub gen_addr: u16,
+    /// Address of the entry-count word.
+    pub count_addr: u16,
+    /// Address of the first of `capacity` contiguous entry slots.
+    pub slots_addr: u16,
+    /// Number of slots — one per cacheable function, so a deduplicated
+    /// log can never overflow.
+    pub capacity: u16,
+}
+
+/// Functions a dirty-log entry can address: ids occupy the low byte of an
+/// entry word, so programs with more functions fall back to full-scan
+/// recovery (the pass emits no journal).
+pub const JOURNAL_MAX_FUNCS: usize = 256;
+
 /// Output of the static pass: the final binary plus everything the runtime
 /// needs to manage the cache.
 #[derive(Debug, Clone)]
@@ -89,6 +113,9 @@ pub struct Instrumented {
     pub handler_bytes: u16,
     /// Number of call sites rewritten.
     pub call_sites: usize,
+    /// Layout of the persistent dirty log, when the configuration asked
+    /// for [`RecoveryMode::DirtyLog`] and the program fits its id space.
+    pub journal: Option<Journal>,
 }
 
 impl Instrumented {
@@ -151,6 +178,16 @@ pub fn instrument(
         instrumented.push(Item::Word(vec![Expr::num(i64::from(swap.trap_addr))]));
         instrumented.push(Item::Label(act_symbol(name)));
         instrumented.push(Item::Word(vec![Expr::num(0)]));
+    }
+    let wants_journal =
+        swap.recovery == RecoveryMode::DirtyLog && ids.len() <= JOURNAL_MAX_FUNCS;
+    if wants_journal {
+        instrumented.push(Item::Label(GEN_SYMBOL.to_string()));
+        instrumented.push(Item::Word(vec![Expr::num(1)]));
+        instrumented.push(Item::Label(DIRTY_COUNT_SYMBOL.to_string()));
+        instrumented.push(Item::Word(vec![Expr::num(0)]));
+        instrumented.push(Item::Label(DIRTY_SLOTS_SYMBOL.to_string()));
+        instrumented.push(Item::Word(vec![Expr::num(0); ids.len().max(1)]));
     }
 
     // ---- Intermediate assembly: fix layout and materialise relaxation. ----
@@ -274,6 +311,17 @@ pub fn instrument(
     // scales with the branch count (§5.2).
     let handler_bytes = (972 + 8 * k as u32).min(1844) as u16;
 
+    let journal = if wants_journal {
+        Some(Journal {
+            gen_addr: lookup(GEN_SYMBOL)?,
+            count_addr: lookup(DIRTY_COUNT_SYMBOL)?,
+            slots_addr: lookup(DIRTY_SLOTS_SYMBOL)?,
+            capacity: ids.len().max(1) as u16,
+        })
+    } else {
+        None
+    };
+
     Ok(Instrumented {
         fid_addr: lookup(FID_SYMBOL)?,
         assembly,
@@ -281,6 +329,7 @@ pub fn instrument(
         metadata_bytes,
         handler_bytes,
         call_sites,
+        journal,
     })
 }
 
@@ -496,5 +545,22 @@ big_end:
         let m = parse("    .section srtab\n    .word 0\n").unwrap();
         let (sc, lc) = cfg();
         assert!(instrument(&m, &sc, &lc).is_err());
+    }
+
+    #[test]
+    fn dirty_log_config_emits_journal() {
+        let m = parse(SRC).unwrap();
+        let (sc, lc) = cfg();
+        let plain = instrument(&m, &sc, &lc).unwrap();
+        assert!(plain.journal.is_none(), "FullScan default must not change the metadata layout");
+
+        let sc = sc.with_recovery(RecoveryMode::DirtyLog);
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        let j = inst.journal.expect("DirtyLog must emit a journal");
+        assert_eq!(usize::from(j.capacity), inst.funcs.len(), "one slot per managed function");
+        assert_eq!(peek(&inst.assembly.image, j.gen_addr), 1, "generation starts at 1");
+        assert_eq!(peek(&inst.assembly.image, j.count_addr), 0, "log starts empty");
+        // gen + count + capacity slots of extra persistent metadata.
+        assert_eq!(inst.metadata_bytes, plain.metadata_bytes + 4 + 2 * j.capacity);
     }
 }

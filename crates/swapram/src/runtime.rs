@@ -12,9 +12,9 @@
 //! [`CostModel`] and attributed to the `miss handler` / `memcpy`
 //! categories of Figure 8.
 
-use crate::config::{PolicyKind, SwapConfig};
+use crate::config::{PolicyKind, RecoveryMode, SwapConfig};
 use crate::cost::CostModel;
-use crate::pass::{Instrumented, SwapFunc};
+use crate::pass::{Instrumented, Journal, SwapFunc};
 use crate::stats::SwapStats;
 use msp430_sim::cpu::Cpu;
 use msp430_sim::error::{SimError, SimResult};
@@ -33,11 +33,46 @@ struct Entry {
     size: u16,
 }
 
+/// Marker bit of a dirty-log entry word: a power-failed (zeroed or torn)
+/// slot can never masquerade as a valid entry.
+const JOURNAL_MARK: u16 = 0x8000;
+
+/// Encodes a dirty-log entry: marker bit, 7-bit generation tag, 8-bit
+/// function id.
+fn journal_entry_word(gen: u16, fid: u16) -> u16 {
+    JOURNAL_MARK | ((gen & 0x7f) << 8) | (fid & 0xff)
+}
+
+/// Decodes and validates a dirty-log entry against the current generation;
+/// returns the function id, or `None` for a torn/stale/corrupt slot.
+pub(crate) fn journal_entry_fid(entry: u16, gen: u16, nfuncs: u16) -> Option<u16> {
+    if entry & JOURNAL_MARK == 0 {
+        return None;
+    }
+    if (entry >> 8) & 0x7f != gen & 0x7f {
+        return None;
+    }
+    let fid = entry & 0xff;
+    (fid < nfuncs).then_some(fid)
+}
+
+/// What a boot-time [`SwapRuntime::recover`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// The protocol that actually ran ([`RecoveryMode::DirtyLog`] only
+    /// when the journal was present and intact).
+    pub mode: RecoveryMode,
+    /// Functions whose metadata was rewound to its FRAM home.
+    pub rewound: u64,
+    /// True when a torn or stale journal forced the full-scan fallback.
+    pub journal_fallback: bool,
+}
+
 /// The runtime component of SwapRAM.
 pub struct SwapRuntime {
     funcs: Vec<SwapFunc>,
     fid_addr: u16,
-    cfg: SwapConfig,
+    pub(crate) cfg: SwapConfig,
     cost: CostModel,
     /// Cached functions in caching order (front = least recently cached).
     entries: VecDeque<Entry>,
@@ -55,6 +90,12 @@ pub struct SwapRuntime {
     fallback_run: u32,
     /// Remaining misses served without eviction after a freeze.
     freeze_left: u32,
+    /// Persistent dirty-log layout, when the pass emitted one.
+    journal: Option<Journal>,
+    /// Function ids already appended to the log this generation (volatile
+    /// dedup index — rebuilt implicitly on reboot because a fresh runtime
+    /// starts empty and the generation advances).
+    logged: Vec<bool>,
 }
 
 impl std::fmt::Debug for SwapRuntime {
@@ -79,6 +120,7 @@ impl SwapRuntime {
     pub fn with_cost(inst: &Instrumented, cfg: SwapConfig, cost: CostModel) -> SwapRuntime {
         let tail = cfg.cache_base;
         let fetch_cursor = cfg.handler_code_base;
+        let logged = vec![false; inst.funcs.len()];
         SwapRuntime {
             funcs: inst.funcs.clone(),
             fid_addr: inst.fid_addr,
@@ -92,6 +134,8 @@ impl SwapRuntime {
             thrash_run: 0,
             fallback_run: 0,
             freeze_left: 0,
+            journal: inst.journal,
+            logged,
         }
     }
 
@@ -104,6 +148,56 @@ impl SwapRuntime {
     /// Currently cached function ids in caching order (oldest first).
     pub fn cached_ids(&self) -> Vec<u16> {
         self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// Cached entries as `(id, sram_addr, size)` (oldest first) — the
+    /// runtime's volatile view, for the invariant checker and tests.
+    pub fn entries_snapshot(&self) -> Vec<(u16, u16, u16)> {
+        self.entries.iter().map(|e| (e.id, e.addr, e.size)).collect()
+    }
+
+    /// All function metadata records, indexed by `funcId`.
+    pub fn func_records(&self) -> &[SwapFunc] {
+        &self.funcs
+    }
+
+    /// The metadata record of one function.
+    pub fn func_record(&self, id: u16) -> Option<&SwapFunc> {
+        self.funcs.get(usize::from(id))
+    }
+
+    /// Next placement address of the circular queue.
+    pub fn tail(&self) -> u16 {
+        self.tail
+    }
+
+    /// Address of the global `funcId` word.
+    pub fn fid_addr(&self) -> u16 {
+        self.fid_addr
+    }
+
+    /// The dirty-log layout, when the instrumented program carries one.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
+    }
+
+    /// Runs the metadata invariant checker (host-side, charge-free).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_invariants(&self, bus: &Bus) -> Result<(), String> {
+        crate::invariants::check(self, bus)
+    }
+
+    /// Wraps [`SwapRuntime::check_invariants`] into the simulator error
+    /// type when the configuration enables per-miss checking.
+    fn enforce_invariants(&self, bus: &Bus) -> SimResult<()> {
+        if !self.cfg.check_invariants {
+            return Ok(());
+        }
+        self.check_invariants(bus)
+            .map_err(|m| SimError::Hook(format!("SwapRAM invariant violation: {m}")))
     }
 
     fn end(&self) -> u32 {
@@ -271,6 +365,202 @@ impl SwapRuntime {
         Ok(())
     }
 
+    /// Appends `fid` to the persistent dirty log — the write-ahead step of
+    /// crash consistency: the entry and count land in FRAM *before* the
+    /// caching operation's first metadata write, so a power loss at any
+    /// later point finds the function in the log and recovery rewinds it.
+    /// (Slot before count: a crash between the two leaves the orphaned
+    /// slot above the count, invisible and harmless.)
+    ///
+    /// Returns `false` when the log cannot take the entry (defensive —
+    /// with per-generation dedup and one slot per function the log cannot
+    /// actually fill); the caller must then skip caching.
+    fn journal_append(&mut self, bus: &mut Bus, fid: u16) -> SimResult<bool> {
+        let Some(j) = self.journal else {
+            return Ok(true);
+        };
+        if self.logged.get(usize::from(fid)).copied().unwrap_or(false) {
+            return Ok(true);
+        }
+        let count = bus.read_word(j.count_addr, AccessKind::Read)?;
+        if count >= j.capacity {
+            return Ok(false);
+        }
+        let gen = bus.read_word(j.gen_addr, AccessKind::Read)?;
+        bus.write_word(j.slots_addr + 2 * count, journal_entry_word(gen, fid))?;
+        bus.write_word(j.count_addr, count + 1)?;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.journal_append_instrs,
+            self.cost.journal_append_cycles,
+        )?;
+        self.logged[usize::from(fid)] = true;
+        self.stats.borrow_mut().journal_appends += 1;
+        Ok(true)
+    }
+
+    /// Boot-time crash recovery: rewinds every function whose persistent
+    /// metadata still points into the (now vanished) SRAM cache back to
+    /// its FRAM home, so the first instrumented call after a power loss
+    /// traps into the handler instead of wild-jumping.
+    ///
+    /// With an intact dirty log this touches only the logged set —
+    /// O(dirty). A torn, stale, or absent log falls back to the full
+    /// metadata scan, which additionally clears every active counter
+    /// (stale counters after a log recovery are conservative: they can
+    /// only delay eviction, never permit evicting live stack code).
+    ///
+    /// All rewind traffic goes through the bus and is charged, so the
+    /// recovery cost is measurable. Call once per boot, before running.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults; reports an invariant violation when
+    /// checking is enabled.
+    pub fn recover(&mut self, bus: &mut Bus) -> SimResult<RecoveryOutcome> {
+        // Reset the volatile view (fresh runtimes start this way; being
+        // idempotent lets one runtime instance survive its own reboots).
+        self.entries.clear();
+        self.tail = self.cfg.cache_base;
+        self.recent_evictions.clear();
+        self.thrash_run = 0;
+        self.fallback_run = 0;
+        self.freeze_left = 0;
+        self.logged.iter_mut().for_each(|l| *l = false);
+
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.recover_base_instrs,
+            self.cost.recover_base_cycles,
+        )?;
+        let want_log = self.cfg.recovery == RecoveryMode::DirtyLog && self.journal.is_some();
+        let from_log = if want_log { self.recover_from_log(bus)? } else { None };
+        let journal_fallback = want_log && from_log.is_none();
+        let (mode, rewound) = match from_log {
+            Some(n) => (RecoveryMode::DirtyLog, n),
+            None => (RecoveryMode::FullScan, self.recover_full_scan(bus)?),
+        };
+
+        // Close the generation: bump the tag, then zero the count. A crash
+        // between the two leaves old-generation entries under a new tag —
+        // the next recovery sees the mismatch and falls back to the full
+        // scan, so re-recovery is always safe.
+        if let Some(j) = self.journal {
+            let gen = bus.read_word(j.gen_addr, AccessKind::Read)?;
+            bus.write_word(j.gen_addr, gen.wrapping_add(1))?;
+            bus.write_word(j.count_addr, 0)?;
+        }
+
+        let mut stats = self.stats.borrow_mut();
+        stats.recoveries += 1;
+        stats.recovered_functions += rewound;
+        if journal_fallback {
+            stats.journal_fallbacks += 1;
+        }
+        drop(stats);
+        self.enforce_invariants(bus)?;
+        Ok(RecoveryOutcome { mode, rewound, journal_fallback })
+    }
+
+    /// Rewinds the functions named by an intact dirty log. Returns `None`
+    /// if any header or entry fails validation (torn write, stale
+    /// generation, corrupt id) — the caller then falls back to the scan.
+    fn recover_from_log(&mut self, bus: &mut Bus) -> SimResult<Option<u64>> {
+        let Some(j) = self.journal else {
+            return Ok(None);
+        };
+        let count = bus.read_word(j.count_addr, AccessKind::Read)?;
+        if count > j.capacity {
+            return Ok(None);
+        }
+        let gen = bus.read_word(j.gen_addr, AccessKind::Read)?;
+        let nfuncs = self.funcs.len() as u16;
+        let mut fids = Vec::with_capacity(usize::from(count));
+        for i in 0..count {
+            let entry = bus.read_word(j.slots_addr + 2 * i, AccessKind::Read)?;
+            match journal_entry_fid(entry, gen, nfuncs) {
+                Some(fid) => fids.push(fid),
+                None => return Ok(None),
+            }
+        }
+        let mut rewound = 0u64;
+        let mut seen = vec![false; self.funcs.len()];
+        for fid in fids {
+            if std::mem::replace(&mut seen[usize::from(fid)], true) {
+                continue;
+            }
+            self.rewind_function(bus, fid)?;
+            rewound += 1;
+        }
+        Ok(Some(rewound))
+    }
+
+    /// The always-available recovery path: inspect every function, rewind
+    /// whatever still points into SRAM, clear every stale active counter.
+    /// O(functions) reads, writes only where metadata is actually dirty.
+    fn recover_full_scan(&mut self, bus: &mut Bus) -> SimResult<u64> {
+        let mut rewound = 0u64;
+        for i in 0..self.funcs.len() {
+            let f = self.funcs[i].clone();
+            let redir = bus.read_word(f.redir_addr, AccessKind::Read)?;
+            // A permanent FRAM redirect (too-large function) is
+            // crash-safe and worth preserving across reboots.
+            let mut dirty = redir != self.cfg.trap_addr && redir != f.fram_addr;
+            for r in &f.relocs {
+                let reloc = bus.read_word(r.reloc_addr, AccessKind::Read)?;
+                dirty |= reloc != f.fram_addr.wrapping_add(r.ofs);
+            }
+            let act = bus.read_word(f.act_addr, AccessKind::Read)?;
+            if dirty {
+                self.rewind_function(bus, f.id)?;
+                rewound += 1;
+            } else if act != 0 {
+                bus.write_word(f.act_addr, 0)?;
+            }
+            self.charge(
+                bus,
+                Category::MissHandler,
+                self.cost.scan_instrs,
+                self.cost.scan_cycles,
+            )?;
+        }
+        Ok(rewound)
+    }
+
+    /// Rewinds one function's persistent metadata to its FRAM home:
+    /// redirection word back to the trap address, relocation words back to
+    /// FRAM targets, active counter cleared. Idempotent.
+    fn rewind_function(&mut self, bus: &mut Bus, fid: u16) -> SimResult<()> {
+        let f = self.func(fid)?.clone();
+        bus.write_word(f.redir_addr, self.cfg.trap_addr)?;
+        for r in &f.relocs {
+            bus.write_word(r.reloc_addr, f.fram_addr.wrapping_add(r.ofs))?;
+        }
+        bus.write_word(f.act_addr, 0)?;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.recover_func_instrs + self.cost.reloc_instrs * f.relocs.len() as u64,
+            self.cost.recover_func_cycles + self.cost.reloc_cycles * f.relocs.len() as u64,
+        )?;
+        Ok(())
+    }
+
+    /// Undoes a failed [`SwapRuntime::fill`]: relocation words written
+    /// before the failure point back to FRAM targets (the redirection
+    /// word is written last by `fill`, so it still holds the trap address
+    /// and needs no repair). Without this, degrading to FRAM execution
+    /// could leave a branch pointing into an SRAM copy that was never
+    /// committed.
+    fn unfill(&mut self, bus: &mut Bus, f: &SwapFunc) -> SimResult<()> {
+        for r in &f.relocs {
+            bus.write_word(r.reloc_addr, f.fram_addr.wrapping_add(r.ofs))?;
+        }
+        Ok(())
+    }
+
     /// Thrash detection for [`PolicyKind::FreezeOnThrash`]: a run of misses
     /// whose targets were all evicted recently indicates the §5.4
     /// pathological pattern; freeze eviction for a while.
@@ -323,6 +613,7 @@ impl Hook for SwapRuntime {
         let exit = |rt: &mut SwapRuntime, cpu: &mut Cpu, bus: &mut Bus, target: u16| {
             cpu.set_pc(target);
             rt.charge(bus, Category::MissHandler, rt.cost.exit_instrs, rt.cost.exit_cycles)?;
+            rt.enforce_invariants(bus)?;
             Ok(TrapAction::Resume)
         };
 
@@ -383,11 +674,26 @@ impl Hook for SwapRuntime {
             self.note_fallback_thrash();
             return exit(self, cpu, bus, f.fram_addr);
         };
+        // Write-ahead: the dirty log must name this function before the
+        // first metadata write of the caching operation (the victims'
+        // entries were logged when *they* were cached).
+        if !self.journal_append(bus, fid)? {
+            self.stats.borrow_mut().degraded += 1;
+            return exit(self, cpu, bus, f.fram_addr);
+        }
         for e in flagged {
             self.evict(bus, e)?;
         }
 
-        self.fill(bus, &f, place)?;
+        if let Err(err) = self.fill(bus, &f, place) {
+            // Abort-to-FRAM degradation: rewind whatever relocation words
+            // the partial fill wrote (the redirection word is written last
+            // and still holds the trap address), then run the callee from
+            // FRAM this time instead of killing the machine.
+            self.unfill(bus, &f).map_err(|_| err)?;
+            self.stats.borrow_mut().degraded += 1;
+            return exit(self, cpu, bus, f.fram_addr);
+        }
         self.fallback_run = 0;
         self.entries.push_back(Entry { id: fid, addr: place, size });
         self.tail = place.wrapping_add(size);

@@ -25,6 +25,18 @@ pub struct SwapStats {
     pub bytes_copied: u64,
     /// Misses whose target was already cached (defensive re-chaining).
     pub rechains: u64,
+    /// Misses degraded to FRAM execution by a typed runtime error (failed
+    /// fill, full journal) instead of aborting the machine.
+    pub degraded: u64,
+    /// Boot-time crash recoveries performed.
+    pub recoveries: u64,
+    /// Functions whose metadata a recovery rewound to its FRAM home.
+    pub recovered_functions: u64,
+    /// Dirty-log journal appends (first-time caching events).
+    pub journal_appends: u64,
+    /// Recoveries that found a torn/stale journal and fell back to the
+    /// full metadata scan.
+    pub journal_fallbacks: u64,
 }
 
 impl SwapStats {

@@ -29,6 +29,15 @@ pub fn rofs_symbol(k: usize) -> String {
     format!("__sr_rofs_{k}")
 }
 
+/// Symbol of the persistent recovery-generation word (dirty-log recovery).
+pub const GEN_SYMBOL: &str = "__sr_gen";
+
+/// Symbol of the dirty-log entry count word.
+pub const DIRTY_COUNT_SYMBOL: &str = "__sr_dirty_n";
+
+/// Symbol of the first dirty-log slot (slots are contiguous words).
+pub const DIRTY_SLOTS_SYMBOL: &str = "__sr_dirty";
+
 #[cfg(test)]
 mod tests {
     use super::*;
