@@ -158,7 +158,8 @@ pub fn transform(
 
     let emit_block =
         |out: &mut Module, module: &Module, stmts: std::ops::Range<usize>, ends_in_cfi: bool,
-         exits: &mut Vec<ExitKind>, nblocks: &mut usize, fallthrough_to: Option<String>| {
+         exits: &mut Vec<ExitKind>, nblocks: &mut usize, fallthrough_to: Option<String>|
+         -> AsmResult<usize> {
             let b = *nblocks;
             *nblocks += 1;
             out.push(Item::Align(2));
@@ -189,7 +190,12 @@ pub fn transform(
             if ends_in_cfi {
                 let insn = match &module.stmts[last].item {
                     Item::Insn(i) => i.clone(),
-                    _ => unreachable!("CFI block ends with an instruction"),
+                    _ => {
+                        return Err(AsmError::global(format!(
+                            "internal: block {b} marked as ending in control flow, but its \
+                             trailer is not an instruction"
+                        )))
+                    }
                 };
                 match classify(&insn) {
                     Cfi::Jump { op: Opcode::Jmp, target } => {
@@ -199,9 +205,11 @@ pub fn transform(
                         // Conditional: taken + fall-through exits.
                         let take = format!("__bb_take_{b}");
                         out.push(Item::Insn(Insn::Jump { op, target: Expr::sym(&take) }));
-                        let ft = fallthrough_to
-                            .clone()
-                            .expect("conditional CFI needs a fall-through successor");
+                        let ft = fallthrough_to.clone().ok_or_else(|| {
+                            AsmError::global(format!(
+                                "block {b}: conditional control flow with no fall-through successor"
+                            ))
+                        })?;
                         mk_exit(out, exits, ExitKind::Static { target: ft });
                         out.push(Item::Label(take));
                         mk_exit(out, exits, ExitKind::Static { target });
@@ -212,9 +220,11 @@ pub fn transform(
                     Cfi::Call { target } => {
                         // Push the canonical start of the *next* block as
                         // the return address: flush-safe (see module docs).
-                        let ret = fallthrough_to
-                            .clone()
-                            .expect("a call must have a following block to return to");
+                        let ret = fallthrough_to.clone().ok_or_else(|| {
+                            AsmError::global(format!(
+                                "block {b}: call with no following block to return to"
+                            ))
+                        })?;
                         out.push(Item::Insn(Insn::FormatII {
                             op: Opcode::Push,
                             size: Size::Word,
@@ -235,7 +245,7 @@ pub fn transform(
                 mk_exit(out, exits, ExitKind::Static { target: ft });
             }
             out.push(Item::Label(end_symbol(b)));
-            b
+            Ok(b)
         };
 
     // Statements outside functions (sections, data, globals) pass through;
@@ -248,10 +258,11 @@ pub fn transform(
             continue;
         }
         // Find the function starting here.
-        let f = fns
-            .iter()
-            .find(|f| f.body.start == i)
-            .expect("covered statement must start a function body");
+        let f = fns.iter().find(|f| f.body.start == i).ok_or_else(|| {
+            AsmError::global(format!(
+                "internal: covered statement {i} does not start a function body"
+            ))
+        })?;
         let blocks = program::basic_blocks(module, f.body.clone());
         let base = nblocks;
         for (bi, blk) in blocks.iter().enumerate() {
@@ -271,7 +282,7 @@ pub fn transform(
                 &mut exits,
                 &mut nblocks,
                 fallthrough_to,
-            );
+            )?;
         }
         i = f.body.end;
     }
@@ -448,13 +459,6 @@ loop:
     }
 
     fn peek(img: &msp430_sim::mem::Image, addr: u16) -> u16 {
-        for seg in &img.segments {
-            let a = u32::from(seg.addr);
-            if u32::from(addr) >= a && u32::from(addr) + 1 < a + seg.bytes.len() as u32 {
-                let off = usize::from(addr - seg.addr);
-                return u16::from(seg.bytes[off]) | (u16::from(seg.bytes[off + 1]) << 8);
-            }
-        }
-        panic!("address {addr:#06x} not in image");
+        img.word_at(addr).expect("test address must be covered by the image")
     }
 }

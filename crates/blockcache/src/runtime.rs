@@ -77,6 +77,22 @@ pub struct BlockStats {
     pub too_large: u64,
     /// Bytes copied.
     pub bytes_copied: u64,
+    /// Traps that recovered from an abnormal table state (e.g. a full
+    /// hash table) by flushing instead of aborting the machine.
+    pub degraded: u64,
+}
+
+/// Outcome of a hash-table probe.
+enum Probe {
+    /// The target is cached at this SRAM address.
+    Found(u16),
+    /// The target is absent; this slot index is free for insertion.
+    Empty(u16),
+    /// Every slot is occupied by other tags — a state regular operation
+    /// never reaches (the table is sized for all blocks and cleared on
+    /// flush), so it indicates corruption or an accounting bug. The
+    /// caller degrades by flushing rather than aborting.
+    Full,
 }
 
 /// The block-cache runtime hook.
@@ -174,23 +190,23 @@ impl BlockRuntime {
     }
 
     /// Probes the FRAM hash table for `target`; every probe is a counted
-    /// metadata read. Returns the cached address, or the first empty slot.
-    fn probe(&mut self, bus: &mut Bus, target: u16) -> SimResult<Result<u16, u16>> {
+    /// metadata read.
+    fn probe(&mut self, bus: &mut Bus, target: u16) -> SimResult<Probe> {
         let mut slot = self.djb2_slot(target);
         for _ in 0..self.hash_capacity {
             let slot_addr = self.hash_base + 4 * slot;
             let tag = bus.read_word(slot_addr, AccessKind::Read)?;
             self.charge(bus, Category::MissHandler, self.cost.probe_instrs, self.cost.probe_cycles)?;
             if tag == 0 {
-                return Ok(Err(slot));
+                return Ok(Probe::Empty(slot));
             }
             if tag == target {
                 let v = bus.read_word(slot_addr + 2, AccessKind::Read)?;
-                return Ok(Ok(v));
+                return Ok(Probe::Found(v));
             }
             slot = (slot + 1) % self.hash_capacity;
         }
-        Err(SimError::Hook("block-cache hash table full".into()))
+        Ok(Probe::Full)
     }
 
     fn flush(&mut self, bus: &mut Bus) -> SimResult<()> {
@@ -251,13 +267,23 @@ impl Hook for BlockRuntime {
         };
 
         // Already cached?
-        if let Ok(cached) = self.probe(bus, target)? {
-            if static_target.is_some() {
-                bus.write_word(word_addr, cached)?;
-                self.charge(bus, Category::MissHandler, self.cost.chain_instrs, self.cost.chain_cycles)?;
-                self.stats.borrow_mut().chains += 1;
+        match self.probe(bus, target)? {
+            Probe::Found(cached) => {
+                if static_target.is_some() {
+                    bus.write_word(word_addr, cached)?;
+                    self.charge(bus, Category::MissHandler, self.cost.chain_instrs, self.cost.chain_cycles)?;
+                    self.stats.borrow_mut().chains += 1;
+                }
+                return exit(self, cpu, bus, cached);
             }
-            return exit(self, cpu, bus, cached);
+            Probe::Empty(_) => {}
+            Probe::Full => {
+                // A full table is unreachable through regular operation:
+                // degrade by flushing to a known-good empty state instead
+                // of aborting the machine.
+                self.flush(bus)?;
+                self.stats.borrow_mut().degraded += 1;
+            }
         }
 
         let size = *self
@@ -288,8 +314,10 @@ impl Hook for BlockRuntime {
         )?;
         self.next_free = place + need;
 
-        // Insert into the FRAM hash table (tag + value writes).
-        if let Err(slot) = self.probe(bus, target)? {
+        // Insert into the FRAM hash table (tag + value writes). A full
+        // table here means the block stays unindexed this round (the next
+        // lookup misses and re-fills) — wasteful but correct.
+        if let Probe::Empty(slot) = self.probe(bus, target)? {
             let slot_addr = self.hash_base + 4 * slot;
             bus.write_word(slot_addr, target)?;
             bus.write_word(slot_addr + 2, place)?;

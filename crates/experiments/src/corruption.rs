@@ -1,0 +1,368 @@
+//! Corruption experiment — seeded single-bit flips against the SwapRAM
+//! defense stack. Every MiBench benchmark runs under `flips` seeded
+//! mid-run bit flips per target region:
+//!
+//! * **metadata** — the `srtab` tables in FRAM (redirection, relocation,
+//!   static-offset, guard, active-counter, funcId and journal words);
+//! * **cached-code** — the SRAM cache window holding live function copies;
+//! * **app-data** — the benchmark's data section (inputs, globals).
+//!
+//! Each episode is classified by combining the run outcome with every
+//! detection channel the runtime exposes: the CRC-guard counters
+//! (`guard_repairs` / `guard_degraded` / `degraded`), the execution
+//! sanitizer ([`msp430_sim::machine::ExitReason::SanitizerTrap`]), typed
+//! simulation errors, and the end-of-run metadata audit
+//! ([`swapram::invariants::audit_final`]):
+//!
+//! * **masked** — clean halt, oracle checksum, no detection: the flip
+//!   never mattered (hit dead metadata, was overwritten, or was repaired
+//!   invisibly by a refill).
+//! * **detected-repaired** — clean halt and oracle checksum, but a
+//!   detection channel fired: the runtime caught the corruption and
+//!   rebuilt the damaged state from the immutable FRAM image.
+//! * **detected-degraded** — the run visibly failed (sanitizer trap,
+//!   typed error, cycle budget) or produced a wrong checksum *with*
+//!   detection evidence: corruption was surfaced, never trusted silently.
+//! * **silent-wrong** — clean halt, wrong checksum, no detection channel
+//!   fired. This is the failure mode the PR exists to eliminate: it must
+//!   never occur for metadata-region flips (app-data flips can and do
+//!   produce it — data integrity is the application's problem, exactly as
+//!   for any uninstrumented program).
+//!
+//! Rows carry only deterministic quantities, so identical seeds yield
+//! byte-identical JSON (the report's `corruption` section) regardless of
+//! `SWAPRAM_JOBS`.
+
+use crate::harness::Harness;
+use crate::json::Json;
+use crate::measure::SEED;
+use crate::report::Table;
+use crate::resilience::base_seed;
+use mibench::builder::{run_on, Built, MemoryProfile, Program, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::{ExitReason, Fr2355, Machine};
+use msp430_sim::rng::SplitMix64;
+use swapram::{SwapConfig, SwapRuntime};
+
+/// Flips per (benchmark, region) in the full configuration.
+pub const DEFAULT_FLIPS: usize = 5;
+
+/// Flips per (benchmark, region) in `--fast` (CI) mode.
+pub const FAST_FLIPS: usize = 2;
+
+/// Which memory region a flip targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipRegion {
+    /// The `srtab` metadata tables in FRAM.
+    Metadata,
+    /// The SRAM cache window.
+    CachedCode,
+    /// The benchmark's data section.
+    AppData,
+}
+
+impl FlipRegion {
+    /// All regions, in reporting order.
+    pub const ALL: [FlipRegion; 3] = [FlipRegion::Metadata, FlipRegion::CachedCode, FlipRegion::AppData];
+
+    /// Stable row/report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlipRegion::Metadata => "metadata",
+            FlipRegion::CachedCode => "cached-code",
+            FlipRegion::AppData => "app-data",
+        }
+    }
+}
+
+/// Episode classification (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Flip never influenced the run.
+    Masked,
+    /// Detected; repaired from FRAM; oracle checksum produced.
+    Repaired,
+    /// Detected; the run visibly failed or degraded.
+    Degraded,
+    /// Wrong output with no detection — must be zero for metadata flips.
+    SilentWrong,
+}
+
+impl Outcome {
+    /// Stable row/report label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Repaired => "detected-repaired",
+            Outcome::Degraded => "detected-degraded",
+            Outcome::SilentWrong => "silent-wrong",
+        }
+    }
+}
+
+/// One benchmark episode under one seeded bit flip.
+#[derive(Debug, Clone)]
+pub struct CorruptionRow {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// Which region the flip targeted.
+    pub region: FlipRegion,
+    /// Episode seed (drives flip address, bit and cycle).
+    pub seed: u64,
+    /// Flipped byte address.
+    pub addr: u16,
+    /// Flipped bit index (0–7).
+    pub bit: u8,
+    /// Cycle the flip fired at.
+    pub cycle: u64,
+    /// Episode classification.
+    pub outcome: Outcome,
+    /// The machine halted normally within the cycle budget.
+    pub survived: bool,
+    /// Final checksum matched the benchmark oracle.
+    pub correct: bool,
+    /// Corrupted metadata entries rebuilt from the FRAM image.
+    pub guard_repairs: u64,
+    /// Misses degraded to FRAM execution by an integrity check.
+    pub guard_degraded: u64,
+    /// Misses degraded to FRAM execution by a typed runtime error.
+    pub degraded: u64,
+    /// Deterministic detail: sanitizer trap, typed error, or audit
+    /// finding, when one fired.
+    pub detail: Option<String>,
+}
+
+/// Derives the per-episode seed, folding in benchmark and region so every
+/// cell of the matrix draws distinct flips while staying reproducible
+/// from `(base, bench, region, i)`.
+fn flip_seed(base: u64, bench: Benchmark, region: FlipRegion, i: usize) -> u64 {
+    let mut x = SplitMix64::new(base ^ 0xB17F_11B5);
+    let mut tag = 0u64;
+    for b in bench.name().bytes().chain(region.name().bytes()) {
+        tag = tag.wrapping_mul(31).wrapping_add(u64::from(b));
+    }
+    x.next_u64().wrapping_add(tag).wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// `[lo, hi)` byte range of a flip region for a SwapRAM build.
+fn region_range(built: &Built, cfg: &SwapConfig, region: FlipRegion) -> (u16, u32) {
+    let Program::Swap(inst, _) = &built.program else {
+        unreachable!("corruption episodes run SwapRAM builds");
+    };
+    let section = |name: &str| {
+        inst.assembly
+            .sections
+            .iter()
+            .find(|(n, _, size)| n == name && *size > 0)
+            .map(|(_, base, size)| (*base, u32::from(*base) + u32::from(*size)))
+            .unwrap_or_else(|| panic!("build lacks a non-empty `{name}` section"))
+    };
+    match region {
+        FlipRegion::Metadata => section(swapram::tables::TABLES_SECTION),
+        FlipRegion::CachedCode => {
+            (cfg.cache_base, u32::from(cfg.cache_base) + u32::from(cfg.cache_size))
+        }
+        FlipRegion::AppData => section("data"),
+    }
+}
+
+/// Runs the campaign: every MiBench benchmark × every region × `flips`
+/// seeded episodes, fanned out on the harness worker pool, and registers
+/// the deterministic row set as the report's `corruption` section.
+pub fn run(h: &Harness, flips: usize, base_seed: u64) -> Vec<CorruptionRow> {
+    let profile = MemoryProfile::unified();
+    let cfg = SwapConfig::unified_fr2355();
+    let system = System::SwapRam(cfg.clone());
+    let mut items: Vec<(Benchmark, FlipRegion, u64, u64)> = Vec::new();
+    for bench in Benchmark::MIBENCH {
+        let clean = h
+            .measure("corruption", bench, &system, &profile, Frequency::MHZ_24)
+            .unwrap_or_else(|e| panic!("{} clean run failed: {e}", bench.name()));
+        assert!(clean.correct, "{} clean run must match its oracle", bench.name());
+        for region in FlipRegion::ALL {
+            for i in 0..flips {
+                let seed = flip_seed(base_seed, bench, region, i);
+                items.push((bench, region, seed, clean.total_cycles()));
+            }
+        }
+    }
+    let rows = h.parallel_map(items, |(bench, region, seed, clean_cycles)| {
+        let built = h.build(bench, &system, &profile);
+        let built = built.as_ref().as_ref().expect("SwapRAM build fits");
+        episode(built, &cfg, bench, region, seed, clean_cycles)
+    });
+    h.add_section("corruption", rows_json(&rows));
+    rows
+}
+
+/// Executes one benchmark under one seeded bit flip and classifies it.
+fn episode(
+    built: &Built,
+    cfg: &SwapConfig,
+    bench: Benchmark,
+    region: FlipRegion,
+    seed: u64,
+    clean_cycles: u64,
+) -> CorruptionRow {
+    let mut rng = SplitMix64::new(seed);
+    let (lo, hi) = region_range(built, cfg, region);
+    let addr = lo.wrapping_add(rng.below(u64::from(hi - u32::from(lo))) as u16);
+    let bit = rng.below(8) as u8;
+    // Strike inside the middle 80% of the uninterrupted run, where cache
+    // state is live.
+    let win_lo = (clean_cycles / 10).max(1);
+    let win_hi = (clean_cycles * 9 / 10).max(win_lo + 1);
+    let cycle = win_lo + rng.below(win_hi - win_lo);
+    // The flip can lengthen the run (degraded FRAM execution, repairs);
+    // three clean runs' worth of cycles is a generous deterministic cap.
+    let budget = clean_cycles * 3 + 1_000_000;
+
+    let mut row = CorruptionRow {
+        bench,
+        region,
+        seed,
+        addr,
+        bit,
+        cycle,
+        outcome: Outcome::Degraded,
+        survived: false,
+        correct: false,
+        guard_repairs: 0,
+        guard_degraded: 0,
+        degraded: 0,
+        detail: None,
+    };
+
+    let input = input_for(bench, SEED);
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+        cycle,
+        kind: FaultKind::BitFlip { addr, bit },
+    }]));
+    let res = match run_on(&mut machine, built, &input, budget) {
+        Ok(res) => res,
+        Err(e) => {
+            // A typed simulation error is a detection channel: the
+            // corrupted state was refused, not executed through.
+            row.detail = Some(e.to_string());
+            return row;
+        }
+    };
+    if let Some(s) = &res.swap {
+        row.guard_repairs = s.guard_repairs;
+        row.guard_degraded = s.guard_degraded;
+        row.degraded = s.degraded;
+    }
+    match res.outcome.exit {
+        ExitReason::Halted(0) => {
+            row.survived = true;
+            row.correct = res.outcome.checksum.0 == bench.oracle_checksum(&input);
+            let audit = final_audit(&mut machine);
+            let detected = row.guard_repairs + row.guard_degraded + row.degraded > 0
+                || audit.is_err();
+            row.detail = audit.err();
+            row.outcome = match (row.correct, detected) {
+                (true, false) => Outcome::Masked,
+                (true, true) => Outcome::Repaired,
+                (false, true) => Outcome::Degraded,
+                (false, false) => Outcome::SilentWrong,
+            };
+        }
+        other => {
+            row.detail = Some(format!("{other:?}"));
+        }
+    }
+    row
+}
+
+/// End-of-run metadata audit: recovers the [`SwapRuntime`] from the
+/// machine hook and cross-validates every metadata word, active counter
+/// and live SRAM copy against the immutable FRAM image.
+fn final_audit(machine: &mut Machine) -> Result<(), String> {
+    let hook = machine.take_hook().ok_or_else(|| "no runtime hook attached".to_string())?;
+    let rt = hook
+        .as_any()
+        .and_then(|a| a.downcast_ref::<SwapRuntime>())
+        .ok_or_else(|| "hook is not a SwapRuntime".to_string())?;
+    swapram::invariants::audit_final(rt, machine.bus())
+}
+
+/// Serializes rows as the report's `corruption` section (deterministic;
+/// wall-clock deliberately absent).
+pub fn rows_json(rows: &[CorruptionRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("bench", Json::str(r.bench.name())),
+                    ("region", Json::str(r.region.name())),
+                    ("seed", Json::U64(r.seed)),
+                    ("addr", Json::U64(u64::from(r.addr))),
+                    ("bit", Json::U64(u64::from(r.bit))),
+                    ("cycle", Json::U64(r.cycle)),
+                    ("outcome", Json::str(r.outcome.name())),
+                    ("survived", Json::Bool(r.survived)),
+                    ("correct", Json::Bool(r.correct)),
+                    ("guard_repairs", Json::U64(r.guard_repairs)),
+                    ("guard_degraded", Json::U64(r.guard_degraded)),
+                    ("degraded", Json::U64(r.degraded)),
+                ];
+                if let Some(d) = &r.detail {
+                    fields.push(("detail", Json::str(d.clone())));
+                }
+                Json::obj(fields)
+            })
+            .collect(),
+    )
+}
+
+/// Renders the per-region classification table.
+pub fn render(rows: &[CorruptionRow]) -> String {
+    let mut out = String::new();
+    for region in FlipRegion::ALL {
+        let mut t = Table::new(
+            &format!("Corruption — seeded bit flips in {}", region.name()),
+            &["benchmark", "flips", "masked", "repaired", "degraded", "SILENT"],
+        );
+        let mut silent = 0usize;
+        for bench in Benchmark::MIBENCH {
+            let bs: Vec<&CorruptionRow> =
+                rows.iter().filter(|r| r.bench == bench && r.region == region).collect();
+            if bs.is_empty() {
+                continue;
+            }
+            let count = |o: Outcome| bs.iter().filter(|r| r.outcome == o).count();
+            silent += count(Outcome::SilentWrong);
+            t.row(vec![
+                bench.short_name().into(),
+                bs.len().to_string(),
+                count(Outcome::Masked).to_string(),
+                count(Outcome::Repaired).to_string(),
+                count(Outcome::Degraded).to_string(),
+                count(Outcome::SilentWrong).to_string(),
+            ]);
+        }
+        t.note(match (region, silent) {
+            (FlipRegion::Metadata, 0) => "no metadata flip produced silent wrong output",
+            (FlipRegion::Metadata, _) => "METADATA FLIPS PRODUCED SILENT WRONG OUTPUT",
+            _ => "silent wrong output is expected here: these bytes are outside the runtime's trust boundary",
+        });
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience for acceptance checks: rows classified silent-wrong in the
+/// given region.
+pub fn silent_rows(rows: &[CorruptionRow], region: FlipRegion) -> Vec<&CorruptionRow> {
+    rows.iter().filter(|r| r.region == region && r.outcome == Outcome::SilentWrong).collect()
+}
+
+/// Re-exported base seed (shared with the resilience campaign's
+/// `SWAPRAM_FAULT_SEED` environment knob).
+pub fn campaign_seed() -> u64 {
+    base_seed()
+}

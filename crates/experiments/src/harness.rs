@@ -430,6 +430,10 @@ pub fn run_record_json(r: &RunRecord, tags: &[&'static str]) -> Json {
                         ("too_large", Json::U64(s.too_large)),
                         ("freezes", Json::U64(s.freezes)),
                         ("bytes_copied", Json::U64(s.bytes_copied)),
+                        ("degraded", Json::U64(s.degraded)),
+                        ("guard_checks", Json::U64(s.guard_checks)),
+                        ("guard_repairs", Json::U64(s.guard_repairs)),
+                        ("guard_degraded", Json::U64(s.guard_degraded)),
                     ]),
                     None => Json::Null,
                 },
@@ -445,6 +449,7 @@ pub fn run_record_json(r: &RunRecord, tags: &[&'static str]) -> Json {
                         ("returns", Json::U64(b.returns)),
                         ("too_large", Json::U64(b.too_large)),
                         ("bytes_copied", Json::U64(b.bytes_copied)),
+                        ("degraded", Json::U64(b.degraded)),
                     ]),
                     None => Json::Null,
                 },

@@ -24,8 +24,10 @@
 //! | [`fig10`] | Figure 10 — split-SRAM execution                   |
 //! | [`ablation`]| cache-size sweep, policies, hardware cache       |
 //! | [`resilience`]| power-loss fault injection + crash recovery    |
+//! | [`corruption`]| seeded bit-flip injection vs. the defense stack |
 
 pub mod ablation;
+pub mod corruption;
 pub mod fig1;
 pub mod fig10;
 pub mod fig7;
@@ -73,6 +75,9 @@ pub fn run_report(h: &Harness, fast: bool) -> String {
     let schedules =
         if fast { resilience::FAST_SCHEDULES } else { resilience::DEFAULT_SCHEDULES };
     out.push_str(&resilience::render(&resilience::run(h, schedules, resilience::base_seed())));
+    out.push('\n');
+    let flips = if fast { corruption::FAST_FLIPS } else { corruption::DEFAULT_FLIPS };
+    out.push_str(&corruption::render(&corruption::run(h, flips, resilience::base_seed())));
     out.push('\n');
     if !fast {
         out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep(h)));

@@ -1,0 +1,50 @@
+//! Acceptance tests for the bit-flip corruption campaign (the PR's core
+//! property): metadata-region flips must never yield silent wrong output,
+//! and rows must be byte-identical regardless of worker count.
+
+use experiments::corruption::{self, rows_json, FlipRegion, Outcome};
+use experiments::Harness;
+
+const TEST_SEED: u64 = 0xF00D;
+
+#[test]
+fn metadata_flips_are_never_silent() {
+    let h = Harness::new();
+    let rows = corruption::run(&h, corruption::FAST_FLIPS, TEST_SEED);
+    assert!(!rows.is_empty());
+    let silent = corruption::silent_rows(&rows, FlipRegion::Metadata);
+    assert!(
+        silent.is_empty(),
+        "metadata flips produced silent wrong output: {:?}",
+        silent
+            .iter()
+            .map(|r| format!("{} seed {:#x} addr {:#06x} bit {}", r.bench.name(), r.seed, r.addr, r.bit))
+            .collect::<Vec<_>>()
+    );
+    // Every metadata episode lands in a defined bucket and every
+    // wrong-output or abnormal episode carries detection evidence.
+    for r in rows.iter().filter(|r| r.region == FlipRegion::Metadata) {
+        if r.outcome == Outcome::Repaired {
+            assert!(
+                r.guard_repairs + r.guard_degraded + r.degraded > 0 || r.detail.is_some(),
+                "{} seed {:#x}: repaired without evidence",
+                r.bench.name(),
+                r.seed
+            );
+        }
+        if !r.correct {
+            assert_ne!(r.outcome, Outcome::Masked, "wrong output cannot be masked");
+        }
+    }
+}
+
+#[test]
+fn rows_are_byte_identical_across_job_counts() {
+    let seq = corruption::run(&Harness::with_jobs(1), corruption::FAST_FLIPS, TEST_SEED);
+    let par = corruption::run(&Harness::with_jobs(8), corruption::FAST_FLIPS, TEST_SEED);
+    assert_eq!(
+        rows_json(&seq).render(),
+        rows_json(&par).render(),
+        "corruption rows must not depend on SWAPRAM_JOBS"
+    );
+}

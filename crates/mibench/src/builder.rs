@@ -18,7 +18,8 @@ use msp430_asm::object::{assemble, Assembly};
 use msp430_asm::parser::parse;
 use msp430_sim::freq::Frequency;
 use msp430_sim::machine::{Fr2355, Machine, RunOutcome};
-use msp430_sim::mem::Image;
+use msp430_sim::mem::{AddrRange, Image};
+use msp430_sim::sanitize::SanitizerConfig;
 use swapram::{Instrumented, SwapConfig, SwapRuntime, SwapStats};
 
 /// FRAM capacity of the evaluation device in bytes.
@@ -380,10 +381,75 @@ pub fn run_on(
 type SwapHandle = std::rc::Rc<std::cell::RefCell<SwapStats>>;
 type BlockHandle = std::rc::Rc<std::cell::RefCell<BlockStats>>;
 
+/// Range of a named non-empty section.
+fn section_range(assembly: &Assembly, name: &str) -> Option<AddrRange> {
+    assembly
+        .sections
+        .iter()
+        .find(|(n, _, size)| n == name && *size > 0)
+        .map(|(_, base, size)| AddrRange::new(*base, u32::from(*base) + u32::from(*size)))
+}
+
+/// Floor for the stack pointer: the end of the data section. In every
+/// memory profile the stack grows down from `stack_top` toward the data
+/// section, so dropping below it means the stack is eating program state
+/// (and, in split-SRAM profiles, heading for the cache window).
+fn stack_floor(assembly: &Assembly, profile: &MemoryProfile) -> Option<u16> {
+    let end = section_range(assembly, "data")
+        .map_or(u32::from(profile.data_base), |r| r.end)
+        .min(0xFFFF) as u16;
+    (profile.stack_top > end).then_some(end)
+}
+
+/// Builds the execution-sanitizer watchpoint configuration for a built
+/// benchmark: instruction fetch is confined to the transformed text
+/// section plus the SRAM cache window (with fill tracking on the window),
+/// application stores may not touch code, metadata tables or the cache
+/// window except through the instrumentation-planted metadata words
+/// (`__sr_fid` + active counters for SwapRAM, `__bb_cur` for the block
+/// cache), and the stack pointer must stay above the data section.
+///
+/// Returns `None` for the baseline: nothing moves code or metadata at
+/// runtime, so there is nothing to watch.
+pub fn sanitizer_for(built: &Built) -> Option<SanitizerConfig> {
+    let (assembly, cache, tables, store_allow) = match &built.program {
+        Program::Base(_) => return None,
+        Program::Swap(inst, cfg) => {
+            let cache = AddrRange::new(
+                cfg.cache_base,
+                u32::from(cfg.cache_base) + u32::from(cfg.cache_size),
+            );
+            let mut allow = vec![inst.fid_addr];
+            allow.extend(inst.funcs.iter().map(|f| f.act_addr));
+            let tables = section_range(&inst.assembly, swapram::tables::TABLES_SECTION);
+            (&inst.assembly, cache, tables, allow)
+        }
+        Program::Block(prog, cfg) => {
+            let cache = AddrRange::new(
+                cfg.cache_base,
+                u32::from(cfg.cache_base) + u32::from(cfg.cache_size),
+            );
+            let tables = section_range(&prog.assembly, bbpass::TABLES_SECTION);
+            (&prog.assembly, cache, tables, vec![prog.cur_addr])
+        }
+    };
+    let text = section_range(assembly, "text");
+    Some(SanitizerConfig {
+        exec: text.iter().copied().chain([cache]).collect(),
+        tracked: Some(cache),
+        protected: text.iter().copied().chain(tables).chain([cache]).collect(),
+        store_allow,
+        stack_limit: stack_floor(assembly, &built.profile),
+    })
+}
+
 fn attach(
     machine: &mut Machine,
     built: &Built,
 ) -> msp430_sim::SimResult<(Option<SwapHandle>, Option<BlockHandle>)> {
+    if let Some(cfg) = sanitizer_for(built) {
+        machine.bus_mut().attach_sanitizer(cfg);
+    }
     match &built.program {
         Program::Base(_) => Ok((None, None)),
         Program::Swap(inst, cfg) => {
@@ -447,6 +513,46 @@ mod tests {
         };
         let err = build(Benchmark::Lzfx, &System::Baseline, &profile).unwrap_err();
         assert!(matches!(err, BuildError::DoesNotFit(_)), "{err}");
+    }
+
+    #[test]
+    fn sanitizer_watchpoints_cover_cache_and_metadata() {
+        let profile = MemoryProfile::unified();
+        let base = build(Benchmark::Crc, &System::Baseline, &profile).unwrap();
+        assert!(sanitizer_for(&base).is_none(), "baseline has nothing to watch");
+
+        let swap = build(
+            Benchmark::Crc,
+            &System::SwapRam(swapram::SwapConfig::unified_fr2355()),
+            &profile,
+        )
+        .unwrap();
+        let cfg = sanitizer_for(&swap).expect("SwapRAM runs are sanitized");
+        let Program::Swap(inst, scfg) = &swap.program else { unreachable!() };
+        assert!(cfg.exec.iter().any(|r| r.contains(profile.text_base)));
+        assert!(cfg.exec.iter().any(|r| r.contains(scfg.cache_base)));
+        assert_eq!(cfg.tracked.unwrap().start, scfg.cache_base);
+        // The funcId word lives in the metadata tables: protected, but on
+        // the allow-list (call sites write it), as are the act counters.
+        assert!(cfg.protected.iter().any(|r| r.contains(inst.fid_addr)));
+        assert!(cfg.store_allow.contains(&inst.fid_addr));
+        for f in &inst.funcs {
+            assert!(cfg.store_allow.contains(&f.act_addr), "{}", f.name);
+            assert!(cfg.protected.iter().any(|r| r.contains(f.redir_addr)), "{}", f.name);
+            assert!(!cfg.store_allow.contains(&f.redir_addr), "{}", f.name);
+        }
+        assert!(cfg.stack_limit.is_some());
+
+        let blk = build(
+            Benchmark::Crc,
+            &System::BlockCache(BlockConfig::unified_fr2355()),
+            &profile,
+        )
+        .unwrap();
+        let bcfg = sanitizer_for(&blk).expect("block-cache runs are sanitized");
+        let Program::Block(prog, _) = &blk.program else { unreachable!() };
+        assert!(bcfg.protected.iter().any(|r| r.contains(prog.cur_addr)));
+        assert_eq!(bcfg.store_allow, vec![prog.cur_addr]);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod mem;
 pub mod ports;
 pub mod profile;
 pub mod rng;
+pub mod sanitize;
 pub mod trace;
 
 pub use cpu::Cpu;
@@ -47,4 +48,5 @@ pub use freq::Frequency;
 pub use isa::{AddrMode, Instr, Opcode, Operand, Reg};
 pub use machine::{ExitReason, Hook, Machine, RunOutcome, TrapAction};
 pub use mem::{AccessKind, Bus, MemoryMap, Region};
+pub use sanitize::{SanitizerConfig, Violation};
 pub use trace::{Category, Stats};

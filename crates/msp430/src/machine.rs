@@ -14,6 +14,7 @@ use crate::freq::Frequency;
 use crate::hwcache::HwCache;
 use crate::mem::{Bus, Image, MemoryMap};
 use crate::profile::Profiler;
+use crate::sanitize::Violation;
 use crate::trace::Stats;
 
 /// What a [`Hook`] asks the machine to do after servicing a trap.
@@ -37,6 +38,13 @@ pub trait Hook {
     ///
     /// Returns an error to abort simulation (e.g. corrupted runtime state).
     fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction>;
+
+    /// Downcast support for callers that retrieve the hook after a run
+    /// (e.g. to audit runtime metadata against final machine state).
+    /// Implementations that want to be downcast return `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// Why a [`Machine::run`] ended.
@@ -51,6 +59,10 @@ pub enum ExitReason {
     /// [`Machine::power_cycle`] and [`Machine::run`] again to model the
     /// reboot.
     PowerLoss,
+    /// The execution sanitizer flagged a watchpoint violation (see
+    /// [`crate::sanitize`]) — misexecution was stopped instead of running
+    /// silently.
+    SanitizerTrap(Violation),
 }
 
 /// Everything a finished run produced.
@@ -196,7 +208,11 @@ impl Machine {
                 .hook
                 .take()
                 .ok_or_else(|| SimError::Hook(format!("trap at 0x{pc:04x} with no hook")))?;
+            // The runtime is trusted: suppress sanitizer watchpoints while
+            // it fills cache slots and rewrites its metadata.
+            self.bus.set_runtime_mode(true);
             let action = hook.on_trap(&mut self.cpu, &mut self.bus, pc);
+            self.bus.set_runtime_mode(false);
             self.hook = Some(hook);
             match action? {
                 TrapAction::Resume => {}
@@ -218,7 +234,15 @@ impl Machine {
     /// Propagates simulation errors from [`Machine::step`].
     pub fn run(&mut self, max_cycles: u64) -> SimResult<RunOutcome> {
         let exit = loop {
-            if let Some(code) = self.step()? {
+            let stepped = self.step();
+            // A latched sanitizer violation wins over whatever the wild
+            // instruction did — including the bus fault it may have died
+            // on — so misexecution surfaces as one typed exit.
+            self.bus.check_stack(self.cpu.sp());
+            if let Some(v) = self.bus.take_violation() {
+                break ExitReason::SanitizerTrap(v);
+            }
+            if let Some(code) = stepped? {
                 break ExitReason::Halted(code);
             }
             if let Some(reason) = self.fire_due_faults() {
@@ -420,6 +444,105 @@ mod tests {
         let out = m.run(200).unwrap();
         assert_eq!(out.exit, ExitReason::CycleLimit, "bit flips do not stop the run");
         assert_eq!(m.bus().peek_byte(0x5000), 0x02);
+    }
+
+    #[test]
+    fn bit_flip_in_cached_line_is_visible_after_invalidation() {
+        use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        // Loop: MOV.B &0x5000, &CONSOLE; JMP back. The data word sits in
+        // FRAM behind the hardware read cache; the scheduled flip must
+        // invalidate the covering line so the post-flip value — not the
+        // stale cached one — reaches the console.
+        let read_out = Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Byte,
+            src: Operand::Absolute(0x5000),
+            dst: Operand::Absolute(ports::CONSOLE),
+        };
+        let mut m = Fr2355::machine(Frequency::MHZ_24);
+        m.load(&image_of(&[read_out, Instr::Jump { op: Opcode::Jmp, offset_words: -4 }], 0x4000));
+        m.bus_mut().poke_byte(0x5000, 0x11);
+        m.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            cycle: 300,
+            kind: FaultKind::BitFlip { addr: 0x5000, bit: 1 },
+        }]));
+        let out = m.run(1_000).unwrap();
+        assert_eq!(out.exit, ExitReason::CycleLimit);
+        assert_eq!(out.console.first(), Some(&0x11), "pre-flip value observed");
+        assert_eq!(out.console.last(), Some(&0x13), "post-flip value observed");
+        assert!(out.console.contains(&0x13), "flip must be visible through the cache");
+    }
+
+    #[test]
+    fn sanitizer_flags_wild_jump_as_typed_exit() {
+        use crate::sanitize::{SanitizerConfig, Violation};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // BR #0x9000: leaves the configured executable range.
+        m.load(&image_of(
+            &[Instr::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: Operand::Imm(0x9000),
+                dst: Operand::Reg(Reg::PC),
+            }],
+            0x4000,
+        ));
+        m.bus_mut().attach_sanitizer(SanitizerConfig {
+            exec: vec![crate::mem::AddrRange::new(0x4000, 0x8000)],
+            ..SanitizerConfig::default()
+        });
+        let out = m.run(1_000).unwrap();
+        assert_eq!(out.exit, ExitReason::SanitizerTrap(Violation::WildJump { pc: 0x9000 }));
+    }
+
+    #[test]
+    fn sanitizer_flags_fetch_from_unfilled_sram() {
+        use crate::sanitize::{SanitizerConfig, Violation};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // BR #0x2800: jumps into tracked SRAM nothing ever filled.
+        m.load(&image_of(
+            &[Instr::FormatI {
+                op: Opcode::Mov,
+                size: Size::Word,
+                src: Operand::Imm(0x2800),
+                dst: Operand::Reg(Reg::PC),
+            }],
+            0x4000,
+        ));
+        m.bus_mut().attach_sanitizer(SanitizerConfig {
+            exec: vec![
+                crate::mem::AddrRange::new(0x4000, 0x8000),
+                crate::mem::AddrRange::new(0x2800, 0x3000),
+            ],
+            tracked: Some(crate::mem::AddrRange::new(0x2800, 0x3000)),
+            ..SanitizerConfig::default()
+        });
+        let out = m.run(1_000).unwrap();
+        assert_eq!(out.exit, ExitReason::SanitizerTrap(Violation::StaleFetch { pc: 0x2800 }));
+    }
+
+    #[test]
+    fn sanitizer_flags_application_store_into_protected_region() {
+        use crate::sanitize::{SanitizerConfig, Violation};
+
+        let store = Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::Imm(0xBEEF),
+            dst: Operand::Absolute(0x4100),
+        };
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.load(&image_of(&[store, halt_with(0)], 0x4000));
+        m.bus_mut().attach_sanitizer(SanitizerConfig {
+            exec: vec![crate::mem::AddrRange::new(0x4000, 0x8000)],
+            protected: vec![crate::mem::AddrRange::new(0x4000, 0x4200)],
+            ..SanitizerConfig::default()
+        });
+        let out = m.run(1_000).unwrap();
+        assert_eq!(out.exit, ExitReason::SanitizerTrap(Violation::BadStore { addr: 0x4100 }));
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::error::{SimError, SimResult};
 use crate::freq::Frequency;
 use crate::hwcache::HwCache;
 use crate::ports::Ports;
+use crate::sanitize::{Sanitizer, SanitizerConfig, Violation};
 use crate::trace::Stats;
 
 /// A half-open address range `[start, end)`. `end` is `u32` so a range may
@@ -151,6 +152,25 @@ impl Image {
     pub fn size_bytes(&self) -> usize {
         self.segments.iter().map(|s| s.bytes.len()).sum()
     }
+
+    /// The little-endian word at `addr` in the image — the immutable
+    /// ground truth integrity repairs rebuild metadata from.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BusFault`] if the word is not covered by any segment
+    /// (a malformed lookup is a typed error, not a panic).
+    pub fn word_at(&self, addr: u16) -> SimResult<u16> {
+        let a = usize::from(addr);
+        for seg in &self.segments {
+            let lo = usize::from(seg.addr);
+            if a >= lo && a + 1 < lo + seg.bytes.len() {
+                return Ok(u16::from(seg.bytes[a - lo])
+                    | (u16::from(seg.bytes[a + 1 - lo]) << 8));
+            }
+        }
+        Err(SimError::BusFault { addr, what: "address not in image".to_string() })
+    }
 }
 
 /// The system bus: backing store, hardware cache, wait-state accounting and
@@ -165,6 +185,8 @@ pub struct Bus {
     ports: Ports,
     /// Distinct FRAM cache lines touched by the instruction in flight.
     instr_lines: Vec<u32>,
+    /// Optional execution sanitizer (see [`crate::sanitize`]).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl Bus {
@@ -178,6 +200,37 @@ impl Bus {
             stats: Stats::new(),
             ports: Ports::new(),
             instr_lines: Vec::with_capacity(8),
+            sanitizer: None,
+        }
+    }
+
+    /// Attaches an execution sanitizer, replacing any previous one.
+    pub fn attach_sanitizer(&mut self, cfg: SanitizerConfig) {
+        self.sanitizer = Some(Box::new(Sanitizer::new(cfg)));
+    }
+
+    /// The attached sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_deref()
+    }
+
+    /// Enters/leaves trusted-runtime mode: sanitizer checks are suppressed
+    /// while a runtime hook services a trap.
+    pub fn set_runtime_mode(&mut self, on: bool) {
+        if let Some(s) = &mut self.sanitizer {
+            s.set_runtime_mode(on);
+        }
+    }
+
+    /// Takes the latched sanitizer violation, if any.
+    pub fn take_violation(&mut self) -> Option<Violation> {
+        self.sanitizer.as_mut()?.take_violation()
+    }
+
+    /// Checks the stack pointer against the sanitizer's configured floor.
+    pub fn check_stack(&mut self, sp: u16) {
+        if let Some(s) = &mut self.sanitizer {
+            s.check_stack(sp);
         }
     }
 
@@ -254,6 +307,11 @@ impl Bus {
     ///
     /// Faults on unmapped or trap-window addresses.
     pub fn read_byte(&mut self, addr: u16, kind: AccessKind) -> SimResult<u8> {
+        if kind == AccessKind::IFetch {
+            if let Some(s) = &mut self.sanitizer {
+                s.check_ifetch(addr, 1);
+            }
+        }
         match self.map.region_of(addr) {
             Region::Sram => {
                 self.count(Region::Sram, kind);
@@ -279,6 +337,11 @@ impl Bus {
     ///
     /// Faults on unmapped addresses; errors on odd `addr`.
     pub fn read_word(&mut self, addr: u16, kind: AccessKind) -> SimResult<u16> {
+        if kind == AccessKind::IFetch {
+            if let Some(s) = &mut self.sanitizer {
+                s.check_ifetch(addr, 2);
+            }
+        }
         if addr & 1 != 0 {
             return Err(SimError::Unaligned(addr));
         }
@@ -307,6 +370,10 @@ impl Bus {
     ///
     /// Faults on unmapped or trap-window addresses.
     pub fn write_byte(&mut self, addr: u16, value: u8) -> SimResult<()> {
+        if let Some(s) = &mut self.sanitizer {
+            s.check_store(addr);
+            s.note_write(addr, 1);
+        }
         match self.map.region_of(addr) {
             Region::Sram => {
                 self.count(Region::Sram, AccessKind::Write);
@@ -336,6 +403,10 @@ impl Bus {
     ///
     /// Faults on unmapped addresses; errors on odd `addr`.
     pub fn write_word(&mut self, addr: u16, value: u16) -> SimResult<()> {
+        if let Some(s) = &mut self.sanitizer {
+            s.check_store(addr);
+            s.note_write(addr, 2);
+        }
         if addr & 1 != 0 {
             return Err(SimError::Unaligned(addr));
         }
@@ -399,11 +470,17 @@ impl Bus {
     /// Host-side write without accounting (used to load images and inject
     /// benchmark inputs).
     pub fn poke_byte(&mut self, addr: u16, value: u8) {
+        if let Some(s) = &mut self.sanitizer {
+            s.note_write(addr, 1);
+        }
         self.mem[usize::from(addr)] = value;
     }
 
     /// Host-side word write without accounting.
     pub fn poke_word(&mut self, addr: u16, value: u16) {
+        if let Some(s) = &mut self.sanitizer {
+            s.note_write(addr & !1, 2);
+        }
         self.set_raw_word(addr & !1, value);
     }
 
@@ -421,6 +498,9 @@ impl Bus {
                 return Err(self.fault(seg.addr, "image segment overflows address space"));
             }
             self.mem[start..end].copy_from_slice(&seg.bytes);
+            if let Some(s) = &mut self.sanitizer {
+                s.note_write(seg.addr, seg.bytes.len() as u16);
+            }
         }
         Ok(())
     }
@@ -437,6 +517,9 @@ impl Bus {
         self.cache.flush();
         self.ports = Ports::new();
         self.instr_lines.clear();
+        if let Some(s) = &mut self.sanitizer {
+            s.power_cycle();
+        }
     }
 
     /// Flips bit `bit` (0–7) of the byte at `addr` — a silent fault

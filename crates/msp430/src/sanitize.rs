@@ -1,0 +1,298 @@
+//! Execution sanitizer: watchpoints that turn silent misexecution into
+//! typed traps.
+//!
+//! A single flipped bit in cache metadata can divert control flow into
+//! power-cleared SRAM, never-filled cache slots, or the middle of a data
+//! section — and the simulated CPU will happily execute whatever bytes it
+//! finds there. The sanitizer gives the [`crate::mem::Bus`] a set of
+//! configurable watchpoints that flag those events the moment they happen:
+//!
+//! * **Wild jumps** — instruction fetch from outside the mapped code
+//!   ranges (application text, the runtime handler window, the SRAM cache
+//!   window).
+//! * **Stale fetch** — instruction fetch from SRAM bytes that were
+//!   power-cleared or never filled by the caching runtime.
+//! * **Bad stores** — application stores into code or cache-metadata
+//!   regions (an allow-list exempts the few metadata words the
+//!   instrumented application writes itself, e.g. `__sr_fid` and the
+//!   active counters).
+//! * **Stack overflow** — the stack pointer growing below a configured
+//!   floor (into the data section or the cache window).
+//!
+//! The first violation is latched; [`crate::machine::Machine::run`] polls
+//! it after every step and exits with
+//! [`crate::machine::ExitReason::SanitizerTrap`] instead of executing on.
+//! Accesses made while a runtime hook is servicing a trap are exempt
+//! (`runtime_mode`): the runtime is trusted — it legitimately fills cache
+//! slots, rewrites metadata and replays handler fetches.
+//!
+//! The sanitizer is a verification oracle, not modeled hardware: it
+//! charges no cycles and touches no [`crate::trace::Stats`], so enabling
+//! it cannot perturb any measured number.
+
+use crate::mem::AddrRange;
+
+/// A latched sanitizer violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Violation {
+    /// Instruction fetch from an address outside every executable range.
+    WildJump {
+        /// The offending fetch address.
+        pc: u16,
+    },
+    /// Instruction fetch from tracked SRAM that was never filled since
+    /// the last power cycle.
+    StaleFetch {
+        /// The offending fetch address.
+        pc: u16,
+    },
+    /// Application store into a protected (code / metadata) range.
+    BadStore {
+        /// The offending store address.
+        addr: u16,
+    },
+    /// Stack pointer dropped below the configured floor.
+    StackOverflow {
+        /// The stack pointer value observed.
+        sp: u16,
+        /// The configured floor.
+        limit: u16,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WildJump { pc } => write!(f, "wild jump to {pc:#06x}"),
+            Violation::StaleFetch { pc } => {
+                write!(f, "instruction fetch from unfilled SRAM at {pc:#06x}")
+            }
+            Violation::BadStore { addr } => {
+                write!(f, "application store into protected region at {addr:#06x}")
+            }
+            Violation::StackOverflow { sp, limit } => {
+                write!(f, "stack pointer {sp:#06x} below floor {limit:#06x}")
+            }
+        }
+    }
+}
+
+/// Watchpoint configuration (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SanitizerConfig {
+    /// Ranges instruction fetch is allowed from.
+    pub exec: Vec<AddrRange>,
+    /// SRAM range with fill tracking: fetching a byte in this range that
+    /// has not been written since the last power cycle is a
+    /// [`Violation::StaleFetch`]. Must be a subset of an `exec` range to
+    /// be reachable.
+    pub tracked: Option<AddrRange>,
+    /// Ranges application stores may not touch.
+    pub protected: Vec<AddrRange>,
+    /// Word addresses inside `protected` the application may write
+    /// (instrumentation-planted metadata stores).
+    pub store_allow: Vec<u16>,
+    /// Floor for the stack pointer; `sp != 0 && sp < limit` is a
+    /// [`Violation::StackOverflow`].
+    pub stack_limit: Option<u16>,
+}
+
+/// The sanitizer state attached to a bus.
+#[derive(Debug, Clone)]
+pub struct Sanitizer {
+    cfg: SanitizerConfig,
+    /// One flag per byte of `cfg.tracked`: written since last power-up?
+    filled: Vec<bool>,
+    runtime_mode: bool,
+    violation: Option<Violation>,
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer from a watchpoint configuration.
+    pub fn new(cfg: SanitizerConfig) -> Sanitizer {
+        let filled = vec![false; cfg.tracked.map_or(0, |r| r.len() as usize)];
+        Sanitizer { cfg, filled, runtime_mode: false, violation: None }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SanitizerConfig {
+        &self.cfg
+    }
+
+    /// Enters/leaves trusted-runtime mode (checks suppressed while set).
+    pub fn set_runtime_mode(&mut self, on: bool) {
+        self.runtime_mode = on;
+    }
+
+    /// Whether trusted-runtime mode is active.
+    pub fn runtime_mode(&self) -> bool {
+        self.runtime_mode
+    }
+
+    /// Takes the latched violation, if any.
+    pub fn take_violation(&mut self) -> Option<Violation> {
+        self.violation.take()
+    }
+
+    /// The latched violation without clearing it.
+    pub fn violation(&self) -> Option<Violation> {
+        self.violation
+    }
+
+    fn latch(&mut self, v: Violation) {
+        if self.violation.is_none() {
+            self.violation = Some(v);
+        }
+    }
+
+    fn tracked_index(&self, addr: u16) -> Option<usize> {
+        let r = self.cfg.tracked?;
+        r.contains(addr).then(|| usize::from(addr - r.start))
+    }
+
+    /// Notes a write landing on `addr` (fill tracking; any originator).
+    pub fn note_write(&mut self, addr: u16, len: u16) {
+        for i in 0..len {
+            if let Some(ix) = self.tracked_index(addr.wrapping_add(i)) {
+                self.filled[ix] = true;
+            }
+        }
+    }
+
+    /// Checks an instruction fetch of `len` bytes at `pc`.
+    pub fn check_ifetch(&mut self, pc: u16, len: u16) {
+        if self.runtime_mode || self.violation.is_some() {
+            return;
+        }
+        if !self.cfg.exec.iter().any(|r| r.contains(pc)) {
+            self.latch(Violation::WildJump { pc });
+            return;
+        }
+        for i in 0..len {
+            if let Some(ix) = self.tracked_index(pc.wrapping_add(i)) {
+                if !self.filled[ix] {
+                    self.latch(Violation::StaleFetch { pc });
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Checks an application store at `addr`.
+    pub fn check_store(&mut self, addr: u16) {
+        if self.runtime_mode || self.violation.is_some() {
+            return;
+        }
+        if self.cfg.protected.iter().any(|r| r.contains(addr))
+            && !self.cfg.store_allow.contains(&(addr & !1))
+        {
+            self.latch(Violation::BadStore { addr });
+        }
+    }
+
+    /// Checks the stack pointer against the configured floor.
+    pub fn check_stack(&mut self, sp: u16) {
+        if self.runtime_mode || self.violation.is_some() {
+            return;
+        }
+        if let Some(limit) = self.cfg.stack_limit {
+            if sp != 0 && sp < limit {
+                self.latch(Violation::StackOverflow { sp, limit });
+            }
+        }
+    }
+
+    /// Models power loss: fill tracking resets (SRAM cleared), any
+    /// latched violation from the dying instant is dropped.
+    pub fn power_cycle(&mut self) {
+        self.filled.fill(false);
+        self.violation = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SanitizerConfig {
+        SanitizerConfig {
+            exec: vec![AddrRange::new(0x4000, 0x8000), AddrRange::new(0x2800, 0x3000)],
+            tracked: Some(AddrRange::new(0x2800, 0x3000)),
+            protected: vec![AddrRange::new(0x4000, 0x8000), AddrRange::new(0xB000, 0xB100)],
+            store_allow: vec![0xB002],
+            stack_limit: Some(0x7000),
+        }
+    }
+
+    #[test]
+    fn wild_jump_latches_first_violation_only() {
+        let mut s = Sanitizer::new(cfg());
+        s.check_ifetch(0x9000, 2);
+        s.check_ifetch(0x9004, 2);
+        assert_eq!(s.violation(), Some(Violation::WildJump { pc: 0x9000 }));
+        assert_eq!(s.take_violation(), Some(Violation::WildJump { pc: 0x9000 }));
+        assert_eq!(s.take_violation(), None);
+    }
+
+    #[test]
+    fn stale_fetch_until_filled() {
+        let mut s = Sanitizer::new(cfg());
+        s.check_ifetch(0x2800, 2);
+        assert_eq!(s.take_violation(), Some(Violation::StaleFetch { pc: 0x2800 }));
+        s.note_write(0x2800, 2);
+        s.check_ifetch(0x2800, 2);
+        assert_eq!(s.take_violation(), None);
+        // A 2-byte fetch with only the first byte filled still trips.
+        s.note_write(0x2900, 1);
+        s.check_ifetch(0x2900, 2);
+        assert_eq!(s.take_violation(), Some(Violation::StaleFetch { pc: 0x2900 }));
+    }
+
+    #[test]
+    fn power_cycle_clears_fill_tracking() {
+        let mut s = Sanitizer::new(cfg());
+        s.note_write(0x2800, 2);
+        s.power_cycle();
+        s.check_ifetch(0x2800, 2);
+        assert_eq!(s.take_violation(), Some(Violation::StaleFetch { pc: 0x2800 }));
+    }
+
+    #[test]
+    fn protected_store_with_allow_list() {
+        let mut s = Sanitizer::new(cfg());
+        s.check_store(0xB002); // allowed word
+        s.check_store(0xB003); // odd byte of the allowed word
+        assert_eq!(s.violation(), None);
+        s.check_store(0xB004);
+        assert_eq!(s.take_violation(), Some(Violation::BadStore { addr: 0xB004 }));
+        s.check_store(0x2000); // unprotected SRAM
+        assert_eq!(s.violation(), None);
+    }
+
+    #[test]
+    fn runtime_mode_suppresses_checks() {
+        let mut s = Sanitizer::new(cfg());
+        s.set_runtime_mode(true);
+        s.check_ifetch(0x9000, 2);
+        s.check_store(0x4000);
+        s.check_stack(0x100);
+        assert_eq!(s.violation(), None);
+        s.set_runtime_mode(false);
+        s.check_ifetch(0x9000, 2);
+        assert!(s.violation().is_some());
+    }
+
+    #[test]
+    fn stack_floor() {
+        let mut s = Sanitizer::new(cfg());
+        s.check_stack(0x7000);
+        assert_eq!(s.violation(), None);
+        s.check_stack(0); // uninitialised SP is exempt
+        assert_eq!(s.violation(), None);
+        s.check_stack(0x6FFE);
+        assert_eq!(
+            s.take_violation(),
+            Some(Violation::StackOverflow { sp: 0x6FFE, limit: 0x7000 })
+        );
+    }
+}

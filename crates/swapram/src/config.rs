@@ -76,6 +76,12 @@ pub struct SwapConfig {
     /// Run the metadata invariant checker after every serviced miss and
     /// recovery (host-side verification oracle; off in measurement runs).
     pub check_invariants: bool,
+    /// Emit and maintain per-function CRC guard words over the
+    /// runtime-mutable metadata (redirection + relocation words), verify
+    /// them on every miss, and repair corrupted entries from the immutable
+    /// FRAM image. Costs one FRAM word per function plus the
+    /// [`crate::cost::CostModel`] guard charges per miss.
+    pub guards: bool,
 }
 
 impl SwapConfig {
@@ -95,6 +101,7 @@ impl SwapConfig {
             freeze_misses: 32,
             recovery: RecoveryMode::FullScan,
             check_invariants: false,
+            guards: true,
         }
     }
 
@@ -130,6 +137,13 @@ impl SwapConfig {
     /// Enables or disables the per-miss invariant checker (builder style).
     pub fn with_invariant_checks(mut self, on: bool) -> SwapConfig {
         self.check_invariants = on;
+        self
+    }
+
+    /// Enables or disables metadata CRC guards (builder style). On by
+    /// default; turning them off reproduces the paper's unguarded tables.
+    pub fn with_guards(mut self, on: bool) -> SwapConfig {
+        self.guards = on;
         self
     }
 }
@@ -176,5 +190,7 @@ mod tests {
         let c = SwapConfig::unified_fr2355();
         assert_eq!(c.recovery, RecoveryMode::FullScan);
         assert!(!c.check_invariants);
+        assert!(c.guards, "metadata guards default on");
+        assert!(!c.with_guards(false).guards);
     }
 }

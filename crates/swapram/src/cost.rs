@@ -56,6 +56,16 @@ pub struct CostModel {
     pub journal_append_instrs: u64,
     /// Cycles per dirty-log append.
     pub journal_append_cycles: u64,
+    /// Fixed part of a guard check/update: load the stored guard word,
+    /// initialise the CRC accumulator, compare or store.
+    pub guard_base_instrs: u64,
+    /// Cycles for the fixed guard part.
+    pub guard_base_cycles: u64,
+    /// Per metadata word folded into the CRC (table-less bitwise
+    /// CRC-16/CCITT: 16 shift/xor rounds per word, hand-counted).
+    pub guard_word_instrs: u64,
+    /// Cycles per CRC'd metadata word.
+    pub guard_word_cycles: u64,
 }
 
 impl CostModel {
@@ -80,6 +90,10 @@ impl CostModel {
             recover_func_cycles: 20,
             journal_append_instrs: 6,
             journal_append_cycles: 16,
+            guard_base_instrs: 5,
+            guard_base_cycles: 12,
+            guard_word_instrs: 18,
+            guard_word_cycles: 40,
         }
     }
 }
@@ -100,5 +114,6 @@ mod tests {
         assert!(c.entry_cycles >= c.entry_instrs);
         assert!(c.copy_word_cycles >= c.copy_word_instrs);
         assert!(c.exit_cycles > 0);
+        assert!(c.guard_word_cycles >= c.guard_word_instrs);
     }
 }

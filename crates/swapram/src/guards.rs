@@ -1,0 +1,82 @@
+//! Metadata integrity guards: a CRC word per function over its
+//! runtime-mutable metadata.
+//!
+//! The paper's runtime trusts its FRAM-resident tables unconditionally: a
+//! single flipped bit in a redirection or relocation word silently diverts
+//! control flow. With guards enabled ([`crate::SwapConfig::guards`], the
+//! default) the static pass emits one extra FRAM word per cacheable
+//! function — `__sr_guard_<f>` — holding a CRC-16/CCITT over the words the
+//! runtime mutates for that function: the redirection word followed by its
+//! relocation words. The runtime refreshes the guard after every metadata
+//! update and verifies it before trusting an entry; a mismatch is repaired
+//! by rebuilding the entry from the immutable program image in FRAM
+//! (ground truth), so corruption is *detected and repaired* rather than
+//! executed through.
+//!
+//! Active counters cannot carry a CRC (the application itself increments
+//! and decrements them with plain `ADD`/`SUB` instructions), so they get a
+//! plausibility bound instead: see [`plausible_act`].
+
+/// CRC-16/CCITT-FALSE over a sequence of words (most-significant byte of
+/// each word first, init `0xFFFF`, polynomial `0x1021`).
+pub fn crc16<I: IntoIterator<Item = u16>>(words: I) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for w in words {
+        for byte in [(w >> 8) as u8, (w & 0xff) as u8] {
+            crc ^= u16::from(byte) << 8;
+            for _ in 0..8 {
+                crc = if crc & 0x8000 != 0 { (crc << 1) ^ 0x1021 } else { crc << 1 };
+            }
+        }
+    }
+    crc
+}
+
+/// The guard value for a function: CRC over the redirection word followed
+/// by its relocation words, in table order.
+pub fn guard_value(redir: u16, relocs: &[u16]) -> u16 {
+    crc16(std::iter::once(redir).chain(relocs.iter().copied()))
+}
+
+/// Maximum plausible value of an active counter: call nesting deeper than
+/// this cannot arise on a 4 KiB-stack device, so anything larger (or with
+/// bit 15 set, i.e. an underflow) marks the counter as corrupted.
+pub const MAX_PLAUSIBLE_ACT: u16 = 0x0400;
+
+/// Whether an active-counter value is plausible (see [`MAX_PLAUSIBLE_ACT`]).
+pub fn plausible_act(act: u16) -> bool {
+    act <= MAX_PLAUSIBLE_ACT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_matches_check_value() {
+        // CRC-16/CCITT-FALSE over the bytes "12345678" is 0xA12B; the
+        // words below feed exactly those bytes (big-endian halves).
+        assert_eq!(crc16([0x3132, 0x3334, 0x3536, 0x3738]), 0xA12B);
+        assert_ne!(crc16([0x0000]), crc16([0x0001]), "single-bit flips change the CRC");
+    }
+
+    #[test]
+    fn guard_detects_any_single_bit_flip() {
+        let redir = 0x2000;
+        let relocs = [0x2010, 0x2020];
+        let good = guard_value(redir, &relocs);
+        for bit in 0..16 {
+            assert_ne!(guard_value(redir ^ (1 << bit), &relocs), good);
+            assert_ne!(guard_value(redir, &[relocs[0] ^ (1 << bit), relocs[1]]), good);
+            assert_ne!(guard_value(redir, &[relocs[0], relocs[1] ^ (1 << bit)]), good);
+        }
+    }
+
+    #[test]
+    fn act_plausibility() {
+        assert!(plausible_act(0));
+        assert!(plausible_act(3));
+        assert!(!plausible_act(0x8000), "underflow bit");
+        assert!(!plausible_act(MAX_PLAUSIBLE_ACT + 1));
+    }
+}

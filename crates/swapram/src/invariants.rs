@@ -20,6 +20,7 @@
 //! only ever delay eviction, never permit it wrongly), so the checker
 //! validates only that a counter never underflows past zero.
 
+use crate::guards::{guard_value, plausible_act};
 use crate::runtime::SwapRuntime;
 use msp430_sim::mem::Bus;
 
@@ -32,6 +33,41 @@ pub fn check(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
     check_queue(rt)?;
     check_functions(rt, bus)?;
     check_journal(rt, bus)?;
+    Ok(())
+}
+
+/// End-of-run audit for corruption experiments: everything [`check`]
+/// validates, plus conditions that only hold at a quiescent halt — every
+/// active counter is back to zero (balanced call nesting) and every cached
+/// SRAM copy is byte-identical to its immutable FRAM original. A clean halt
+/// that fails this audit executed through corrupted state even if its
+/// output happened to look right.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn audit_final(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
+    check(rt, bus)?;
+    for f in rt.func_records() {
+        let act = bus.peek_word(f.act_addr);
+        if act != 0 {
+            return Err(format!("{}: active counter {act:#06x} nonzero at halt", f.name));
+        }
+    }
+    for (id, addr, size) in rt.entries_snapshot() {
+        let f = rt.func_record(id).ok_or_else(|| format!("unknown cached funcId {id}"))?;
+        for i in 0..size {
+            let got = bus.peek_byte(addr.wrapping_add(i));
+            let want = bus.peek_byte(f.fram_addr.wrapping_add(i));
+            if got != want {
+                return Err(format!(
+                    "{}: SRAM copy byte {:#06x} holds {got:#04x}, FRAM original has {want:#04x}",
+                    f.name,
+                    addr.wrapping_add(i)
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -107,6 +143,7 @@ fn check_functions(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
                 f.fram_addr
             }
         };
+        let mut reloc_vals = Vec::with_capacity(f.relocs.len());
         for r in &f.relocs {
             let rofs = bus.peek_word(r.rofs_addr);
             if rofs != r.ofs {
@@ -123,10 +160,24 @@ fn check_functions(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
                     f.name, r.reloc_addr
                 ));
             }
+            reloc_vals.push(reloc);
+        }
+        if let Some(ga) = f.guard_addr {
+            let stored = bus.peek_word(ga);
+            let want = guard_value(redir, &reloc_vals);
+            if stored != want {
+                return Err(format!(
+                    "{}: guard word {:#06x} holds {stored:#06x}, expected {want:#06x}",
+                    f.name, ga
+                ));
+            }
         }
         let act = bus.peek_word(f.act_addr);
         if act & 0x8000 != 0 {
             return Err(format!("{}: active counter underflowed ({act:#06x})", f.name));
+        }
+        if !plausible_act(act) {
+            return Err(format!("{}: active counter implausible ({act:#06x})", f.name));
         }
     }
     // The funcId word is written before every instrumented call; it must

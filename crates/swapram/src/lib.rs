@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod cost;
+pub mod guards;
 pub mod invariants;
 pub mod pass;
 pub mod runtime;

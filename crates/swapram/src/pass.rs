@@ -29,9 +29,10 @@
 //! carry.
 
 use crate::config::{RecoveryMode, SwapConfig};
+use crate::guards::guard_value;
 use crate::tables::{
-    act_symbol, redir_symbol, reloc_symbol, rofs_symbol, DIRTY_COUNT_SYMBOL, DIRTY_SLOTS_SYMBOL,
-    FID_SYMBOL, GEN_SYMBOL, TABLES_SECTION,
+    act_symbol, guard_symbol, redir_symbol, reloc_symbol, rofs_symbol, DIRTY_COUNT_SYMBOL,
+    DIRTY_SLOTS_SYMBOL, FID_SYMBOL, GEN_SYMBOL, TABLES_SECTION,
 };
 use msp430_asm::ast::{AsmOperand, Insn, Item, Module, Stmt};
 use msp430_asm::error::{AsmError, AsmResult};
@@ -72,6 +73,9 @@ pub struct SwapFunc {
     pub act_addr: u16,
     /// Relocation entries for the function's absolute branches.
     pub relocs: Vec<SwapReloc>,
+    /// Address of the metadata CRC guard word, when
+    /// [`SwapConfig::guards`] asked the pass to emit one.
+    pub guard_addr: Option<u16>,
 }
 
 /// FRAM layout of the generation-tagged dirty log the pass emits under
@@ -173,7 +177,7 @@ pub fn instrument(
     instrumented.push(Item::Align(2));
     instrumented.push(Item::Label(FID_SYMBOL.to_string()));
     instrumented.push(Item::Word(vec![Expr::num(0)]));
-    for (name, _) in &ids {
+    for name in ids.keys() {
         instrumented.push(Item::Label(redir_symbol(name)));
         instrumented.push(Item::Word(vec![Expr::num(i64::from(swap.trap_addr))]));
         instrumented.push(Item::Label(act_symbol(name)));
@@ -197,7 +201,7 @@ pub fn instrument(
     let mut relaxed = intermediate.module.clone();
     let spans = program::functions_of(&relaxed);
     let mut reloc_stmts: Vec<Stmt> = Vec::new();
-    let mut relocs_by_func: BTreeMap<String, Vec<(usize, u16)>> = BTreeMap::new();
+    let mut relocs_by_func: BTreeMap<String, Vec<(usize, u16, u16)>> = BTreeMap::new();
     let mut k = 0usize;
     for span in &spans {
         if !ids.contains_key(&span.name) {
@@ -244,8 +248,23 @@ pub fn instrument(
                 .push(Stmt::synth(Item::Word(vec![Expr::num(i64::from(target))])));
             reloc_stmts.push(Stmt::synth(Item::Label(rofs_symbol(k))));
             reloc_stmts.push(Stmt::synth(Item::Word(vec![Expr::num(i64::from(ofs))])));
-            relocs_by_func.entry(span.name.clone()).or_default().push((k, ofs));
+            relocs_by_func.entry(span.name.clone()).or_default().push((k, ofs, target));
             k += 1;
+        }
+    }
+    // Guard words can only be emitted here: their initial value covers the
+    // relocation words' initial (FRAM-target) values, which pass 2 just
+    // determined. Initial state is uncached: redir = trap address.
+    if swap.guards {
+        for name in ids.keys() {
+            let targets: Vec<u16> = relocs_by_func
+                .get(name)
+                .map(|v| v.iter().map(|(_, _, t)| *t).collect())
+                .unwrap_or_default();
+            reloc_stmts.push(Stmt::synth(Item::Label(guard_symbol(name))));
+            reloc_stmts.push(Stmt::synth(Item::Word(vec![Expr::num(i64::from(
+                guard_value(swap.trap_addr, &targets),
+            ))])));
         }
     }
     relaxed.push(Item::Section(TABLES_SECTION.to_string()));
@@ -283,7 +302,7 @@ pub fn instrument(
             .get(name)
             .map(|v| {
                 v.iter()
-                    .map(|(k, ofs)| {
+                    .map(|(k, ofs, _)| {
                         Ok(SwapReloc {
                             reloc_addr: lookup(&reloc_symbol(*k))?,
                             rofs_addr: lookup(&rofs_symbol(*k))?,
@@ -302,6 +321,7 @@ pub fn instrument(
             redir_addr: lookup(&redir_symbol(name))?,
             act_addr: lookup(&act_symbol(name))?,
             relocs,
+            guard_addr: if swap.guards { Some(lookup(&guard_symbol(name))?) } else { None },
         });
     }
     funcs.sort_by_key(|f| f.id);
@@ -520,14 +540,9 @@ big_end:
     }
 
     fn peek(img: &msp430_sim::mem::Image, addr: u16) -> u16 {
-        for seg in &img.segments {
-            let a = u32::from(seg.addr);
-            if u32::from(addr) >= a && u32::from(addr) + 1 < a + seg.bytes.len() as u32 {
-                let off = usize::from(addr - seg.addr);
-                return u16::from(seg.bytes[off]) | (u16::from(seg.bytes[off + 1]) << 8);
-            }
-        }
-        panic!("address {addr:#06x} not in image");
+        // `Image::word_at` is the typed lookup; an uncovered address is an
+        // assertable error here, not a panic in library code.
+        img.word_at(addr).expect("test address must be covered by the image")
     }
 
     #[test]
@@ -538,6 +553,27 @@ big_end:
         // fid word + 2 functions x (redir + act) = 5 words minimum.
         assert!(inst.metadata_bytes >= 10);
         assert!(inst.handler_bytes >= 972);
+    }
+
+    #[test]
+    fn guard_words_cover_initial_metadata_state() {
+        let m = parse(SRC).unwrap();
+        let (sc, lc) = cfg();
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        for f in &inst.funcs {
+            let ga = f.guard_addr.expect("guards default on");
+            let relocs: Vec<u16> = f.relocs.iter().map(|r| f.fram_addr + r.ofs).collect();
+            assert_eq!(
+                peek(&inst.assembly.image, ga),
+                guard_value(sc.trap_addr, &relocs),
+                "guard init must match the uncached metadata state of `{}`",
+                f.name
+            );
+        }
+        // Disabling guards removes exactly one word per function.
+        let off = instrument(&m, &sc.clone().with_guards(false), &lc).unwrap();
+        assert!(off.funcs.iter().all(|f| f.guard_addr.is_none()));
+        assert_eq!(off.metadata_bytes + 2 * inst.funcs.len() as u16, inst.metadata_bytes);
     }
 
     #[test]

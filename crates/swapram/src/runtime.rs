@@ -14,6 +14,7 @@
 
 use crate::config::{PolicyKind, RecoveryMode, SwapConfig};
 use crate::cost::CostModel;
+use crate::guards::{guard_value, plausible_act};
 use crate::pass::{Instrumented, Journal, SwapFunc};
 use crate::stats::SwapStats;
 use msp430_sim::cpu::Cpu;
@@ -307,6 +308,193 @@ impl SwapRuntime {
             .ok_or_else(|| SimError::Hook(format!("invalid funcId {id}")))
     }
 
+    /// Initial (FRAM-target) values of a function's relocation words.
+    fn fram_reloc_values(f: &SwapFunc) -> Vec<u16> {
+        f.relocs.iter().map(|r| f.fram_addr.wrapping_add(r.ofs)).collect()
+    }
+
+    /// Recomputes and stores a function's guard word for the metadata
+    /// state (`redir`, `reloc_values`) just written, charging the modeled
+    /// CRC effort.
+    fn refresh_guard(
+        &mut self,
+        bus: &mut Bus,
+        f: &SwapFunc,
+        redir: u16,
+        reloc_values: &[u16],
+    ) -> SimResult<()> {
+        let Some(ga) = f.guard_addr else {
+            return Ok(());
+        };
+        bus.write_word(ga, guard_value(redir, reloc_values))?;
+        let words = 1 + reloc_values.len() as u64;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.guard_base_instrs + self.cost.guard_word_instrs * words,
+            self.cost.guard_base_cycles + self.cost.guard_word_cycles * words,
+        )
+    }
+
+    /// Verifies a function's guard word against the metadata actually in
+    /// FRAM. Returns `false` on a CRC mismatch *or* when the (CRC-clean)
+    /// state is not one the volatile view permits — a cached function's
+    /// redirection word must match its SRAM slot, an uncached one must
+    /// point at the trap window or its FRAM home.
+    fn verify_func_guard(&mut self, bus: &mut Bus, f: &SwapFunc) -> SimResult<bool> {
+        let Some(ga) = f.guard_addr else {
+            return Ok(true);
+        };
+        let redir = bus.read_word(f.redir_addr, AccessKind::Read)?;
+        let mut vals = Vec::with_capacity(f.relocs.len());
+        for r in &f.relocs {
+            vals.push(bus.read_word(r.reloc_addr, AccessKind::Read)?);
+        }
+        let stored = bus.read_word(ga, AccessKind::Read)?;
+        let words = 1 + vals.len() as u64;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.guard_base_instrs + self.cost.guard_word_instrs * words,
+            self.cost.guard_base_cycles + self.cost.guard_word_cycles * words,
+        )?;
+        self.stats.borrow_mut().guard_checks += 1;
+        if stored != guard_value(redir, &vals) {
+            return Ok(false);
+        }
+        Ok(match self.entries.iter().find(|e| e.id == f.id) {
+            Some(e) => redir == e.addr,
+            None => redir == self.cfg.trap_addr || redir == f.fram_addr,
+        })
+    }
+
+    /// Repairs a function whose metadata failed verification: rebuild the
+    /// uncached state from the immutable image-derived records (redirection
+    /// to the trap window, relocations to FRAM targets, counter cleared,
+    /// guard refreshed) and drop any stale cache entry. The next call
+    /// simply misses again — corruption costs a re-fill, never a wild jump.
+    fn repair_function(&mut self, bus: &mut Bus, fid: u16) -> SimResult<()> {
+        self.entries.retain(|e| e.id != fid);
+        self.rewind_function(bus, fid)?;
+        self.stats.borrow_mut().guard_repairs += 1;
+        Ok(())
+    }
+
+    /// Cheap per-miss scrub: every cached entry's redirection word must
+    /// still point at its SRAM slot. A mismatch means corruption; repair
+    /// before any eviction could overwrite the evidence.
+    fn scrub_cached(&mut self, bus: &mut Bus) -> SimResult<()> {
+        let snapshot: Vec<Entry> = self.entries.iter().copied().collect();
+        for e in snapshot {
+            let f = self.func(e.id)?.clone();
+            let redir = bus.read_word(f.redir_addr, AccessKind::Read)?;
+            self.charge(bus, Category::MissHandler, self.cost.scan_instrs, self.cost.scan_cycles)?;
+            self.stats.borrow_mut().guard_checks += 1;
+            if redir != e.addr {
+                self.repair_function(bus, e.id)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether any live stack word holds a return address into
+    /// `[lo, hi)` — the integrity backstop for a corrupted (flipped-to-
+    /// zero) active counter: a function whose caller's return address is
+    /// on the stack must not be evicted even if its counter claims it is
+    /// not active. Scans a bounded window above SP; a false positive only
+    /// delays eviction (safe), a true positive prevents executing through
+    /// overwritten code.
+    fn stack_pins(&mut self, cpu: &Cpu, bus: &mut Bus, lo: u16, hi: u16) -> SimResult<bool> {
+        let sp = cpu.sp();
+        if sp == 0 || sp & 1 != 0 {
+            return Ok(false);
+        }
+        let region = bus.map().region_of(sp);
+        let mut pinned = false;
+        let mut words = 0u64;
+        for i in 0..64u16 {
+            let addr = sp.wrapping_add(2 * i);
+            if addr < sp || bus.map().region_of(addr) != region {
+                break;
+            }
+            let w = bus.read_word(addr, AccessKind::Read)?;
+            words += 1;
+            if w >= lo && w < hi {
+                pinned = true;
+                break;
+            }
+        }
+        self.charge(bus, Category::MissHandler, 2 + words / 2, 4 + words)?;
+        Ok(pinned)
+    }
+
+    /// Authenticates a trap entry against its call site and returns the
+    /// verified function id, repairing a corrupted `funcId` word or a
+    /// bit-flipped redirection word that still landed inside the trap
+    /// window. `CALL &__sr_redir_f` is the only instruction that targets
+    /// the trap window, and its absolute operand — the redirection-word
+    /// address — sits two bytes before the return address it pushed, so
+    /// the stack cross-identifies the callee independently of `__sr_fid`.
+    fn authenticate_trap(
+        &mut self,
+        cpu: &Cpu,
+        bus: &mut Bus,
+        fid: u16,
+        trap_pc: u16,
+    ) -> SimResult<u16> {
+        let sp = cpu.sp();
+        if sp == 0 || sp & 1 != 0 {
+            // No stack has been set up, so no call can have pushed a return
+            // address (a push through SP 0 would have faulted); a valid
+            // funcId is the only evidence available. Only direct-drive
+            // harnesses reach this — a real call always has a stack.
+            return if trap_pc == self.cfg.trap_addr && usize::from(fid) < self.funcs.len() {
+                Ok(fid)
+            } else {
+                Err(SimError::Hook(format!(
+                    "trap at 0x{trap_pc:04x} with funcId {fid} and no stack to cross-check"
+                )))
+            };
+        }
+        let ret = bus.read_word(sp, AccessKind::Read)?;
+        let site = bus.read_word(ret.wrapping_sub(2), AccessKind::Read).unwrap_or(0);
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.guard_base_instrs,
+            self.cost.guard_base_cycles,
+        )?;
+        self.stats.borrow_mut().guard_checks += 1;
+        let by_site = self.funcs.iter().position(|g| g.redir_addr == site).map(|i| i as u16);
+        if trap_pc != self.cfg.trap_addr {
+            // A corrupted redirection word that still points into the trap
+            // window: recover the callee from the call site or give up
+            // with a typed error — never guess.
+            let Some(gid) = by_site else {
+                return Err(SimError::Hook(format!(
+                    "corrupted trap at 0x{trap_pc:04x}: call site does not identify a function"
+                )));
+            };
+            self.repair_function(bus, gid)?;
+            return Ok(gid);
+        }
+        if self.funcs.get(usize::from(fid)).is_some_and(|g| g.redir_addr == site) {
+            return Ok(fid);
+        }
+        match by_site {
+            Some(gid) => {
+                // `__sr_fid` disagrees with the call site: the word was
+                // corrupted after the call site wrote it. Repair it.
+                bus.write_word(self.fid_addr, gid)?;
+                self.stats.borrow_mut().guard_repairs += 1;
+                Ok(gid)
+            }
+            None => Err(SimError::Hook(format!(
+                "trap with funcId {fid} but no call site identifies a function"
+            ))),
+        }
+    }
+
     /// Evicts `victim`: reset its redirection word to the trap address and
     /// its relocation words to their FRAM targets (§3.3.2).
     fn evict(&mut self, bus: &mut Bus, victim: Entry) -> SimResult<()> {
@@ -323,6 +511,8 @@ impl SwapRuntime {
             self.cost.evict_cycles + self.cost.reloc_cycles * reloc_count,
         )?;
         self.entries.retain(|e| e.id != victim.id);
+        let vals = Self::fram_reloc_values(&f);
+        self.refresh_guard(bus, &f, self.cfg.trap_addr, &vals)?;
         let mut stats = self.stats.borrow_mut();
         stats.evictions += 1;
         drop(stats);
@@ -349,7 +539,14 @@ impl SwapRuntime {
         )?;
         let reloc_count = f.relocs.len() as u64;
         for r in &f.relocs {
-            let ofs = bus.read_word(r.rofs_addr, AccessKind::Read)?;
+            let mut ofs = bus.read_word(r.rofs_addr, AccessKind::Read)?;
+            if self.cfg.guards && ofs != r.ofs {
+                // The static offset word disagrees with the immutable
+                // host-side record: repair the word and use ground truth.
+                bus.write_word(r.rofs_addr, r.ofs)?;
+                self.stats.borrow_mut().guard_repairs += 1;
+                ofs = r.ofs;
+            }
             bus.write_word(r.reloc_addr, place.wrapping_add(ofs))?;
         }
         bus.write_word(f.redir_addr, place)?;
@@ -359,6 +556,8 @@ impl SwapRuntime {
             self.cost.reloc_instrs * reloc_count,
             self.cost.reloc_cycles * reloc_count,
         )?;
+        let vals: Vec<u16> = f.relocs.iter().map(|r| place.wrapping_add(r.ofs)).collect();
+        self.refresh_guard(bus, f, place, &vals)?;
         let mut stats = self.stats.borrow_mut();
         stats.fills += 1;
         stats.bytes_copied += u64::from(Self::span_of(f));
@@ -508,9 +707,11 @@ impl SwapRuntime {
             // A permanent FRAM redirect (too-large function) is
             // crash-safe and worth preserving across reboots.
             let mut dirty = redir != self.cfg.trap_addr && redir != f.fram_addr;
+            let mut reloc_vals = Vec::with_capacity(f.relocs.len());
             for r in &f.relocs {
                 let reloc = bus.read_word(r.reloc_addr, AccessKind::Read)?;
                 dirty |= reloc != f.fram_addr.wrapping_add(r.ofs);
+                reloc_vals.push(reloc);
             }
             let act = bus.read_word(f.act_addr, AccessKind::Read)?;
             if dirty {
@@ -518,6 +719,39 @@ impl SwapRuntime {
                 rewound += 1;
             } else if act != 0 {
                 bus.write_word(f.act_addr, 0)?;
+            }
+            if self.cfg.guards {
+                // The sweep already has every guarded word in hand: repair
+                // flipped static-offset words from the immutable host-side
+                // records and re-seat a stale or corrupted guard word.
+                for r in &f.relocs {
+                    let ofs = bus.read_word(r.rofs_addr, AccessKind::Read)?;
+                    if ofs != r.ofs {
+                        bus.write_word(r.rofs_addr, r.ofs)?;
+                        self.stats.borrow_mut().guard_repairs += 1;
+                    }
+                }
+                if let Some(ga) = f.guard_addr {
+                    let (redir_now, vals) = if dirty {
+                        (self.cfg.trap_addr, Self::fram_reloc_values(&f))
+                    } else {
+                        (redir, reloc_vals)
+                    };
+                    let stored = bus.read_word(ga, AccessKind::Read)?;
+                    let words = 1 + vals.len() as u64;
+                    self.charge(
+                        bus,
+                        Category::MissHandler,
+                        self.cost.guard_base_instrs + self.cost.guard_word_instrs * words,
+                        self.cost.guard_base_cycles + self.cost.guard_word_cycles * words,
+                    )?;
+                    self.stats.borrow_mut().guard_checks += 1;
+                    let expected = guard_value(redir_now, &vals);
+                    if stored != expected {
+                        bus.write_word(ga, expected)?;
+                        self.stats.borrow_mut().guard_repairs += 1;
+                    }
+                }
             }
             self.charge(
                 bus,
@@ -545,6 +779,8 @@ impl SwapRuntime {
             self.cost.recover_func_instrs + self.cost.reloc_instrs * f.relocs.len() as u64,
             self.cost.recover_func_cycles + self.cost.reloc_cycles * f.relocs.len() as u64,
         )?;
+        let vals = Self::fram_reloc_values(&f);
+        self.refresh_guard(bus, &f, self.cfg.trap_addr, &vals)?;
         Ok(())
     }
 
@@ -558,6 +794,8 @@ impl SwapRuntime {
         for r in &f.relocs {
             bus.write_word(r.reloc_addr, f.fram_addr.wrapping_add(r.ofs))?;
         }
+        let vals = Self::fram_reloc_values(f);
+        self.refresh_guard(bus, f, self.cfg.trap_addr, &vals)?;
         Ok(())
     }
 
@@ -597,8 +835,12 @@ impl SwapRuntime {
 }
 
 impl Hook for SwapRuntime {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction> {
-        if trap_pc != self.cfg.trap_addr {
+        if !self.cfg.guards && trap_pc != self.cfg.trap_addr {
             return Err(SimError::Hook(format!(
                 "unexpected trap at 0x{trap_pc:04x} (SwapRAM trap is 0x{:04x})",
                 self.cfg.trap_addr
@@ -608,7 +850,19 @@ impl Hook for SwapRuntime {
         // Handler entry: save argument registers, read funcId, look up the
         // function-info record (one metadata read from FRAM).
         self.charge(bus, Category::MissHandler, self.cost.entry_instrs, self.cost.entry_cycles)?;
-        let fid = bus.read_word(self.fid_addr, AccessKind::Read)?;
+        let mut fid = bus.read_word(self.fid_addr, AccessKind::Read)?;
+        if self.cfg.guards {
+            // Cross-check the funcId against the call site (repairing it or
+            // a wild-in-window redirection word), scrub cached redirection
+            // words, then verify the target's guard before trusting any of
+            // its metadata — a mismatch rebuilds the entry from the image.
+            fid = self.authenticate_trap(cpu, bus, fid, trap_pc)?;
+            self.scrub_cached(bus)?;
+            let target = self.func(fid)?.clone();
+            if !self.verify_func_guard(bus, &target)? {
+                self.repair_function(bus, fid)?;
+            }
+        }
         let f = self.func(fid)?.clone();
         let exit = |rt: &mut SwapRuntime, cpu: &mut Cpu, bus: &mut Bus, target: u16| {
             cpu.set_pc(target);
@@ -630,6 +884,8 @@ impl Hook for SwapRuntime {
         // "deliberately avoid caching" escape hatch).
         if candidates.is_empty() {
             bus.write_word(f.redir_addr, f.fram_addr)?;
+            let vals = Self::fram_reloc_values(&f);
+            self.refresh_guard(bus, &f, f.fram_addr, &vals)?;
             self.stats.borrow_mut().too_large += 1;
             return exit(self, cpu, bus, f.fram_addr);
         }
@@ -647,7 +903,7 @@ impl Hook for SwapRuntime {
         // only PriorityCost has more than one candidate to try.
         let mut chosen: Option<(u16, Vec<Entry>)> = None;
         for place in candidates {
-            let flagged = self.overlapping(place, size);
+            let mut flagged = self.overlapping(place, size);
             self.charge(
                 bus,
                 Category::MissHandler,
@@ -656,13 +912,38 @@ impl Hook for SwapRuntime {
             )?;
             let mut blocked = false;
             for e in &flagged {
-                let act = bus.read_word(self.func(e.id)?.act_addr, AccessKind::Read)?;
+                let g = self.func(e.id)?.clone();
+                if self.cfg.guards && !self.verify_func_guard(bus, &g)? {
+                    // Corrupted victim metadata: repair (rewind + drop)
+                    // before eviction could overwrite the evidence. The
+                    // repaired victim no longer occupies the window.
+                    self.repair_function(bus, e.id)?;
+                    continue;
+                }
+                let act = bus.read_word(g.act_addr, AccessKind::Read)?;
+                if self.cfg.guards && !plausible_act(act) {
+                    // A corrupted counter cannot prove the victim is
+                    // off-stack: treat it as active and degrade rather
+                    // than evict possibly-live code.
+                    self.stats.borrow_mut().guard_degraded += 1;
+                    blocked = true;
+                    break;
+                }
                 if act != 0 {
+                    blocked = true;
+                    break;
+                }
+                if self.cfg.guards
+                    && self.stack_pins(cpu, bus, e.addr, e.addr.wrapping_add(e.size))?
+                {
+                    // A return address into the victim pins it even when
+                    // its (possibly corrupted) counter claims otherwise.
                     blocked = true;
                     break;
                 }
             }
             if !blocked {
+                flagged.retain(|e| self.entries.contains(e));
                 chosen = Some((place, flagged));
                 break;
             }
@@ -865,6 +1146,125 @@ dbl:
         let out = machine.run(5_000_000).unwrap();
         assert!(out.success());
         assert_eq!(out.checksum.0, expected_checksum());
+    }
+
+    #[test]
+    fn corrupted_metadata_is_detected_and_repaired_on_the_next_miss() {
+        use msp430_sim::hwcache::HwCache;
+        use msp430_sim::mem::MemoryMap;
+
+        let cfg = SwapConfig {
+            cache_size: 0x0E00,
+            check_invariants: true,
+            ..SwapConfig::unified_fr2355()
+        };
+        let m = parse(SRC).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let inst = instrument(&m, &cfg, &lc).unwrap();
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        let stats = rt.stats_handle();
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_24);
+        bus.load_image(&inst.assembly.image).unwrap();
+
+        // Cache function 0, then corrupt its redirection word.
+        bus.poke_word(rt.fid_addr(), 0);
+        rt.on_trap(&mut cpu, &mut bus, cfg.trap_addr).unwrap();
+        let f0 = inst.funcs[0].clone();
+        let place = rt.entries_snapshot()[0].1;
+        bus.poke_word(f0.redir_addr, place ^ 0x0040);
+
+        // A miss on another function scrubs the cached set, detects the
+        // mismatch, and rebuilds f0's uncached state from the image.
+        bus.poke_word(rt.fid_addr(), 1);
+        rt.on_trap(&mut cpu, &mut bus, cfg.trap_addr).unwrap();
+        assert!(stats.borrow().guard_repairs >= 1, "{}", stats.borrow());
+        assert!(!rt.cached_ids().contains(&0), "corrupt entry must be dropped");
+        assert_eq!(bus.peek_word(f0.redir_addr), cfg.trap_addr, "redirection rewound");
+        rt.check_invariants(&bus).expect("repaired state is consistent");
+
+        // Corrupt the guard word itself: the target verify on f0's next
+        // miss repairs it (a guard flip rewinds a healthy function — safe).
+        bus.poke_word(rt.fid_addr(), 0);
+        rt.on_trap(&mut cpu, &mut bus, cfg.trap_addr).unwrap();
+        let ga = f0.guard_addr.expect("guards are on by default");
+        bus.poke_word(ga, bus.peek_word(ga) ^ 0x0001);
+        let before = stats.borrow().guard_repairs;
+        bus.poke_word(rt.fid_addr(), 0);
+        rt.on_trap(&mut cpu, &mut bus, cfg.trap_addr).unwrap();
+        assert!(stats.borrow().guard_repairs > before);
+        rt.check_invariants(&bus).expect("guard-word flip repaired");
+    }
+
+    #[test]
+    fn implausible_active_counter_degrades_instead_of_evicting() {
+        use msp430_sim::hwcache::HwCache;
+        use msp430_sim::mem::MemoryMap;
+
+        let m = parse(SRC).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        let probe = instrument(&m, &SwapConfig::unified_fr2355(), &lc).unwrap();
+        let biggest = probe.funcs.iter().map(|f| f.size).max().unwrap();
+        // Cache fits exactly the biggest function: any subsequent miss
+        // overlaps it and wants to evict.
+        let cfg = SwapConfig { cache_size: (biggest + 1) & !1, ..SwapConfig::unified_fr2355() };
+        let inst = instrument(&m, &cfg, &lc).unwrap();
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        let stats = rt.stats_handle();
+        let mut cpu = Cpu::new();
+        let mut bus = Bus::new(MemoryMap::fr2355(), HwCache::fr2355(), Frequency::MHZ_24);
+        bus.load_image(&inst.assembly.image).unwrap();
+
+        // Cache the biggest function: it fills the window completely, so
+        // any other function's miss must try to evict it.
+        let victim = inst.funcs.iter().max_by_key(|f| f.size).unwrap().id;
+        bus.poke_word(rt.fid_addr(), victim);
+        rt.on_trap(&mut cpu, &mut bus, cfg.trap_addr).unwrap();
+        assert_eq!(rt.cached_ids(), vec![victim]);
+        // An active counter far beyond any plausible call nesting: the
+        // runtime must refuse to trust it and fall back to FRAM execution.
+        bus.poke_word(inst.funcs[usize::from(victim)].act_addr, 0x7F00);
+        let second = inst.funcs.iter().find(|f| f.id != victim).unwrap().id;
+        bus.poke_word(rt.fid_addr(), second);
+        rt.on_trap(&mut cpu, &mut bus, cfg.trap_addr).unwrap();
+        let s = stats.borrow();
+        assert!(s.guard_degraded >= 1, "{s}");
+        assert_eq!(s.evictions, 0, "no eviction through a corrupt counter: {s}");
+        assert!(rt.cached_ids().contains(&victim), "victim stays cached");
+    }
+
+    #[test]
+    fn flip_inside_active_sram_copy_is_caught_by_the_final_audit() {
+        use msp430_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+
+        let cfg = SwapConfig { cache_size: 0x0E00, ..SwapConfig::unified_fr2355() };
+        let (mut clean, _) = build(cfg.clone());
+        let clean_out = clean.run(1_000_000).unwrap();
+        assert!(clean_out.success());
+        let total = clean_out.stats.total_cycles();
+
+        // main is the first function cached, at the base of the window; its
+        // two-word prologue executes once, before the flip fires, so the
+        // run still halts cleanly with the right output — a silent
+        // corruption only the end-of-run audit can see.
+        let (mut machine, _) = build(cfg.clone());
+        machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            cycle: total / 2,
+            kind: FaultKind::BitFlip { addr: cfg.cache_base + 2, bit: 0 },
+        }]));
+        let out = machine.run(1_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum(), "prologue flip is output-silent");
+
+        let hook = machine.take_hook().expect("runtime still attached");
+        let rt = hook
+            .as_any()
+            .expect("SwapRuntime supports downcast")
+            .downcast_ref::<SwapRuntime>()
+            .unwrap();
+        let audit = crate::invariants::audit_final(rt, machine.bus());
+        assert!(audit.is_err(), "audit must flag the SRAM/FRAM divergence");
+        assert!(audit.unwrap_err().contains("SRAM copy"), "the divergence names the copy");
     }
 
     #[test]

@@ -37,6 +37,15 @@ pub struct SwapStats {
     /// Recoveries that found a torn/stale journal and fell back to the
     /// full metadata scan.
     pub journal_fallbacks: u64,
+    /// Guard verifications performed (per-miss target + victim checks,
+    /// call-site cross-checks, recovery sweeps).
+    pub guard_checks: u64,
+    /// Corrupted metadata entries detected and rebuilt from the immutable
+    /// FRAM image (ground truth).
+    pub guard_repairs: u64,
+    /// Misses degraded to FRAM execution because an integrity check made
+    /// caching unsafe (e.g. an implausible active counter).
+    pub guard_degraded: u64,
 }
 
 impl SwapStats {

@@ -29,6 +29,11 @@ pub fn rofs_symbol(k: usize) -> String {
     format!("__sr_rofs_{k}")
 }
 
+/// Symbol of a function's metadata CRC guard word (see [`crate::guards`]).
+pub fn guard_symbol(func: &str) -> String {
+    format!("__sr_guard_{func}")
+}
+
 /// Symbol of the persistent recovery-generation word (dirty-log recovery).
 pub const GEN_SYMBOL: &str = "__sr_gen";
 
@@ -47,5 +52,6 @@ mod tests {
         assert_ne!(redir_symbol("f"), act_symbol("f"));
         assert_ne!(reloc_symbol(1), rofs_symbol(1));
         assert_ne!(reloc_symbol(1), reloc_symbol(2));
+        assert_ne!(guard_symbol("f"), redir_symbol("f"));
     }
 }
