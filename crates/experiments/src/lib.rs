@@ -38,6 +38,7 @@ pub mod json;
 pub mod measure;
 pub mod report;
 pub mod resilience;
+pub mod simperf;
 pub mod table1;
 pub mod table2;
 

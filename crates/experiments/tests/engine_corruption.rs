@@ -1,0 +1,37 @@
+//! Engine-differential gate for the bit-flip corruption campaign: every
+//! seeded flip episode must classify identically (detected / recovered /
+//! silent-wrong / crash) under the interpreter and the pre-decoded
+//! engine. Bit flips land in metadata, cached code, and app data — the
+//! cached-code flips hit decoded blocks directly, so a stale block that
+//! survives `flip_bit` shows up here as a changed outcome row.
+//!
+//! Lives in its own integration-test binary: the engine override is
+//! process-global, and a dedicated process keeps it from racing other
+//! tests.
+
+use experiments::{corruption, Harness};
+use msp430_sim::{set_default_engine, Engine};
+
+#[test]
+fn corruption_rows_identical_across_engines() {
+    set_default_engine(Some(Engine::Interp));
+    let interp = corruption::run(&Harness::new(), corruption::FAST_FLIPS, 0xF00D);
+    set_default_engine(Some(Engine::Predecoded));
+    let pre = corruption::run(&Harness::new(), corruption::FAST_FLIPS, 0xF00D);
+    set_default_engine(None);
+
+    assert!(!interp.is_empty(), "campaign produced no rows");
+    assert_eq!(interp.len(), pre.len(), "row count differs between engines");
+    for (i, p) in interp.iter().zip(&pre) {
+        assert_eq!(
+            format!("{i:?}"),
+            format!("{p:?}"),
+            "corruption row diverged between engines"
+        );
+    }
+    assert_eq!(
+        corruption::rows_json(&interp).render(),
+        corruption::rows_json(&pre).render(),
+        "published corruption rows differ between engines"
+    );
+}

@@ -1,0 +1,49 @@
+//! Engine-differential gate for the power-loss resilience campaign: the
+//! seeded interruption schedules must publish byte-identical rows whether
+//! the simulator runs the reference interpreter or the pre-decoded
+//! engine. Power cycles discard SRAM and rewind SwapRAM's redirections,
+//! so this proves decoded-block invalidation is correct across reboot
+//! and recovery, not just across ordinary code writes.
+//!
+//! Lives in its own integration-test binary: the engine override is
+//! process-global, and a dedicated process keeps it from racing other
+//! tests.
+
+use experiments::{resilience, Harness};
+use mibench::Benchmark;
+use msp430_sim::{set_default_engine, Engine};
+
+#[test]
+fn resilience_rows_identical_across_engines() {
+    // Fresh Harness per engine: its run memoization must not serve one
+    // engine's rows to the other.
+    set_default_engine(Some(Engine::Interp));
+    let interp =
+        resilience::run(&Harness::new(), resilience::FAST_SCHEDULES, resilience::DEFAULT_FAULT_SEED);
+    set_default_engine(Some(Engine::Predecoded));
+    let pre =
+        resilience::run(&Harness::new(), resilience::FAST_SCHEDULES, resilience::DEFAULT_FAULT_SEED);
+    set_default_engine(None);
+
+    assert_eq!(
+        interp.len(),
+        Benchmark::MIBENCH.len() * resilience::FAST_SCHEDULES * 2,
+        "campaign did not cover the fast matrix"
+    );
+    for (i, p) in interp.iter().zip(&pre) {
+        assert_eq!(
+            format!("{i:?}"),
+            format!("{p:?}"),
+            "resilience row diverged between engines"
+        );
+    }
+    assert_eq!(
+        resilience::rows_json(&interp).render(),
+        resilience::rows_json(&pre).render(),
+        "published resilience rows differ between engines"
+    );
+    // Rows must also still be *correct*, not merely identical.
+    for r in &interp {
+        assert!(r.survived && r.correct, "{} seed {:#x}: survived={} correct={}", r.bench.name(), r.seed, r.survived, r.correct);
+    }
+}

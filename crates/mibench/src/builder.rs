@@ -317,7 +317,7 @@ pub fn build(
 }
 
 /// Everything a run produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Simulator outcome (stats, checksum, console).
     pub outcome: RunOutcome,
@@ -360,6 +360,28 @@ pub fn run_on(
     input: &[u8],
     max_cycles: u64,
 ) -> msp430_sim::SimResult<RunResult> {
+    let (swap_handle, block_handle) = prepare(machine, built, input)?;
+    let outcome = machine.run(max_cycles)?;
+    Ok(RunResult {
+        outcome,
+        swap: swap_handle.map(|h| h.borrow().clone()),
+        block: block_handle.map(|h| h.borrow().clone()),
+    })
+}
+
+/// Everything [`run_on`] does before calling [`Machine::run`]: loads the
+/// image, injects the input and corpus bytes, and attaches the sanitizer
+/// and runtime hook. Public so differential tests can drive two machines
+/// in lockstep with [`Machine::step`] and compare state between steps.
+///
+/// # Errors
+///
+/// Propagates runtime-construction errors (corrupted metadata).
+pub fn prepare(
+    machine: &mut Machine,
+    built: &Built,
+    input: &[u8],
+) -> msp430_sim::SimResult<(Option<SwapHandle>, Option<BlockHandle>)> {
     machine.load(built.image());
     for (i, b) in input.iter().enumerate() {
         machine.bus_mut().poke_byte(built.input_addr.wrapping_add(i as u16), *b);
@@ -369,17 +391,14 @@ pub fn run_on(
             machine.bus_mut().poke_byte(base.wrapping_add(i as u16), *b);
         }
     }
-    let (swap_handle, block_handle) = attach(machine, built)?;
-    let outcome = machine.run(max_cycles)?;
-    Ok(RunResult {
-        outcome,
-        swap: swap_handle.map(|h| h.borrow().clone()),
-        block: block_handle.map(|h| h.borrow().clone()),
-    })
+    attach(machine, built)
 }
 
-type SwapHandle = std::rc::Rc<std::cell::RefCell<SwapStats>>;
-type BlockHandle = std::rc::Rc<std::cell::RefCell<BlockStats>>;
+/// Shared handle to the SwapRAM runtime's counters, live while the
+/// machine runs.
+pub type SwapHandle = std::rc::Rc<std::cell::RefCell<SwapStats>>;
+/// Shared handle to the block-cache runtime's counters.
+pub type BlockHandle = std::rc::Rc<std::cell::RefCell<BlockStats>>;
 
 /// Range of a named non-empty section.
 fn section_range(assembly: &Assembly, name: &str) -> Option<AddrRange> {

@@ -28,5 +28,8 @@ pub mod corpus;
 pub mod oracle;
 pub mod suite;
 
-pub use builder::{build, run, BuildError, Built, MemoryProfile, Program, RunResult, System};
+pub use builder::{
+    build, prepare, run, run_on, BlockHandle, BuildError, Built, MemoryProfile, Program, RunResult,
+    SwapHandle, System,
+};
 pub use suite::{input_for, Benchmark};

@@ -6,6 +6,7 @@
 //! full MSP430 status-flag semantics, and charges the classic MSP430
 //! cycle-table cost for the addressing-mode combination.
 
+use crate::decode::{DstPlan, SrcPlan};
 use crate::error::{SimError, SimResult};
 use crate::isa::{is_cg_const, Instr, Opcode, Operand, Reg, Size};
 use crate::mem::{AccessKind, Bus, Region};
@@ -54,31 +55,37 @@ impl Cpu {
     }
 
     /// The program counter.
+    #[inline]
     pub fn pc(&self) -> u16 {
         self.regs[0]
     }
 
     /// Sets the program counter.
+    #[inline]
     pub fn set_pc(&mut self, pc: u16) {
         self.regs[0] = pc;
     }
 
     /// The stack pointer.
+    #[inline]
     pub fn sp(&self) -> u16 {
         self.regs[1]
     }
 
     /// Sets the stack pointer.
+    #[inline]
     pub fn set_sp(&mut self, sp: u16) {
         self.regs[1] = sp;
     }
 
     /// Reads register `r`.
+    #[inline]
     pub fn reg(&self, r: Reg) -> u16 {
         self.regs[usize::from(r.num())]
     }
 
     /// Writes register `r`.
+    #[inline]
     pub fn set_reg(&mut self, r: Reg, v: u16) {
         self.regs[usize::from(r.num())] = v;
     }
@@ -89,10 +96,12 @@ impl Cpu {
     }
 
     /// Whether a status flag is set.
+    #[inline]
     pub fn flag(&self, bit: u16) -> bool {
         self.regs[2] & bit != 0
     }
 
+    #[inline]
     fn set_flag(&mut self, bit: u16, on: bool) {
         if on {
             self.regs[2] |= bit;
@@ -125,25 +134,37 @@ impl Cpu {
         // an assembler may force an extension-word encoding for an
         // immediate whose value is also constant-generator representable,
         // and the decoded form cannot tell the two encodings apart.
-        self.regs[0] = pc0.wrapping_add(2 + 2 * ext as u16);
-
-        let cycles = match instr {
-            Instr::FormatI { op, size, src, dst } => self.exec_format_i(bus, op, size, src, dst)?,
-            Instr::FormatII { op, size, dst } => self.exec_format_ii(bus, op, size, dst)?,
-            Instr::Jump { op, offset_words } => {
-                if self.jump_taken(op) {
-                    self.regs[0] = self.regs[0].wrapping_add((offset_words as u16).wrapping_mul(2));
-                }
-                2
-            }
-        };
-
+        let next_pc = pc0.wrapping_add(2 + 2 * ext as u16);
+        let cycles = instr_cycles(&instr);
+        self.regs[0] = next_pc;
+        self.exec_decoded(bus, &instr)?;
         bus.stats_mut().count_instruction(cat);
         bus.stats_mut().unstalled_cycles += u64::from(cycles);
         bus.end_instruction();
         Ok(StepInfo { pc: pc0, instr, cycles })
     }
 
+    /// Executes an already-fetched instruction. The caller must have
+    /// advanced the PC past the instruction (operand resolution and
+    /// relative jumps observe the post-fetch PC) and is responsible for
+    /// all fetch accounting, instruction attribution and cycle charging —
+    /// this is the execution core shared by the interpreter
+    /// ([`Cpu::step`]) and the pre-decoded engine
+    /// ([`crate::blockcache::BlockEngine`]).
+    pub(crate) fn exec_decoded(&mut self, bus: &mut Bus, instr: &Instr) -> SimResult<()> {
+        match *instr {
+            Instr::FormatI { op, size, src, dst } => self.exec_format_i(bus, op, size, src, dst),
+            Instr::FormatII { op, size, dst } => self.exec_format_ii(bus, op, size, dst),
+            Instr::Jump { op, offset_words } => {
+                if self.jump_taken(op) {
+                    self.regs[0] = self.regs[0].wrapping_add((offset_words as u16).wrapping_mul(2));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    #[inline]
     fn jump_taken(&self, op: Opcode) -> bool {
         let (c, z, n, v) =
             (self.flag(FLAG_C), self.flag(FLAG_Z), self.flag(FLAG_N), self.flag(FLAG_V));
@@ -182,8 +203,8 @@ impl Cpu {
         match (loc, size) {
             (Loc::Reg(r), Size::Word) => Ok(self.reg(r)),
             (Loc::Reg(r), Size::Byte) => Ok(self.reg(r) & 0xff),
-            (Loc::Mem(a), Size::Word) => bus.read_word(a, AccessKind::Read),
-            (Loc::Mem(a), Size::Byte) => bus.read_byte(a, AccessKind::Read).map(u16::from),
+            (Loc::Mem(a), Size::Word) => bus.read_word_data(a),
+            (Loc::Mem(a), Size::Byte) => bus.read_byte_data(a).map(u16::from),
             (Loc::Imm(v), Size::Word) => Ok(v),
             (Loc::Imm(v), Size::Byte) => Ok(v & 0xff),
         }
@@ -215,7 +236,7 @@ impl Cpu {
         size: Size,
         src: Operand,
         dst: Operand,
-    ) -> SimResult<u32> {
+    ) -> SimResult<()> {
         let (mask, sign): (u32, u32) = match size {
             Size::Word => (0xFFFF, 0x8000),
             Size::Byte => (0xFF, 0x80),
@@ -226,6 +247,246 @@ impl Cpu {
         let reads_dst = !matches!(op, Opcode::Mov);
         let dval = if reads_dst { u32::from(self.read_loc(bus, dloc, size)?) } else { 0 };
 
+        let (result, writeback) = self.alu_format_i(op, mask, sign, sval, dval)?;
+
+        if writeback {
+            self.write_loc(bus, dloc, size, (result & mask) as u16)?;
+        }
+        Ok(())
+    }
+
+    /// Executes a Format-I instruction whose operands are a register or
+    /// immediate source and a register destination — the pre-lowered form
+    /// dispatched inside batched runs (see
+    /// [`crate::decode::ExecPlan`]). Shares [`Cpu::alu_format_i`] with the
+    /// generic path, so the semantics cannot diverge; only the operand
+    /// location plumbing is flattened away.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::exec_decoded`] — unreachable for the opcodes the decoder
+    /// produces, kept for parity.
+    #[inline]
+    pub(crate) fn exec_alu_reg(
+        &mut self,
+        op: Opcode,
+        size: Size,
+        sval_raw: u16,
+        dst: Reg,
+    ) -> SimResult<()> {
+        let (mask, sign): (u32, u32) = match size {
+            Size::Word => (0xFFFF, 0x8000),
+            Size::Byte => (0xFF, 0x80),
+        };
+        let sval = u32::from(sval_raw) & mask;
+        let reads_dst = !matches!(op, Opcode::Mov);
+        let dval = if reads_dst { u32::from(self.reg(dst)) & mask } else { 0 };
+        let (result, writeback) = self.alu_format_i(op, mask, sign, sval, dval)?;
+        if writeback {
+            self.set_reg(dst, (result & mask) as u16);
+        }
+        Ok(())
+    }
+
+    /// Executes a Format-I instruction with at least one memory operand
+    /// through its pre-matched operand shape (see
+    /// [`crate::decode::ExecPlan::Alu`]). Reproduces
+    /// [`Cpu::exec_format_i`]'s evaluation order exactly — source resolve
+    /// (with `@Rn+` auto-increment side effect), source read, destination
+    /// resolve, destination read, ALU, writeback — through the same bus
+    /// entry points, so accounting, faults and partial state on error are
+    /// identical; only the per-execution operand matching is flattened.
+    ///
+    /// # Errors
+    ///
+    /// As [`Cpu::exec_decoded`]: any memory operand access may fault, with
+    /// all earlier side effects (including auto-increment) committed.
+    pub(crate) fn exec_alu(
+        &mut self,
+        bus: &mut Bus,
+        op: Opcode,
+        size: Size,
+        src: SrcPlan,
+        dst: DstPlan,
+    ) -> SimResult<()> {
+        let (mask, sign): (u32, u32) = match size {
+            Size::Word => (0xFFFF, 0x8000),
+            Size::Byte => (0xFF, 0x80),
+        };
+        let sval = u32::from(self.read_src_plan(bus, src, size)?);
+        #[derive(Clone, Copy)]
+        enum DLoc {
+            R(Reg),
+            M(u16),
+        }
+        // Resolved after the source read, as in the interpreter: an
+        // indexed destination observes a source auto-increment of its
+        // base register.
+        let dloc = match dst {
+            DstPlan::Reg(r) => DLoc::R(r),
+            DstPlan::Idx(r, x) => DLoc::M(self.reg(r).wrapping_add(x)),
+            DstPlan::Abs(a) => DLoc::M(a),
+        };
+        let reads_dst = !matches!(op, Opcode::Mov);
+        let dval = if reads_dst {
+            match dloc {
+                DLoc::R(r) => u32::from(self.reg(r)) & mask,
+                DLoc::M(a) => u32::from(read_mem(bus, a, size)?),
+            }
+        } else {
+            0
+        };
+        let (result, writeback) = self.alu_format_i(op, mask, sign, sval, dval)?;
+        if writeback {
+            let v = (result & mask) as u16;
+            match (dloc, size) {
+                (DLoc::R(r), _) => self.set_reg(r, v),
+                (DLoc::M(a), Size::Word) => bus.write_word(a, v)?,
+                (DLoc::M(a), Size::Byte) => bus.write_byte(a, v as u8)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads a pre-matched source operand, performing the `@Rn+`
+    /// auto-increment side effect — exactly [`Cpu::resolve`] followed by
+    /// [`Cpu::read_loc`] for the corresponding [`Operand`] (register and
+    /// immediate reads are masked to the operand size, as `read_loc`
+    /// does).
+    ///
+    /// # Errors
+    ///
+    /// A memory source may fault; the auto-increment is already committed,
+    /// as in the interpreter.
+    #[inline]
+    fn read_src_plan(&mut self, bus: &mut Bus, src: SrcPlan, size: Size) -> SimResult<u16> {
+        Ok(match src {
+            SrcPlan::Imm(v) => match size {
+                Size::Word => v,
+                Size::Byte => v & 0xff,
+            },
+            SrcPlan::Reg(r) => match size {
+                Size::Word => self.reg(r),
+                Size::Byte => self.reg(r) & 0xff,
+            },
+            SrcPlan::Idx(r, x) => read_mem(bus, self.reg(r).wrapping_add(x), size)?,
+            SrcPlan::Abs(a) => read_mem(bus, a, size)?,
+            SrcPlan::Ind(r) => read_mem(bus, self.reg(r), size)?,
+            SrcPlan::IndInc(r) => {
+                let a = self.reg(r);
+                let inc = if r == Reg::SP { 2 } else { size.bytes() };
+                self.set_reg(r, a.wrapping_add(inc));
+                read_mem(bus, a, size)?
+            }
+        })
+    }
+
+    /// Executes a PUSH through its pre-matched operand shape (see
+    /// [`crate::decode::ExecPlan::Push`]); also the implementation behind
+    /// the generic Format-II arm, so the paths cannot diverge.
+    ///
+    /// # Errors
+    ///
+    /// The operand read or the stack write may fault, with the same
+    /// partial state as the interpreter (SP already decremented before the
+    /// write).
+    pub(crate) fn exec_push(&mut self, bus: &mut Bus, size: Size, src: SrcPlan) -> SimResult<()> {
+        let v = self.read_src_plan(bus, src, size)?;
+        let sp = self.sp().wrapping_sub(2);
+        self.set_sp(sp);
+        match size {
+            Size::Word => bus.write_word(sp, v)?,
+            Size::Byte => bus.write_byte(sp, (v & 0xff) as u8)?,
+        }
+        Ok(())
+    }
+
+    /// Executes a CALL through its pre-matched operand shape (see
+    /// [`crate::decode::ExecPlan::Call`]); also the implementation behind
+    /// the generic Format-II arm.
+    ///
+    /// # Errors
+    ///
+    /// The target read or the return-address push may fault, with the same
+    /// partial state as the interpreter.
+    pub(crate) fn exec_call(&mut self, bus: &mut Bus, src: SrcPlan) -> SimResult<()> {
+        let target = self.read_src_plan(bus, src, Size::Word)?;
+        let sp = self.sp().wrapping_sub(2);
+        self.set_sp(sp);
+        bus.write_word(sp, self.regs[0])?;
+        self.regs[0] = target;
+        Ok(())
+    }
+
+    /// Executes a RETI (see [`crate::decode::ExecPlan::Reti`]); also the
+    /// implementation behind the generic Format-II arm.
+    ///
+    /// # Errors
+    ///
+    /// Either stack pop may fault, with the same partial state as the
+    /// interpreter.
+    pub(crate) fn exec_reti(&mut self, bus: &mut Bus) -> SimResult<()> {
+        let sr = bus.read_word_data(self.sp())?;
+        self.set_sp(self.sp().wrapping_add(2));
+        let pc = bus.read_word_data(self.sp())?;
+        self.set_sp(self.sp().wrapping_add(2));
+        self.regs[2] = sr;
+        self.regs[0] = pc;
+        Ok(())
+    }
+
+    /// Executes a register-destination RRA/RRC/SWPB/SXT through its
+    /// pre-matched shape (see [`crate::decode::ExecPlan::Fmt2Reg`]),
+    /// sharing the interpreter's result/flag cores.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadEncoding`] for a non-Format-II opcode — unreachable
+    /// for plans the decoder produces, kept for parity.
+    pub(crate) fn exec_fmt2_reg(&mut self, op: Opcode, size: Size, dst: Reg) -> SimResult<()> {
+        match op {
+            Opcode::Rra | Opcode::Rrc => {
+                let (mask, sign): (u32, u32) = match size {
+                    Size::Word => (0xFFFF, 0x8000),
+                    Size::Byte => (0xFF, 0x80),
+                };
+                let v = u32::from(self.reg(dst)) & mask;
+                let r = self.rotate_core(op, mask, sign, v);
+                self.set_reg(dst, r);
+            }
+            Opcode::Swpb => {
+                let v = self.reg(dst);
+                self.set_reg(dst, v.rotate_left(8));
+            }
+            Opcode::Sxt => {
+                let r = self.sxt_core(self.reg(dst));
+                self.set_reg(dst, r);
+            }
+            other => return Err(SimError::BadEncoding(format!("{other} is not format II"))),
+        }
+        Ok(())
+    }
+
+    /// Executes a jump through its pre-scaled displacement (see
+    /// [`crate::decode::ExecPlan::Jmp`]); the caller must have advanced
+    /// the PC past the fetch, as the interpreter does before execution.
+    #[inline]
+    pub(crate) fn exec_jump(&mut self, op: Opcode, offset: u16) {
+        if self.jump_taken(op) {
+            self.regs[0] = self.regs[0].wrapping_add(offset);
+        }
+    }
+
+    /// The Format-I ALU core: computes the result and flag effects for
+    /// already-read operand values, returning `(result, writeback)`.
+    fn alu_format_i(
+        &mut self,
+        op: Opcode,
+        mask: u32,
+        sign: u32,
+        sval: u32,
+        dval: u32,
+    ) -> SimResult<(u32, bool)> {
         let carry_in = u32::from(self.flag(FLAG_C));
         let mut writeback = true;
         let result: u32 = match op {
@@ -252,7 +513,7 @@ impl Cpu {
                 r
             }
             Opcode::Dadd => {
-                let digits = if matches!(size, Size::Word) { 4 } else { 2 };
+                let digits = if mask == 0xFFFF { 4 } else { 2 };
                 let mut carry = carry_in;
                 let mut r: u32 = 0;
                 for i in 0..digits {
@@ -300,11 +561,40 @@ impl Cpu {
                 return Err(SimError::BadEncoding(format!("{other} is not format I")))
             }
         };
+        Ok((result, writeback))
+    }
 
-        if writeback {
-            self.write_loc(bus, dloc, size, (result & mask) as u16)?;
-        }
-        Ok(cycles_format_i(src, dst))
+    /// RRA/RRC result-and-flag core for an already-read operand value,
+    /// shared by the generic and pre-lowered paths.
+    fn rotate_core(&mut self, op: Opcode, mask: u32, sign: u32, v: u32) -> u16 {
+        let new_c = v & 1 != 0;
+        let top = match op {
+            Opcode::Rra => v & sign,
+            _ => {
+                if self.flag(FLAG_C) {
+                    sign
+                } else {
+                    0
+                }
+            }
+        };
+        let r = (v >> 1) | top;
+        self.set_flag(FLAG_C, new_c);
+        self.set_flag(FLAG_Z, r == 0);
+        self.set_flag(FLAG_N, r & sign != 0);
+        self.set_flag(FLAG_V, false);
+        (r & mask) as u16
+    }
+
+    /// SXT result-and-flag core for an already-read operand value, shared
+    /// by the generic and pre-lowered paths.
+    fn sxt_core(&mut self, v: u16) -> u16 {
+        let r = if v & 0x80 != 0 { v | 0xFF00 } else { v & 0x00FF };
+        self.set_flag(FLAG_Z, r == 0);
+        self.set_flag(FLAG_N, r & 0x8000 != 0);
+        self.set_flag(FLAG_C, r != 0);
+        self.set_flag(FLAG_V, false);
+        r
     }
 
     fn exec_format_ii(
@@ -313,7 +603,7 @@ impl Cpu {
         op: Opcode,
         size: Size,
         dst: Operand,
-    ) -> SimResult<u32> {
+    ) -> SimResult<()> {
         let (mask, sign): (u32, u32) = match size {
             Size::Word => (0xFFFF, 0x8000),
             Size::Byte => (0xFF, 0x80),
@@ -322,72 +612,27 @@ impl Cpu {
             Opcode::Rra | Opcode::Rrc => {
                 let loc = self.resolve(dst, size);
                 let v = u32::from(self.read_loc(bus, loc, size)?);
-                let new_c = v & 1 != 0;
-                let top = match op {
-                    Opcode::Rra => v & sign,
-                    _ => {
-                        if self.flag(FLAG_C) {
-                            sign
-                        } else {
-                            0
-                        }
-                    }
-                };
-                let r = (v >> 1) | top;
-                self.set_flag(FLAG_C, new_c);
-                self.set_flag(FLAG_Z, r == 0);
-                self.set_flag(FLAG_N, r & sign != 0);
-                self.set_flag(FLAG_V, false);
-                self.write_loc(bus, loc, size, (r & mask) as u16)?;
-                Ok(cycles_shift(dst))
+                let r = self.rotate_core(op, mask, sign, v);
+                self.write_loc(bus, loc, size, r)?;
+                Ok(())
             }
             Opcode::Swpb => {
                 let loc = self.resolve(dst, Size::Word);
                 let v = self.read_loc(bus, loc, Size::Word)?;
                 let r = v.rotate_left(8);
                 self.write_loc(bus, loc, Size::Word, r)?;
-                Ok(cycles_shift(dst))
+                Ok(())
             }
             Opcode::Sxt => {
                 let loc = self.resolve(dst, Size::Word);
                 let v = self.read_loc(bus, loc, Size::Word)?;
-                let r = if v & 0x80 != 0 { v | 0xFF00 } else { v & 0x00FF };
-                self.set_flag(FLAG_Z, r == 0);
-                self.set_flag(FLAG_N, r & 0x8000 != 0);
-                self.set_flag(FLAG_C, r != 0);
-                self.set_flag(FLAG_V, false);
+                let r = self.sxt_core(v);
                 self.write_loc(bus, loc, Size::Word, r)?;
-                Ok(cycles_shift(dst))
+                Ok(())
             }
-            Opcode::Push => {
-                let loc = self.resolve(dst, size);
-                let v = self.read_loc(bus, loc, size)?;
-                let sp = self.sp().wrapping_sub(2);
-                self.set_sp(sp);
-                match size {
-                    Size::Word => bus.write_word(sp, v)?,
-                    Size::Byte => bus.write_byte(sp, (v & 0xff) as u8)?,
-                }
-                Ok(cycles_push(dst))
-            }
-            Opcode::Call => {
-                let loc = self.resolve(dst, Size::Word);
-                let target = self.read_loc(bus, loc, Size::Word)?;
-                let sp = self.sp().wrapping_sub(2);
-                self.set_sp(sp);
-                bus.write_word(sp, self.regs[0])?;
-                self.regs[0] = target;
-                Ok(cycles_call(dst))
-            }
-            Opcode::Reti => {
-                let sr = bus.read_word(self.sp(), AccessKind::Read)?;
-                self.set_sp(self.sp().wrapping_add(2));
-                let pc = bus.read_word(self.sp(), AccessKind::Read)?;
-                self.set_sp(self.sp().wrapping_add(2));
-                self.regs[2] = sr;
-                self.regs[0] = pc;
-                Ok(5)
-            }
+            Opcode::Push => self.exec_push(bus, size, crate::decode::to_src_plan(dst)),
+            Opcode::Call => self.exec_call(bus, crate::decode::to_src_plan(dst)),
+            Opcode::Reti => self.exec_reti(bus),
             other => Err(SimError::BadEncoding(format!("{other} is not format II"))),
         }
     }
@@ -399,9 +644,40 @@ impl Default for Cpu {
     }
 }
 
+/// Data read through the bus, as [`Cpu::read_loc`]'s memory arm — kept a
+/// free function so lowered executors can call it with the register file
+/// already borrowed.
+#[inline]
+fn read_mem(bus: &mut Bus, addr: u16, size: Size) -> SimResult<u16> {
+    match size {
+        Size::Word => bus.read_word_data(addr),
+        Size::Byte => bus.read_byte_data(addr).map(u16::from),
+    }
+}
+
+/// Cycle cost of a decoded instruction — a pure function of the opcode and
+/// the operand addressing modes, so it can be computed once at decode time
+/// and reused on every dispatch of a cached block.
+///
+/// Opcodes that are invalid for their format cost 0 here; execution rejects
+/// them with [`SimError::BadEncoding`] before any cycles are charged.
+pub(crate) fn instr_cycles(instr: &Instr) -> u32 {
+    match *instr {
+        Instr::FormatI { src, dst, .. } => cycles_format_i(src, dst),
+        Instr::FormatII { op, dst, .. } => match op {
+            Opcode::Rra | Opcode::Rrc | Opcode::Swpb | Opcode::Sxt => cycles_shift(dst),
+            Opcode::Push => cycles_push(dst),
+            Opcode::Call => cycles_call(dst),
+            Opcode::Reti => 5,
+            _ => 0,
+        },
+        Instr::Jump { .. } => 2,
+    }
+}
+
 /// Extension-word count straight from a raw opcode word (used to know how
 /// many words to fetch before decoding).
-fn ext_count_raw(w: u16) -> usize {
+pub(crate) fn ext_count_raw(w: u16) -> usize {
     if w & 0xE000 == 0x2000 {
         return 0; // jump
     }

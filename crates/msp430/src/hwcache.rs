@@ -10,17 +10,25 @@
 //! paper's unified-memory experiments (Figure 1) run into: alternating code
 //! and data accesses to distant FRAM addresses thrash the four lines.
 
+/// Sentinel tag for an empty way. Real line numbers are `addr >> shift`
+/// for a 16-bit address, so this value can never collide.
+const NO_LINE: u32 = u32::MAX;
+
 /// A set-associative read cache with true-LRU replacement within each set.
 #[derive(Debug, Clone)]
 pub struct HwCache {
     sets: usize,
     ways: usize,
     line_shift: u32,
-    /// `tags[set * ways + way]` — cached line number, or `None`.
-    tags: Vec<Option<u32>>,
+    /// `tags[set * ways + way]` — cached line number, or [`NO_LINE`].
+    tags: Vec<u32>,
     /// LRU ordering per set: lower value = more recently used.
     stamps: Vec<u64>,
     tick: u64,
+    /// Per-set most-recently-used way. For 2-way sets this single bit is
+    /// exact LRU (the victim is always the other way), letting the hot
+    /// path skip the stamp scan entirely.
+    mru: Vec<u8>,
     enabled: bool,
 }
 
@@ -40,9 +48,12 @@ impl HwCache {
             sets,
             ways,
             line_shift: line_bytes.trailing_zeros(),
-            tags: vec![None; sets * ways],
+            tags: vec![NO_LINE; sets * ways],
             stamps: vec![0; sets * ways],
             tick: 0,
+            // All stamps start equal, so the first victim is way 0; the MRU
+            // bit must start at 1 to agree.
+            mru: vec![1; sets],
             enabled: true,
         }
     }
@@ -65,32 +76,68 @@ impl HwCache {
     }
 
     /// The cache line number holding `addr`.
+    #[inline]
     pub fn line_of(&self, addr: u16) -> u32 {
         u32::from(addr) >> self.line_shift
     }
 
     /// Performs a read access. Returns `true` on a hit; on a miss the line
     /// is filled (evicting the LRU way of its set).
+    #[inline]
     pub fn access_read(&mut self, addr: u16) -> bool {
+        let line = self.line_of(addr);
+        self.access_line(line)
+    }
+
+    /// [`access_read`](HwCache::access_read) for a pre-computed line number,
+    /// for callers that already have it in hand.
+    #[inline]
+    pub fn access_line(&mut self, line: u32) -> bool {
         if !self.enabled {
             return false;
         }
-        self.tick += 1;
-        let line = self.line_of(addr);
         let set = (line as usize) & (self.sets - 1);
-        let base = set * self.ways;
-        for way in 0..self.ways {
-            if self.tags[base + way] == Some(line) {
-                self.stamps[base + way] = self.tick;
+        if self.ways == 2 {
+            // 2-way sets: the MRU bit is exact LRU. Invalidation clears a
+            // tag but leaves recency alone, exactly like the stamp scheme
+            // (the victim choice only depends on which way was touched
+            // last, and an invalidated way keeps its recency rank).
+            let base = set * 2;
+            let t = &mut self.tags[base..base + 2];
+            if t[0] == line {
+                self.mru[set] = 0;
                 return true;
             }
+            if t[1] == line {
+                self.mru[set] = 1;
+                return true;
+            }
+            let victim = 1 - usize::from(self.mru[set]);
+            t[victim] = line;
+            self.mru[set] = victim as u8;
+            return false;
         }
-        // Miss: fill the least-recently-used way.
-        let victim = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("ways > 0");
-        self.tags[base + victim] = Some(line);
-        self.stamps[base + victim] = self.tick;
+        self.tick += 1;
+        let base = set * self.ways;
+        let tags = &mut self.tags[base..base + self.ways];
+        let stamps = &mut self.stamps[base..base + self.ways];
+        // One pass: scan for a hit while tracking the LRU victim (first
+        // minimum, matching `min_by_key` over the full set — stamps ahead
+        // of a hit are never needed).
+        let mut victim = 0;
+        let mut victim_stamp = u64::MAX;
+        for way in 0..tags.len() {
+            if tags[way] == line {
+                stamps[way] = self.tick;
+                return true;
+            }
+            if stamps[way] < victim_stamp {
+                victim_stamp = stamps[way];
+                victim = way;
+            }
+        }
+        tags[victim] = line;
+        stamps[victim] = self.tick;
         false
     }
 
@@ -101,16 +148,17 @@ impl HwCache {
         let set = (line as usize) & (self.sets - 1);
         let base = set * self.ways;
         for way in 0..self.ways {
-            if self.tags[base + way] == Some(line) {
-                self.tags[base + way] = None;
+            if self.tags[base + way] == line {
+                self.tags[base + way] = NO_LINE;
             }
         }
     }
 
     /// Empties the cache.
     pub fn flush(&mut self) {
-        self.tags.fill(None);
+        self.tags.fill(NO_LINE);
         self.stamps.fill(0);
+        self.mru.fill(1);
     }
 }
 

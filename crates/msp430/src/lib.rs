@@ -25,7 +25,9 @@
 //! assert_eq!(machine.bus().map().fram.len(), 32 * 1024);
 //! ```
 
+pub mod blockcache;
 pub mod cpu;
+pub mod decode;
 pub mod energy;
 pub mod error;
 pub mod fault;
@@ -46,7 +48,10 @@ pub use error::{SimError, SimResult};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use freq::Frequency;
 pub use isa::{AddrMode, Instr, Opcode, Operand, Reg};
-pub use machine::{ExitReason, Hook, Machine, RunOutcome, TrapAction};
+pub use machine::{
+    default_engine, set_default_engine, Engine, ExitReason, Hook, Machine, RunOutcome, TrapAction,
+    ENGINE_ENV,
+};
 pub use mem::{AccessKind, Bus, MemoryMap, Region};
 pub use sanitize::{SanitizerConfig, Violation};
 pub use trace::{Category, Stats};

@@ -7,6 +7,10 @@
 //! in application code. The hook manipulates machine state through the same
 //! bus as the program, so all of its memory traffic is counted.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::blockcache::BlockEngine;
 use crate::cpu::Cpu;
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultKind, FaultPlan};
@@ -16,6 +20,54 @@ use crate::mem::{Bus, Image, MemoryMap};
 use crate::profile::Profiler;
 use crate::sanitize::Violation;
 use crate::trace::Stats;
+
+/// Environment variable selecting the default execution engine:
+/// `interp` for the classic fetch/decode interpreter, anything else (or
+/// unset) for the pre-decoded block engine.
+pub const ENGINE_ENV: &str = "SWAPRAM_ENGINE";
+
+/// Which execution engine a [`Machine`] dispatches instructions with.
+/// Both engines are byte-identical in observable behaviour (statistics,
+/// checksums, exit reasons, faults) — see the differential test tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Fetch/decode/execute every instruction from memory.
+    Interp,
+    /// Pre-decoded basic-block dispatch (see [`crate::blockcache`]).
+    Predecoded,
+}
+
+/// Process-wide override installed by [`set_default_engine`]:
+/// 0 = none, 1 = interp, 2 = predecoded.
+static ENGINE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Overrides the default engine for machines created after this call
+/// (`None` restores the `SWAPRAM_ENGINE` / built-in default). Intended
+/// for differential tests that construct machines deep inside shared
+/// helpers; per-machine [`Machine::set_engine`] wins when reachable.
+pub fn set_default_engine(engine: Option<Engine>) {
+    let v = match engine {
+        None => 0,
+        Some(Engine::Interp) => 1,
+        Some(Engine::Predecoded) => 2,
+    };
+    ENGINE_OVERRIDE.store(v, Ordering::SeqCst);
+}
+
+/// The engine new machines start with: the [`set_default_engine`]
+/// override if installed, else `SWAPRAM_ENGINE`, else pre-decoded.
+pub fn default_engine() -> Engine {
+    match ENGINE_OVERRIDE.load(Ordering::SeqCst) {
+        1 => return Engine::Interp,
+        2 => return Engine::Predecoded,
+        _ => {}
+    }
+    static FROM_ENV: OnceLock<Engine> = OnceLock::new();
+    *FROM_ENV.get_or_init(|| match std::env::var(ENGINE_ENV).ok().as_deref() {
+        Some("interp") => Engine::Interp,
+        _ => Engine::Predecoded,
+    })
+}
 
 /// What a [`Hook`] asks the machine to do after servicing a trap.
 ///
@@ -66,7 +118,7 @@ pub enum ExitReason {
 }
 
 /// Everything a finished run produced.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOutcome {
     /// Why execution stopped.
     pub exit: ExitReason,
@@ -97,6 +149,8 @@ pub struct Machine {
     /// Entry point of the last loaded image — the reset vector a
     /// [`Machine::power_cycle`] reboots to.
     entry: u16,
+    /// Pre-decoded dispatch engine; `None` = interpreter.
+    engine: Option<Box<BlockEngine>>,
 }
 
 impl std::fmt::Debug for Machine {
@@ -109,9 +163,48 @@ impl std::fmt::Debug for Machine {
 }
 
 impl Machine {
-    /// Creates a machine over `bus` with no runtime hook.
+    /// Creates a machine over `bus` with no runtime hook, using the
+    /// [`default_engine`].
     pub fn new(bus: Bus) -> Machine {
-        Machine { cpu: Cpu::new(), bus, hook: None, profiler: None, faults: None, entry: 0 }
+        let mut m = Machine {
+            cpu: Cpu::new(),
+            bus,
+            hook: None,
+            profiler: None,
+            faults: None,
+            entry: 0,
+            engine: None,
+        };
+        m.set_engine(default_engine());
+        m
+    }
+
+    /// Switches the execution engine, dropping any cached decode state.
+    pub fn set_engine(&mut self, engine: Engine) {
+        match engine {
+            Engine::Interp => {
+                self.engine = None;
+                self.bus.disable_code_watch();
+            }
+            Engine::Predecoded => {
+                self.bus.enable_code_watch();
+                let mut e = Box::new(BlockEngine::new());
+                e.reset(&mut self.bus);
+                self.engine = Some(e);
+            }
+        }
+    }
+
+    /// The active execution engine.
+    pub fn engine(&self) -> Engine {
+        if self.engine.is_some() { Engine::Predecoded } else { Engine::Interp }
+    }
+
+    /// Diagnostics of the pre-decoded engine, if active:
+    /// `(blocks_built, blocks_invalidated, delegated_steps)`.
+    pub fn engine_diagnostics(&self) -> Option<(u64, u64, u64)> {
+        let e = self.engine.as_ref()?;
+        Some((e.blocks_built(), e.blocks_invalidated(), e.delegated()))
     }
 
     /// Attaches a per-function execution profiler (see
@@ -190,6 +283,11 @@ impl Machine {
         self.cpu = Cpu::new();
         self.cpu.set_pc(self.entry);
         self.bus.power_cycle();
+        // Cached decoded blocks are volatile state derived from SRAM
+        // contents and sanitizer fill tracking — both just reset.
+        if let Some(e) = &mut self.engine {
+            e.reset(&mut self.bus);
+        }
         self.hook = None;
     }
 
@@ -222,7 +320,12 @@ impl Machine {
             if let Some(p) = &mut self.profiler {
                 p.record(pc, self.bus.map().region_of(pc));
             }
-            self.cpu.step(&mut self.bus)?;
+            match &mut self.engine {
+                Some(e) => e.step(&mut self.cpu, &mut self.bus)?,
+                None => {
+                    self.cpu.step(&mut self.bus)?;
+                }
+            }
         }
         Ok(self.bus.ports().halt_code())
     }
@@ -233,8 +336,14 @@ impl Machine {
     ///
     /// Propagates simulation errors from [`Machine::step`].
     pub fn run(&mut self, max_cycles: u64) -> SimResult<RunOutcome> {
+        // Fault plans fire at exact instruction boundaries and profilers
+        // record every PC, so the pre-decoded engine may only batch
+        // straight-line runs when neither is attached; the engine then
+        // replicates this loop's per-instruction checks inline (see
+        // [`BlockEngine::step_batched`]).
+        let batch = self.faults.is_none() && self.profiler.is_none();
         let exit = loop {
-            let stepped = self.step();
+            let stepped = if batch { self.step_batch(max_cycles) } else { self.step() };
             // A latched sanitizer violation wins over whatever the wild
             // instruction did — including the bus fault it may have died
             // on — so misexecution surfaces as one typed exit.
@@ -253,6 +362,23 @@ impl Machine {
             }
         };
         Ok(self.outcome(exit))
+    }
+
+    /// Like [`Machine::step`], but lets the pre-decoded engine execute a
+    /// whole straight-line run before returning to the polling loop.
+    /// Only called from [`Machine::run`] when no fault plan or profiler
+    /// is attached (so per-instruction polling is unobservable).
+    fn step_batch(&mut self, max_cycles: u64) -> SimResult<Option<u16>> {
+        if self.bus.map().trap.contains(self.cpu.pc()) {
+            return self.step();
+        }
+        match &mut self.engine {
+            Some(e) => e.step_batched(&mut self.cpu, &mut self.bus, max_cycles)?,
+            None => {
+                self.cpu.step(&mut self.bus)?;
+            }
+        }
+        Ok(self.bus.ports().halt_code())
     }
 
     /// Fires every scheduled fault whose cycle has been reached. Bit flips

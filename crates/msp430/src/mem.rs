@@ -17,7 +17,7 @@ use crate::freq::Frequency;
 use crate::hwcache::HwCache;
 use crate::ports::Ports;
 use crate::sanitize::{Sanitizer, SanitizerConfig, Violation};
-use crate::trace::Stats;
+use crate::trace::{Category, Stats};
 
 /// A half-open address range `[start, end)`. `end` is `u32` so a range may
 /// extend to the top of the 16-bit address space (`end = 0x1_0000`).
@@ -173,20 +173,172 @@ impl Image {
     }
 }
 
+/// Granule size (as a shift) of the code write barrier: the address space
+/// is divided into 64-byte granules, each counting how many cached decoded
+/// blocks overlap it.
+const WATCH_SHIFT: u32 = 6;
+/// Number of write-barrier granules covering the 16-bit address space.
+const WATCH_GRANULES: usize = 0x1_0000 >> WATCH_SHIFT;
+
+/// Write barrier backing the pre-decoded engine's invalidation contract
+/// (see [`crate::blockcache`]): granules covered by at least one cached
+/// block have a nonzero count, and every store landing in a covered granule
+/// is recorded so the engine can invalidate exactly the blocks whose bytes
+/// changed — whether the store came from executing code (SwapRAM rewriting
+/// redirection words), a host-side poke, a bit-flip injection, or the SRAM
+/// clear of a power cycle.
+#[derive(Debug, Clone)]
+struct CodeWatch {
+    /// Per-granule count of cached blocks overlapping the granule.
+    counts: Vec<u16>,
+    /// Writes `(addr, len)` that hit a watched granule since the last
+    /// drain.
+    dirty: Vec<(u16, u32)>,
+    /// Bumped on every recorded write so the engine can skip the drain
+    /// entirely on the (overwhelmingly common) clean fast path.
+    gen: u64,
+}
+
+impl CodeWatch {
+    fn new() -> CodeWatch {
+        CodeWatch { counts: vec![0; WATCH_GRANULES], dirty: Vec::new(), gen: 0 }
+    }
+
+    #[inline]
+    fn note(&mut self, addr: u16, len: u32) {
+        let end = (u32::from(addr) + len.max(1)).min(0x1_0000);
+        let g0 = usize::from(addr) >> WATCH_SHIFT;
+        let g1 = ((end - 1) as usize) >> WATCH_SHIFT;
+        if self.counts[g0..=g1].iter().any(|&c| c > 0) {
+            self.dirty.push((addr, len.max(1)));
+            self.gen += 1;
+        }
+    }
+
+    fn adjust(&mut self, start: u16, end: u32, delta: i32) {
+        let g0 = usize::from(start) >> WATCH_SHIFT;
+        let g1 = ((end.max(u32::from(start) + 1) - 1) as usize) >> WATCH_SHIFT;
+        for c in &mut self.counts[g0..=g1] {
+            *c = (i32::from(*c) + delta).max(0) as u16;
+        }
+    }
+}
+
+/// Distinct FRAM cache lines touched by one instruction, inline to avoid
+/// heap traffic on the hot path. An instruction touches at most ~6
+/// distinct lines (≤2 fetch, one per data operand word, ≤2 stack words),
+/// so 8 slots exceed the architectural maximum; a hypothetical overflow
+/// drops the line (debug-asserted) rather than reallocating.
+#[derive(Debug, Clone)]
+struct LineSet {
+    lines: [u32; 8],
+    len: u8,
+    /// Whether an instruction bracket is open (see [`LineSet::insert`]).
+    open: bool,
+}
+
+impl LineSet {
+    fn new() -> LineSet {
+        LineSet { lines: [0; 8], len: 0, open: false }
+    }
+
+    /// Opens a tracking bracket (instruction start).
+    #[inline]
+    fn begin(&mut self) {
+        self.len = 0;
+        self.open = true;
+    }
+
+    /// Closes the bracket (instruction end).
+    #[inline]
+    fn end(&mut self) {
+        self.len = 0;
+        self.open = false;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    #[inline]
+    fn insert(&mut self, line: u32) {
+        // Lines touched outside an instruction bracket (runtime hooks
+        // copying code in `on_trap`) are never charged as contention —
+        // the next `begin` would discard them anyway — so don't collect
+        // them; a hook-side memcpy can touch far more than 8 lines.
+        if !self.open || self.lines[..self.len()].contains(&line) {
+            return;
+        }
+        debug_assert!(self.len() < 8, "instruction touched more than 8 distinct lines");
+        if self.len() < 8 {
+            self.lines[self.len()] = line;
+            self.len += 1;
+        }
+    }
+}
+
+/// Per-256-byte-page region codes for [`Bus::region`]: [`Region`] as
+/// `u8`, or [`PAGE_MIXED`] for a page containing a region boundary
+/// (resolved by the full range compare).
+const PAGE_MIXED: u8 = 5;
+
+fn region_code(r: Region) -> u8 {
+    match r {
+        Region::Sram => 0,
+        Region::Fram => 1,
+        Region::Mmio => 2,
+        Region::Trap => 3,
+        Region::Unmapped => 4,
+    }
+}
+
+fn region_pages(map: &MemoryMap) -> [u8; 256] {
+    let mut pages = [0u8; 256];
+    let bounds: [u32; 8] = [
+        u32::from(map.sram.start),
+        map.sram.end,
+        u32::from(map.fram.start),
+        map.fram.end,
+        u32::from(map.mmio.start),
+        map.mmio.end,
+        u32::from(map.trap.start),
+        map.trap.end,
+    ];
+    for (i, page) in pages.iter_mut().enumerate() {
+        let start = (i as u32) << 8;
+        let mixed = bounds.iter().any(|&b| b > start && b < start + 256);
+        *page = if mixed {
+            PAGE_MIXED
+        } else {
+            region_code(map.region_of(start as u16))
+        };
+    }
+    pages
+}
+
 /// The system bus: backing store, hardware cache, wait-state accounting and
 /// access statistics.
 #[derive(Debug, Clone)]
 pub struct Bus {
     map: MemoryMap,
+    /// Page-granular region lookup table derived from `map`.
+    pages: [u8; 256],
     mem: Vec<u8>,
     cache: HwCache,
     freq: Frequency,
     stats: Stats,
     ports: Ports,
     /// Distinct FRAM cache lines touched by the instruction in flight.
-    instr_lines: Vec<u32>,
+    instr_lines: LineSet,
     /// Optional execution sanitizer (see [`crate::sanitize`]).
     sanitizer: Option<Box<Sanitizer>>,
+    /// Write barrier for the pre-decoded engine (None = no engine attached).
+    code_watch: Option<Box<CodeWatch>>,
+    /// Bumped whenever a sanitizer is (re)attached: a new sanitizer resets
+    /// fill tracking, so the engine must drop blocks built under the old
+    /// one's skip analysis.
+    sanitizer_epoch: u64,
 }
 
 impl Bus {
@@ -194,19 +346,95 @@ impl Bus {
     pub fn new(map: MemoryMap, cache: HwCache, freq: Frequency) -> Bus {
         Bus {
             map,
+            pages: region_pages(&map),
             mem: vec![0u8; 0x1_0000],
             cache,
             freq,
             stats: Stats::new(),
             ports: Ports::new(),
-            instr_lines: Vec::with_capacity(8),
+            instr_lines: LineSet::new(),
             sanitizer: None,
+            code_watch: None,
+            sanitizer_epoch: 0,
+        }
+    }
+
+    /// The region containing `addr` — the page-table fast path of
+    /// [`MemoryMap::region_of`].
+    #[inline]
+    fn region(&self, addr: u16) -> Region {
+        match self.pages[usize::from(addr >> 8)] {
+            0 => Region::Sram,
+            1 => Region::Fram,
+            2 => Region::Mmio,
+            3 => Region::Trap,
+            4 => Region::Unmapped,
+            _ => self.map.region_of(addr),
         }
     }
 
     /// Attaches an execution sanitizer, replacing any previous one.
     pub fn attach_sanitizer(&mut self, cfg: SanitizerConfig) {
         self.sanitizer = Some(Box::new(Sanitizer::new(cfg)));
+        self.sanitizer_epoch += 1;
+    }
+
+    /// Generation counter of sanitizer attachments (see `sanitizer_epoch`
+    /// field docs).
+    #[inline]
+    pub(crate) fn sanitizer_epoch(&self) -> u64 {
+        self.sanitizer_epoch
+    }
+
+    /// Enables the code write barrier (idempotent; keeps existing state).
+    pub(crate) fn enable_code_watch(&mut self) {
+        if self.code_watch.is_none() {
+            self.code_watch = Some(Box::new(CodeWatch::new()));
+        }
+    }
+
+    /// Drops all write-barrier state (granule counts and pending dirt).
+    pub(crate) fn clear_code_watch(&mut self) {
+        if let Some(w) = &mut self.code_watch {
+            let gen = w.gen;
+            **w = CodeWatch::new();
+            w.gen = gen;
+        }
+    }
+
+    /// Current write-barrier generation; unchanged means no watched granule
+    /// was written since the engine last drained.
+    #[inline]
+    pub(crate) fn code_watch_gen(&self) -> u64 {
+        self.code_watch.as_ref().map_or(0, |w| w.gen)
+    }
+
+    /// Registers a cached block's byte range with the barrier.
+    pub(crate) fn code_watch_add(&mut self, start: u16, end: u32) {
+        if let Some(w) = &mut self.code_watch {
+            w.adjust(start, end, 1);
+        }
+    }
+
+    /// Unregisters a cached block's byte range.
+    pub(crate) fn code_watch_remove(&mut self, start: u16, end: u32) {
+        if let Some(w) = &mut self.code_watch {
+            w.adjust(start, end, -1);
+        }
+    }
+
+    /// Moves the pending dirty-write list into `out` (appending).
+    pub(crate) fn drain_code_dirty(&mut self, out: &mut Vec<(u16, u32)>) {
+        if let Some(w) = &mut self.code_watch {
+            out.append(&mut w.dirty);
+        }
+    }
+
+    #[inline]
+    fn note_code_write(&mut self, addr: u16, len: u32) {
+        if let Some(w) = &mut self.code_watch {
+            w.note(addr, len);
+        }
     }
 
     /// The attached sanitizer, if any.
@@ -227,7 +455,16 @@ impl Bus {
         self.sanitizer.as_mut()?.take_violation()
     }
 
+    /// Whether a sanitizer violation is latched, without consuming it.
+    /// Lets the batched engine stop at the same instruction the run
+    /// loop's `take_violation` poll would have.
+    #[inline]
+    pub fn violation_pending(&self) -> bool {
+        self.sanitizer.as_ref().is_some_and(|s| s.violation().is_some())
+    }
+
     /// Checks the stack pointer against the sanitizer's configured floor.
+    #[inline]
     pub fn check_stack(&mut self, sp: u16) {
         if let Some(s) = &mut self.sanitizer {
             s.check_stack(sp);
@@ -240,21 +477,25 @@ impl Bus {
     }
 
     /// The active clock/wait-state profile.
+    #[inline]
     pub fn freq(&self) -> Frequency {
         self.freq
     }
 
     /// Accumulated statistics.
+    #[inline]
     pub fn stats(&self) -> &Stats {
         &self.stats
     }
 
     /// Mutable statistics (used by runtimes to charge modeled work).
+    #[inline]
     pub fn stats_mut(&mut self) -> &mut Stats {
         &mut self.stats
     }
 
     /// Simulator port state.
+    #[inline]
     pub fn ports(&self) -> &Ports {
         &self.ports
     }
@@ -265,27 +506,28 @@ impl Bus {
     }
 
     /// Marks the start of an instruction for contention accounting.
+    #[inline]
     pub fn begin_instruction(&mut self) {
-        self.instr_lines.clear();
+        self.instr_lines.begin();
     }
 
     /// Marks the end of an instruction: every distinct FRAM line beyond the
     /// first touched during the instruction costs one contention stall
     /// cycle (the cache serves one line per cycle; §2.2 of the paper).
+    #[inline]
     pub fn end_instruction(&mut self) {
         if self.instr_lines.len() > 1 {
             self.stats.contention_cycles += (self.instr_lines.len() - 1) as u64;
         }
-        self.instr_lines.clear();
+        self.instr_lines.end();
     }
 
+    #[inline]
     fn note_fram_access(&mut self, addr: u16, is_read: bool) {
         let line = self.cache.line_of(addr);
-        if !self.instr_lines.contains(&line) {
-            self.instr_lines.push(line);
-        }
+        self.instr_lines.insert(line);
         if is_read {
-            if self.cache.access_read(addr) {
+            if self.cache.access_line(line) {
                 self.stats.hw_cache_hits += 1;
             } else {
                 self.stats.hw_cache_misses += 1;
@@ -306,13 +548,14 @@ impl Bus {
     /// # Errors
     ///
     /// Faults on unmapped or trap-window addresses.
+    #[inline]
     pub fn read_byte(&mut self, addr: u16, kind: AccessKind) -> SimResult<u8> {
         if kind == AccessKind::IFetch {
             if let Some(s) = &mut self.sanitizer {
                 s.check_ifetch(addr, 1);
             }
         }
-        match self.map.region_of(addr) {
+        match self.region(addr) {
             Region::Sram => {
                 self.count(Region::Sram, kind);
                 Ok(self.mem[usize::from(addr)])
@@ -336,6 +579,7 @@ impl Bus {
     /// # Errors
     ///
     /// Faults on unmapped addresses; errors on odd `addr`.
+    #[inline]
     pub fn read_word(&mut self, addr: u16, kind: AccessKind) -> SimResult<u16> {
         if kind == AccessKind::IFetch {
             if let Some(s) = &mut self.sanitizer {
@@ -345,7 +589,7 @@ impl Bus {
         if addr & 1 != 0 {
             return Err(SimError::Unaligned(addr));
         }
-        match self.map.region_of(addr) {
+        match self.region(addr) {
             Region::Sram => {
                 self.count(Region::Sram, kind);
                 Ok(self.raw_word(addr))
@@ -364,25 +608,102 @@ impl Bus {
         }
     }
 
+    /// Whether `[start, end)` lies entirely in FRAM.
+    pub fn fram_contains(&self, start: u16, end: u32) -> bool {
+        u32::from(start) >= u32::from(self.map.fram.start) && end <= self.map.fram.end
+    }
+
+    /// Accounting for one modeled instruction-fetch word from FRAM, for
+    /// runtime hooks that charge handler fetch traffic in a tight loop:
+    /// exactly `begin_instruction` + `read_word(addr, IFetch)` +
+    /// `end_instruction` for an even FRAM address (the value is
+    /// discarded, and a single line can never incur same-instruction
+    /// contention), minus the per-call region/linetracking overhead.
+    /// Callers must pre-check evenness and FRAM residency (see
+    /// [`Bus::fram_contains`]) and clear the line set once around the
+    /// loop.
+    #[inline]
+    pub fn ifetch_fram_word_modeled(&mut self, addr: u16) {
+        if let Some(s) = &mut self.sanitizer {
+            s.check_ifetch(addr, 2);
+        }
+        self.stats.fram_ifetch += 1;
+        if self.cache.access_read(addr) {
+            self.stats.hw_cache_hits += 1;
+        } else {
+            self.stats.hw_cache_misses += 1;
+            self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+        }
+    }
+
+    /// [`Bus::read_word`] specialised to `AccessKind::Read` — the
+    /// executor data path, small enough to inline into operand reads.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses; errors on odd `addr`.
+    #[inline]
+    pub fn read_word_data(&mut self, addr: u16) -> SimResult<u16> {
+        if addr & 1 != 0 {
+            return Err(SimError::Unaligned(addr));
+        }
+        match self.region(addr) {
+            Region::Sram => {
+                self.stats.sram_read += 1;
+                Ok(self.raw_word(addr))
+            }
+            Region::Fram => {
+                self.stats.fram_read += 1;
+                self.note_fram_access(addr, true);
+                Ok(self.raw_word(addr))
+            }
+            _ => self.read_word(addr, AccessKind::Read),
+        }
+    }
+
+    /// [`Bus::read_byte`] specialised to `AccessKind::Read`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped or trap-window addresses.
+    #[inline]
+    pub fn read_byte_data(&mut self, addr: u16) -> SimResult<u8> {
+        match self.region(addr) {
+            Region::Sram => {
+                self.stats.sram_read += 1;
+                Ok(self.mem[usize::from(addr)])
+            }
+            Region::Fram => {
+                self.stats.fram_read += 1;
+                self.note_fram_access(addr, true);
+                Ok(self.mem[usize::from(addr)])
+            }
+            _ => self.read_byte(addr, AccessKind::Read),
+        }
+    }
+
     /// Writes a byte with full accounting.
     ///
     /// # Errors
     ///
     /// Faults on unmapped or trap-window addresses.
+    #[inline]
     pub fn write_byte(&mut self, addr: u16, value: u8) -> SimResult<()> {
         if let Some(s) = &mut self.sanitizer {
             s.check_store(addr);
             s.note_write(addr, 1);
         }
-        match self.map.region_of(addr) {
+        match self.region(addr) {
             Region::Sram => {
                 self.count(Region::Sram, AccessKind::Write);
+                self.note_code_write(addr, 1);
                 self.mem[usize::from(addr)] = value;
                 Ok(())
             }
             Region::Fram => {
                 self.count(Region::Fram, AccessKind::Write);
                 self.note_fram_access(addr, false);
+                self.note_code_write(addr, 1);
                 self.mem[usize::from(addr)] = value;
                 Ok(())
             }
@@ -402,6 +723,7 @@ impl Bus {
     /// # Errors
     ///
     /// Faults on unmapped addresses; errors on odd `addr`.
+    #[inline]
     pub fn write_word(&mut self, addr: u16, value: u16) -> SimResult<()> {
         if let Some(s) = &mut self.sanitizer {
             s.check_store(addr);
@@ -410,15 +732,17 @@ impl Bus {
         if addr & 1 != 0 {
             return Err(SimError::Unaligned(addr));
         }
-        match self.map.region_of(addr) {
+        match self.region(addr) {
             Region::Sram => {
                 self.count(Region::Sram, AccessKind::Write);
+                self.note_code_write(addr, 2);
                 self.set_raw_word(addr, value);
                 Ok(())
             }
             Region::Fram => {
                 self.count(Region::Fram, AccessKind::Write);
                 self.note_fram_access(addr, false);
+                self.note_code_write(addr, 2);
                 self.set_raw_word(addr, value);
                 Ok(())
             }
@@ -433,6 +757,7 @@ impl Bus {
         }
     }
 
+    #[inline]
     fn count(&mut self, region: Region, kind: AccessKind) {
         match (region, kind) {
             (Region::Sram, AccessKind::IFetch) => self.stats.sram_ifetch += 1,
@@ -473,6 +798,7 @@ impl Bus {
         if let Some(s) = &mut self.sanitizer {
             s.note_write(addr, 1);
         }
+        self.note_code_write(addr, 1);
         self.mem[usize::from(addr)] = value;
     }
 
@@ -481,6 +807,7 @@ impl Bus {
         if let Some(s) = &mut self.sanitizer {
             s.note_write(addr & !1, 2);
         }
+        self.note_code_write(addr & !1, 2);
         self.set_raw_word(addr & !1, value);
     }
 
@@ -501,6 +828,7 @@ impl Bus {
             if let Some(s) = &mut self.sanitizer {
                 s.note_write(seg.addr, seg.bytes.len() as u16);
             }
+            self.note_code_write(seg.addr, seg.bytes.len() as u32);
         }
         Ok(())
     }
@@ -513,10 +841,11 @@ impl Bus {
     /// use cumulative cycles.
     pub fn power_cycle(&mut self) {
         let sram = self.map.sram;
+        self.note_code_write(sram.start, sram.len());
         self.mem[usize::from(sram.start)..sram.end as usize].fill(0);
         self.cache.flush();
         self.ports = Ports::new();
-        self.instr_lines.clear();
+        self.instr_lines.end();
         if let Some(s) = &mut self.sanitizer {
             s.power_cycle();
         }
@@ -526,10 +855,219 @@ impl Bus {
     /// injection, no accounting. Flips in FRAM invalidate the covering
     /// hardware cache line so the corruption is observable.
     pub fn flip_bit(&mut self, addr: u16, bit: u8) {
+        self.note_code_write(addr, 1);
         self.mem[usize::from(addr)] ^= 1 << (bit & 7);
-        if self.map.region_of(addr) == Region::Fram {
+        if self.region(addr) == Region::Fram {
             self.cache.invalidate(addr);
         }
+    }
+
+    /// Charges the accounting of a word-sized instruction fetch at `addr`
+    /// without returning data — the pre-decoded engine's replacement for
+    /// [`Bus::read_word`]`(addr, IFetch)` when replaying a cached block.
+    /// Mirrors its observable behaviour exactly: sanitizer check first,
+    /// then alignment, then per-region counters, hardware-cache state and
+    /// wait/contention effects (or the identical fault).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Bus::read_word`].
+    pub(crate) fn account_ifetch(&mut self, addr: u16) -> SimResult<()> {
+        if let Some(s) = &mut self.sanitizer {
+            s.check_ifetch(addr, 2);
+        }
+        if addr & 1 != 0 {
+            return Err(SimError::Unaligned(addr));
+        }
+        match self.region(addr) {
+            Region::Sram => {
+                self.count(Region::Sram, AccessKind::IFetch);
+                Ok(())
+            }
+            Region::Fram => {
+                self.count(Region::Fram, AccessKind::IFetch);
+                self.note_fram_access(addr, true);
+                Ok(())
+            }
+            Region::Mmio => {
+                self.stats.mmio_accesses += 1;
+                Ok(())
+            }
+            Region::Trap => Err(self.fault(addr, "read from trap window")),
+            Region::Unmapped => Err(self.fault(addr, "read from unmapped memory")),
+        }
+    }
+
+    /// Disables the code write barrier entirely.
+    pub(crate) fn disable_code_watch(&mut self) {
+        self.code_watch = None;
+    }
+
+    /// Batched SRAM instruction-fetch accounting: `n` word fetches with no
+    /// stall, cache or contention effects (SRAM fetches have none).
+    #[inline]
+    pub(crate) fn add_sram_ifetch(&mut self, n: u64) {
+        self.stats.sram_ifetch += n;
+    }
+
+    /// Charges one executed instruction in `cat` plus its unstalled cycles
+    /// — the tail accounting of [`crate::cpu::Cpu::step`], factored out for
+    /// the pre-decoded engine.
+    #[inline]
+    pub(crate) fn charge_instr(&mut self, cat: Category, cycles: u32) {
+        self.stats.count_instruction(cat);
+        self.stats.unstalled_cycles += u64::from(cycles);
+    }
+
+    /// Charges `n` executed instructions in `cat` plus their summed
+    /// unstalled cycles — the batched form of [`Bus::charge_instr`].
+    #[inline]
+    pub(crate) fn charge_batch(&mut self, cat: Category, n: u64, cycles: u64) {
+        self.stats.instructions[cat.index()] += n;
+        self.stats.unstalled_cycles += cycles;
+    }
+
+    /// FRAM instruction-fetch accounting for one decoded instruction's
+    /// `words` contiguous fetch words at `pc`, with the sanitizer check
+    /// elided — equivalent to `words` calls of
+    /// [`Bus::account_fram_ifetch`] at consecutive addresses. The fetch
+    /// words are accessed back-to-back before execution, so a repeat
+    /// access to the line just probed is a guaranteed hit (a hit cannot
+    /// evict); the cache is probed once per distinct line and the rest
+    /// counted statically. Contention lines are still recorded per
+    /// distinct line (execution may touch more lines afterwards).
+    #[inline]
+    pub(crate) fn account_fram_ifetch_words(&mut self, pc: u16, words: u8) {
+        self.stats.fram_ifetch += u64::from(words);
+        let words = u16::from(words);
+        // The fetch words are contiguous and increasing, so the distinct
+        // lines they touch are exactly the contiguous line range
+        // `[line_of(pc), line_of(pc + 2*(words-1))]` — no per-word dedup
+        // loop needed. Fetches that wrap the address space take the slow
+        // path.
+        let end = u32::from(pc) + 2 * (u32::from(words) - 1);
+        if end > 0xFFFF {
+            return self.account_fram_ifetch_wrapped(pc, words);
+        }
+        let first = self.cache.line_of(pc);
+        let last = self.cache.line_of(end as u16);
+        let lines = u64::from(last - first) + 1;
+        for line in first..=last {
+            self.instr_lines.insert(line);
+            if self.cache.access_line(line) {
+                self.stats.hw_cache_hits += 1;
+            } else {
+                self.stats.hw_cache_misses += 1;
+                self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+            }
+        }
+        let rest = u64::from(words) - lines;
+        if self.cache.is_enabled() {
+            self.stats.hw_cache_hits += rest;
+        } else {
+            // A disabled cache misses every access (with no state touched).
+            self.stats.hw_cache_misses += rest;
+            self.stats.wait_cycles += rest * u64::from(self.freq.fram_wait_cycles);
+        }
+    }
+
+    /// Batched FRAM instruction-fetch accounting for the contiguous word
+    /// range `[start, start + 2*words)` of a pure straight-line run.
+    ///
+    /// Within such a run nothing but these monotonically increasing
+    /// fetches touches the cache, so every repeat access to the line most
+    /// recently probed is a guaranteed hit (a hit cannot evict): the cache
+    /// is probed once per distinct line and the remaining word accesses
+    /// are counted as hits statically. Skipping their LRU stamp updates is
+    /// unobservable — consecutive same-line accesses leave the recency
+    /// *order* of lines unchanged. A disabled cache misses every access
+    /// without touching state, applied statically too. Same-instruction
+    /// line contention is not charged here; the caller adds the
+    /// statically-known spans (see [`crate::decode::RunPlan`]).
+    pub(crate) fn account_fram_ifetch_run(&mut self, start: u16, words: u16) {
+        self.stats.fram_ifetch += u64::from(words);
+        if !self.cache.is_enabled() {
+            self.stats.hw_cache_misses += u64::from(words);
+            self.stats.wait_cycles +=
+                u64::from(words) * u64::from(self.freq.fram_wait_cycles);
+            return;
+        }
+        if words == 0 {
+            return;
+        }
+        // As in `account_fram_ifetch_words`: contiguous increasing fetches
+        // touch exactly the contiguous line range, probed in the same
+        // order the per-word walk would have.
+        let end = u32::from(start) + 2 * (u32::from(words) - 1);
+        if end > 0xFFFF {
+            return self.account_fram_ifetch_run_wrapped(start, words);
+        }
+        let first = self.cache.line_of(start);
+        let last = self.cache.line_of(end as u16);
+        let lines = u64::from(last - first) + 1;
+        for line in first..=last {
+            if self.cache.access_line(line) {
+                self.stats.hw_cache_hits += 1;
+            } else {
+                self.stats.hw_cache_misses += 1;
+                self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+            }
+        }
+        self.stats.hw_cache_hits += u64::from(words) - lines;
+    }
+
+    /// Slow path of [`Bus::account_fram_ifetch_words`] for the rare fetch
+    /// range that wraps the 16-bit address space.
+    #[cold]
+    fn account_fram_ifetch_wrapped(&mut self, pc: u16, words: u16) {
+        let mut lines = 0u64;
+        let mut prev = u32::MAX;
+        for i in 0..words {
+            let addr = pc.wrapping_add(2 * i);
+            let line = self.cache.line_of(addr);
+            if line == prev {
+                continue;
+            }
+            prev = line;
+            lines += 1;
+            self.instr_lines.insert(line);
+            if self.cache.access_line(line) {
+                self.stats.hw_cache_hits += 1;
+            } else {
+                self.stats.hw_cache_misses += 1;
+                self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+            }
+        }
+        let rest = u64::from(words) - lines;
+        if self.cache.is_enabled() {
+            self.stats.hw_cache_hits += rest;
+        } else {
+            self.stats.hw_cache_misses += rest;
+            self.stats.wait_cycles += rest * u64::from(self.freq.fram_wait_cycles);
+        }
+    }
+
+    /// Slow path of [`Bus::account_fram_ifetch_run`] for the rare run that
+    /// wraps the 16-bit address space.
+    #[cold]
+    fn account_fram_ifetch_run_wrapped(&mut self, start: u16, words: u16) {
+        let mut lines = 0u64;
+        let mut prev = u32::MAX;
+        for i in 0..words {
+            let addr = start.wrapping_add(2 * i);
+            let line = self.cache.line_of(addr);
+            if line != prev {
+                prev = line;
+                lines += 1;
+                if self.cache.access_line(line) {
+                    self.stats.hw_cache_hits += 1;
+                } else {
+                    self.stats.hw_cache_misses += 1;
+                    self.stats.wait_cycles += u64::from(self.freq.fram_wait_cycles);
+                }
+            }
+        }
+        self.stats.hw_cache_hits += u64::from(words) - lines;
     }
 }
 

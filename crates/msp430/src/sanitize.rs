@@ -135,6 +135,7 @@ impl Sanitizer {
     }
 
     /// The latched violation without clearing it.
+    #[inline]
     pub fn violation(&self) -> Option<Violation> {
         self.violation
     }
@@ -178,6 +179,28 @@ impl Sanitizer {
         }
     }
 
+    /// Whether [`Sanitizer::check_ifetch`]`(pc, len)` is guaranteed to be
+    /// a no-op — now and on every future call until the next
+    /// [`Sanitizer::power_cycle`] or sanitizer reattachment.
+    ///
+    /// Used by the pre-decoded engine to elide per-word fetch checks for
+    /// cached blocks: `pc` must lie in an executable range (so no wild
+    /// jump can latch) and every tracked byte of the fetch must already be
+    /// filled. Fill flags only move `false → true` between power cycles,
+    /// so a `true` answer stays valid; the engine drops its cache on
+    /// power-cycle and reattachment, which are the only events that can
+    /// reset them. Deliberately ignores `runtime_mode` and any latched
+    /// violation — both suppress checks only transiently, so they must
+    /// not license a permanent skip.
+    pub fn can_skip_ifetch(&self, pc: u16, len: u16) -> bool {
+        if !self.cfg.exec.iter().any(|r| r.contains(pc)) {
+            return false;
+        }
+        (0..len).all(|i| {
+            self.tracked_index(pc.wrapping_add(i)).is_none_or(|ix| self.filled[ix])
+        })
+    }
+
     /// Checks an application store at `addr`.
     pub fn check_store(&mut self, addr: u16) {
         if self.runtime_mode || self.violation.is_some() {
@@ -191,6 +214,7 @@ impl Sanitizer {
     }
 
     /// Checks the stack pointer against the configured floor.
+    #[inline]
     pub fn check_stack(&mut self, sp: u16) {
         if self.runtime_mode || self.violation.is_some() {
             return;

@@ -1,0 +1,372 @@
+//! Seeded property test: random self-modifying write sequences must be
+//! observationally identical under the interpreter and the pre-decoded
+//! engine.
+//!
+//! Each case generates a random straight-line program (ALU ops, shifts,
+//! short jumps, and stores through a roving pointer register) that loops
+//! forever in FRAM or SRAM text, then steps an interpreter machine and a
+//! pre-decoded machine in lockstep while injecting identical mutations
+//! into both: word pokes on block boundaries, byte pokes at arbitrary
+//! (including odd) text addresses, bit flips, stores redirected into the
+//! currently-executing block via the pointer register. After every step
+//! the full register file must match; the cycle-accurate stats are
+//! compared periodically and at the end. Cases that decode corrupted
+//! text into an invalid instruction must fail with the *same* error on
+//! both machines at the same step.
+//!
+//! This is the adversarial half of the differential gate: the benchmark
+//! matrix in `differential.rs` proves equivalence on realistic code, this
+//! test hunts for invalidation bugs (stale decoded blocks surviving a
+//! write) with write patterns no real program emits.
+
+use msp430_sim::isa::Size;
+use msp430_sim::machine::Fr2355;
+use msp430_sim::rng::SplitMix64;
+use msp430_sim::{Engine, Frequency, Instr, Machine, Opcode, Operand, Reg};
+
+/// Instructions per case: enough loop iterations for every generated
+/// block to be decoded, invalidated, and re-decoded several times.
+const STEPS_PER_CASE: u64 = 2_000;
+/// Stats are cross-checked this often (and at the end of the case).
+const STATS_EVERY: u64 = 64;
+
+/// Scratch registers the generated programs compute in. `R13` is
+/// reserved as the self-modifying store pointer.
+fn scratch_reg(rng: &mut SplitMix64) -> Reg {
+    Reg::r(4 + rng.below(9) as u8) // R4..R12
+}
+
+fn format_i_op(rng: &mut SplitMix64) -> Opcode {
+    const OPS: [Opcode; 8] = [
+        Opcode::Mov,
+        Opcode::Add,
+        Opcode::Addc,
+        Opcode::Sub,
+        Opcode::Xor,
+        Opcode::And,
+        Opcode::Bis,
+        Opcode::Bic,
+    ];
+    OPS[rng.below(OPS.len() as u64) as usize]
+}
+
+fn format_ii_op(rng: &mut SplitMix64) -> Opcode {
+    const OPS: [Opcode; 4] = [Opcode::Rra, Opcode::Rrc, Opcode::Swpb, Opcode::Sxt];
+    OPS[rng.below(OPS.len() as u64) as usize]
+}
+
+fn random_size(rng: &mut SplitMix64) -> Size {
+    if rng.next_bool() {
+        Size::Word
+    } else {
+        Size::Byte
+    }
+}
+
+/// One random instruction. `remaining` is how many more instructions the
+/// program will emit after this one; jumps are only generated when there
+/// is text ahead to land in.
+fn random_instr(rng: &mut SplitMix64, remaining: u64) -> Instr {
+    match rng.below(10) {
+        // Register-register op, biased toward MOV: copies keep the
+        // register file full of in-text addresses, so an instruction
+        // later corrupted into a memory op usually stays mapped.
+        0..=3 => Instr::FormatI {
+            op: if rng.next_bool() { Opcode::Mov } else { format_i_op(rng) },
+            size: random_size(rng),
+            src: Operand::Reg(scratch_reg(rng)),
+            dst: Operand::Reg(scratch_reg(rng)),
+        },
+        // Immediate source: constant-generator values stay one word,
+        // arbitrary immediates force a `@PC+` extension word, so blocks
+        // mix 1-, 2- and 3-word instructions.
+        4..=5 => {
+            let imm = if rng.next_bool() {
+                [0u16, 1, 2, 4, 8, 0xFFFF][rng.below(6) as usize]
+            } else {
+                rng.next_u16()
+            };
+            Instr::FormatI {
+                op: format_i_op(rng),
+                size: Size::Word,
+                src: Operand::Imm(imm),
+                dst: Operand::Reg(scratch_reg(rng)),
+            }
+        }
+        // Single-operand shifts / byte swaps.
+        6..=7 => Instr::FormatII {
+            op: format_ii_op(rng),
+            size: Size::Word,
+            dst: Operand::Reg(scratch_reg(rng)),
+        },
+        // Self-modifying store through the roving pointer register. The
+        // harness retargets R13 between steps, including at the block
+        // the program is currently executing.
+        8 => Instr::FormatI {
+            op: Opcode::Mov,
+            size: if rng.next_bool() { Size::Word } else { Size::Byte },
+            src: Operand::Reg(Reg::R12),
+            dst: Operand::Indexed(0, Reg::r(13)),
+        },
+        // Short forward jump. Mostly offset 0 (the following
+        // instruction); rarely offset 1, which can land mid-instruction
+        // — the engines must then agree on the overlapping decoded
+        // block (or on the same decode error, which ends the case).
+        _ if remaining >= 4 => Instr::Jump {
+            op: [Opcode::Jmp, Opcode::Jnz, Opcode::Jz, Opcode::Jc][rng.below(4) as usize],
+            offset_words: i16::from(rng.below(20) == 0),
+        },
+        _ => Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::Reg(scratch_reg(rng)),
+            dst: Operand::Reg(scratch_reg(rng)),
+        },
+    }
+}
+
+/// Generates a random looping program and writes it to `base` on both
+/// machines. Returns the encoded words (the case's "shadow" text).
+fn install_program(rng: &mut SplitMix64, machines: &mut [&mut Machine], base: u16) -> Vec<u16> {
+    let n = 16 + rng.below(96);
+    let mut words: Vec<u16> = Vec::new();
+    for i in 0..n {
+        let at = base.wrapping_add(2 * words.len() as u16);
+        let instr = random_instr(rng, n - i);
+        words.extend(instr.encode(at).expect("generated instruction must encode"));
+    }
+    // Loop back with an absolute branch (`MOV #base, PC`) so program
+    // length is not limited by the ±511-word jump range.
+    let at = base.wrapping_add(2 * words.len() as u16);
+    let back = Instr::FormatI {
+        op: Opcode::Mov,
+        size: Size::Word,
+        src: Operand::Imm(base),
+        dst: Operand::Reg(Reg::PC),
+    };
+    words.extend(back.encode(at).expect("loop branch must encode"));
+    for m in machines.iter_mut() {
+        for (i, w) in words.iter().enumerate() {
+            m.bus_mut().poke_word(base.wrapping_add(2 * i as u16), *w);
+        }
+    }
+    words
+}
+
+fn compare_regs(a: &Machine, b: &Machine, seed: u64, step: u64) {
+    for n in 0..16 {
+        let r = Reg::r(n);
+        assert_eq!(
+            a.cpu().reg(r),
+            b.cpu().reg(r),
+            "seed {seed:#x}: R{n} diverged at step {step} (pc={:#06x})",
+            a.cpu().pc()
+        );
+    }
+}
+
+/// Runs one seeded case with text at `base`; returns how many lockstep
+/// instructions executed before the case ended (corrupted text may
+/// legally cut a case short with an identical error on both machines).
+fn run_case(seed: u64, base: u16) -> u64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut a = Fr2355::machine(Frequency::MHZ_24);
+    a.set_engine(Engine::Interp);
+    let mut b = Fr2355::machine(Frequency::MHZ_24);
+    b.set_engine(Engine::Predecoded);
+    // `shadow` is the intended text: deliberate instruction patches
+    // update it, corruption (random bytes, bit flips) does not — so a
+    // scheduled repair can restore the intended word a few steps later
+    // and let the case keep running.
+    let mut shadow = install_program(&mut rng, &mut [&mut a, &mut b], base);
+    let text_words = shadow.len() as u16;
+    let text_bytes = u64::from(text_words) * 2;
+    // Pending (due_step, word_index) repairs for corrupted words.
+    let mut repairs: Vec<(u64, usize)> = Vec::new();
+
+    // Identical initial register state. Scratch registers start as
+    // word-aligned in-text addresses: when corruption turns an ALU op
+    // into a memory op, the access usually lands in mapped memory (and
+    // corrupted *stores* become organic self-modifying writes) instead
+    // of instantly faulting on an unmapped address.
+    for n in 4..16 {
+        let v = base.wrapping_add(2 * rng.below(u64::from(text_words)) as u16);
+        a.cpu_mut().set_reg(Reg::r(n), v);
+        b.cpu_mut().set_reg(Reg::r(n), v);
+    }
+    let p0 = base.wrapping_add(2 * rng.below(u64::from(text_words)) as u16);
+    a.cpu_mut().set_reg(Reg::r(13), p0);
+    b.cpu_mut().set_reg(Reg::r(13), p0);
+    a.cpu_mut().set_pc(base);
+    b.cpu_mut().set_pc(base);
+    a.cpu_mut().set_sp(0x2F00);
+    b.cpu_mut().set_sp(0x2F00);
+
+    let mut executed = 0;
+    for step in 0..STEPS_PER_CASE {
+        // Restore any corrupted words whose repair has come due — each
+        // restore is itself a code write the engines must invalidate on.
+        let mut i = 0;
+        while i < repairs.len() {
+            if repairs[i].0 <= step {
+                let (_, wi) = repairs.swap_remove(i);
+                let addr = base.wrapping_add(2 * wi as u16);
+                a.bus_mut().poke_word(addr, shadow[wi]);
+                b.bus_mut().poke_word(addr, shadow[wi]);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Inject identical mutations into both machines.
+        match rng.below(100) {
+            // Word poke at an even text offset — block-boundary writes
+            // (instruction 64 of a long run) land here too. The word is
+            // a *valid* one-word instruction so the program keeps
+            // running: the engines must re-decode and execute the new
+            // instruction, not merely agree on an error.
+            0..=4 => {
+                let addr = base.wrapping_add(2 * rng.below(u64::from(text_words)) as u16);
+                let patch = Instr::FormatI {
+                    op: format_i_op(&mut rng),
+                    size: random_size(&mut rng),
+                    src: Operand::Reg(scratch_reg(&mut rng)),
+                    dst: Operand::Reg(scratch_reg(&mut rng)),
+                };
+                let v = patch.encode(addr).expect("reg-reg op is one word")[0];
+                shadow[(addr - base) as usize / 2] = v;
+                a.bus_mut().poke_word(addr, v);
+                b.bus_mut().poke_word(addr, v);
+            }
+            // Byte poke anywhere in text, odd addresses included, so a
+            // single write can clobber half of each of two instructions.
+            // Corruption: repaired from the shadow a few steps later.
+            5..=7 => {
+                let addr = base.wrapping_add(rng.below(text_bytes) as u16);
+                let v = rng.next_u8();
+                a.bus_mut().poke_byte(addr, v);
+                b.bus_mut().poke_byte(addr, v);
+                repairs.push((step + 1 + rng.below(4), (addr - base) as usize / 2));
+            }
+            // Byte poke biased at the instruction about to execute: the
+            // write must take effect on this very step.
+            8..=9 => {
+                let addr = a.cpu().pc().wrapping_add(rng.below(6) as u16);
+                let v = rng.next_u8();
+                a.bus_mut().poke_byte(addr, v);
+                b.bus_mut().poke_byte(addr, v);
+                let wi = addr.wrapping_sub(base) as usize / 2;
+                if wi < shadow.len() {
+                    repairs.push((step + 1 + rng.below(4), wi));
+                }
+            }
+            // Single bit flip in text (the corruption campaign's fault
+            // model applied to a decoded block).
+            10..=11 => {
+                let addr = base.wrapping_add(rng.below(text_bytes) as u16);
+                let bit = rng.below(8) as u8;
+                a.bus_mut().flip_bit(addr, bit);
+                b.bus_mut().flip_bit(addr, bit);
+                repairs.push((step + 1 + rng.below(4), (addr - base) as usize / 2));
+            }
+            // Re-seed a scratch register with an in-text address so the
+            // register file keeps pointing at mapped, cached code even
+            // as ALU ops scramble it.
+            12..=17 => {
+                let r = scratch_reg(&mut rng);
+                let v = base.wrapping_add(2 * rng.below(u64::from(text_words)) as u16);
+                a.cpu_mut().set_reg(r, v);
+                b.cpu_mut().set_reg(r, v);
+            }
+            // Retarget the store pointer — half the time at the block
+            // currently executing, so the program overwrites itself.
+            18..=25 => {
+                let addr = if rng.next_bool() {
+                    a.cpu().pc() & !1
+                } else {
+                    base.wrapping_add(2 * rng.below(u64::from(text_words)) as u16)
+                };
+                a.cpu_mut().set_reg(Reg::r(13), addr);
+                b.cpu_mut().set_reg(Reg::r(13), addr);
+            }
+            _ => {}
+        }
+
+        // Rescue: a corrupted instruction that executed before its
+        // repair can send the PC anywhere (it is often a wild branch).
+        // Both machines have provably identical state, so re-parking
+        // both at the program start preserves the property while
+        // keeping the case alive.
+        let pc = a.cpu().pc();
+        let end = base.wrapping_add(text_bytes as u16);
+        if pc % 2 == 1 || pc < base || pc >= end {
+            a.cpu_mut().set_pc(base);
+            b.cpu_mut().set_pc(base);
+        }
+
+        let ra = a.step();
+        let rb = b.step();
+        assert_eq!(ra, rb, "seed {seed:#x}: step {step} results diverged");
+        executed += 1;
+        compare_regs(&a, &b, seed, step);
+        if step % STATS_EVERY == 0 {
+            assert_eq!(a.bus().stats(), b.bus().stats(), "seed {seed:#x}: stats diverged at step {step}");
+        }
+        match ra {
+            // Executing corrupted text produced the same error on both
+            // machines — the property held. Recover in place: restore
+            // the whole text from the shadow (a burst of code writes
+            // the engines must invalidate across every block at once)
+            // and re-park both PCs; state stays provably identical.
+            Err(_) => {
+                for (wi, w) in shadow.iter().enumerate() {
+                    let addr = base.wrapping_add(2 * wi as u16);
+                    a.bus_mut().poke_word(addr, *w);
+                    b.bus_mut().poke_word(addr, *w);
+                }
+                repairs.clear();
+                a.cpu_mut().set_pc(base);
+                b.cpu_mut().set_pc(base);
+            }
+            // A corrupted store can legally hit the MMIO halt port,
+            // which latches; both machines agreed, so end the case.
+            Ok(Some(_)) => break,
+            Ok(None) => {}
+        }
+    }
+    assert_eq!(a.bus().stats(), b.bus().stats(), "seed {seed:#x}: final stats diverged");
+    executed
+}
+
+/// Runs `cases` seeded cases and checks the campaign actually executed a
+/// meaningful number of instructions (corruption legally ends individual
+/// cases early, but most cases must survive long enough to exercise
+/// decode → invalidate → re-decode cycles).
+fn run_campaign(tag: u64, cases: u64, base: u16) {
+    let total: u64 = (0..cases).map(|seed| run_case(tag + seed, base)).sum();
+    assert!(
+        total >= cases * STEPS_PER_CASE / 4,
+        "campaign at {base:#06x} executed only {total} of {} possible instructions — \
+         cases are dying too early to test anything",
+        cases * STEPS_PER_CASE
+    );
+}
+
+#[test]
+fn random_self_modifying_fram_text() {
+    run_campaign(0xF2A5_0000, 24, 0x4000);
+}
+
+#[test]
+fn random_self_modifying_fram_text_unaligned_base() {
+    // Program based away from the FRAM start so decoded blocks do not
+    // line up with the write-barrier granules.
+    run_campaign(0x0DD0_0000, 12, 0x41A6);
+}
+
+#[test]
+fn random_self_modifying_sram_text() {
+    // SRAM-resident text exercises the SramPure/SramFast plans and their
+    // (batched) fetch accounting under invalidation.
+    run_campaign(0x5AA5_0000, 24, 0x2400);
+}
