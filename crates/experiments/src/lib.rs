@@ -25,8 +25,10 @@
 //! | [`ablation`]| cache-size sweep, policies, hardware cache       |
 //! | [`resilience`]| power-loss fault injection + crash recovery    |
 //! | [`corruption`]| seeded bit-flip injection vs. the defense stack |
+//! | [`concurrency`]| timer interrupts + preemptive tasks vs. reentrancy |
 
 pub mod ablation;
+pub mod concurrency;
 pub mod corruption;
 pub mod fig1;
 pub mod fig10;
@@ -79,6 +81,10 @@ pub fn run_report(h: &Harness, fast: bool) -> String {
     out.push('\n');
     let flips = if fast { corruption::FAST_FLIPS } else { corruption::DEFAULT_FLIPS };
     out.push_str(&corruption::render(&corruption::run(h, flips, resilience::base_seed())));
+    out.push('\n');
+    let irq_schedules =
+        if fast { concurrency::FAST_SCHEDULES } else { concurrency::DEFAULT_SCHEDULES };
+    out.push_str(&concurrency::render(&concurrency::run(h, irq_schedules, resilience::base_seed())));
     out.push('\n');
     if !fast {
         out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep(h)));

@@ -255,7 +255,7 @@ fn episode(
 /// `srtab` metadata tables, plus the input and corpus buffers. On reboot
 /// (`skip_metadata`) the metadata section is left exactly as the power
 /// loss tore it — that is what recovery must repair.
-fn poke_app_state(machine: &mut Machine, built: &Built, input: &[u8], skip_metadata: bool) {
+pub(crate) fn poke_app_state(machine: &mut Machine, built: &Built, input: &[u8], skip_metadata: bool) {
     let tables_base = match &built.program {
         Program::Swap(_, cfg) => cfg.tables_base,
         _ => 0,

@@ -42,6 +42,9 @@ fn synthetic_measurement() -> Measurement {
         contention_cycles: 5,
         hw_cache_hits: 8,
         hw_cache_misses: 2,
+        irq_delivered: 0,
+        irq_coalesced: 0,
+        irq_latency_cycles: 0,
         instructions: [3, 1, 0, 0],
     };
     Measurement {

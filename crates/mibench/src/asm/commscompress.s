@@ -1,0 +1,206 @@
+; CommsCompress — two-task concurrency benchmark (SwapRAM-only).
+;
+; A timer ISR plays a UART receiver: each tick it moves one byte of the
+; 256-byte input into __rxbuf, then round-robin switches between two
+; preemptive tasks. Task 1 run-length-encodes the received buffer once
+; reception completes; task 0 (main) then emits an order-sensitive
+; byte accumulator over the raw buffer, the compressed length, and the
+; accumulator over the compressed stream.
+;
+; Shares the scheduler shape with sensorcrypto.s: the context frame
+; saves r4..r15 plus the SwapRAM funcId publish word (&__sr_fid), which
+; closes the MOV #fid / CALL &redir preemption window in both ISR
+; protocols and makes the benchmark SwapRAM-only by construction.
+
+    .equ CHECKSUM, 0x0104
+    .equ RXLEN,    256
+
+    .text
+
+; ---------------------------------------------------------------- main
+    .func main
+main:
+    mov  #task1, &__t1_pc
+    mov  #__t1_frame, &__tcb1
+    mov  #0, &__cur
+    mov  #__input, &__rxsrc
+    mov  #__rxbuf, &__rxdst
+    eint
+m_wait:
+    tst  &__comp_done
+    jz   m_wait
+    dint
+    mov  #__rxbuf, r12
+    mov  #RXLEN, r13
+    call #acc8_buf
+    mov  r12, &CHECKSUM
+    mov  &__comp_len, r12
+    mov  r12, &CHECKSUM
+    mov  #__comp, r12
+    mov  &__comp_len, r13
+    call #acc8_buf
+    mov  r12, &CHECKSUM
+    ret
+    .endfunc
+
+; --------------------------------------------------------------- task1
+    .func task1
+task1:
+t1_wait:
+    tst  &__rx_done
+    jz   t1_wait
+    call #rle_compress
+    mov  r12, &__comp_len
+    mov  #1, &__comp_done
+t1_spin:
+    jmp  t1_spin
+    .endfunc
+
+; ------------------------------------------------------------- rx_byte
+; Moves one input byte into the receive buffer; flags completion after
+; RXLEN bytes. Called from the ISR, cacheable on purpose so every tick
+; can re-enter the miss handler from interrupt context.
+    .func rx_byte
+rx_byte:
+    mov  &__rxsrc, r12
+    mov  &__rxdst, r13
+    mov.b @r12, r14
+    mov.b r14, 0(r13)
+    add  #1, &__rxsrc
+    add  #1, &__rxdst
+    add  #1, &__rxn
+    cmp  #RXLEN, &__rxn
+    jnz  rxb_done
+    mov  #1, &__rx_done
+rxb_done:
+    ret
+    .endfunc
+
+; -------------------------------------------------------- rle_compress
+; Classic (count, byte) run-length encoding of __rxbuf into __comp,
+; runs capped at 255; returns the output length in bytes in r12.
+    .func rle_compress
+rle_compress:
+    push r9
+    push r10
+    mov  #__rxbuf, r12
+    mov  #__comp, r13
+    mov  #RXLEN, r14
+rle_outer:
+    mov.b @r12+, r9
+    dec  r14
+    mov  #1, r10
+rle_scan:
+    tst  r14
+    jz   rle_emit
+    cmp  #255, r10
+    jz   rle_emit
+    mov.b @r12, r11
+    cmp  r9, r11
+    jnz  rle_emit
+    inc  r12
+    dec  r14
+    inc  r10
+    jmp  rle_scan
+rle_emit:
+    mov.b r10, 0(r13)
+    mov.b r9, 1(r13)
+    incd r13
+    tst  r14
+    jnz  rle_outer
+    mov  r13, r12
+    sub  #__comp, r12
+    pop  r10
+    pop  r9
+    ret
+    .endfunc
+
+; ------------------------------------------------------------ acc8_buf
+; Order-sensitive byte accumulator: acc = rol1(acc) + byte over
+; (r12 = ptr, r13 = byte count); result in r12.
+    .func acc8_buf
+acc8_buf:
+    push r9
+    mov  #0, r9
+a8_loop:
+    rla  r9
+    adc  r9
+    mov.b @r12+, r11
+    add  r11, r9
+    dec  r13
+    jnz  a8_loop
+    mov  r9, r12
+    pop  r9
+    ret
+    .endfunc
+
+; ----------------------------------------------------------- __isr_entry
+; Timer ISR: full context save (r4..r15 + &__sr_fid), one received byte
+; while reception is live, then the round-robin switch.
+    .func __isr_entry
+__isr_entry:
+    push r4
+    push r5
+    push r6
+    push r7
+    push r8
+    push r9
+    push r10
+    push r11
+    push r12
+    push r13
+    push r14
+    push r15
+    push &__sr_fid
+    tst  &__rx_done
+    jnz  isr_switch
+    call #rx_byte
+isr_switch:
+    tst  &__cur
+    jnz  isr_from1
+    mov  sp, &__tcb0
+    mov  #1, &__cur
+    mov  &__tcb1, sp
+    jmp  isr_resume
+isr_from1:
+    mov  sp, &__tcb1
+    mov  #0, &__cur
+    mov  &__tcb0, sp
+isr_resume:
+    pop  &__sr_fid
+    pop  r15
+    pop  r14
+    pop  r13
+    pop  r12
+    pop  r11
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    pop  r6
+    pop  r5
+    pop  r4
+    reti
+    .endfunc
+
+    .data
+    .align 2
+__input:     .space 256
+__rxsrc:     .word 0
+__rxdst:     .word 0
+__rxn:       .word 0
+__rx_done:   .word 0
+__comp_done: .word 0
+__comp_len:  .word 0
+__cur:       .word 0
+__tcb0:      .word 0
+__tcb1:      .word 0
+__rxbuf:     .space 256
+__comp:      .space 516
+; Task 1's working stack and statically primed context frame (see
+; sensorcrypto.s for the layout).
+__t1_stack:  .space 160
+__t1_frame:  .space 26
+__t1_sr:     .word 8
+__t1_pc:     .word 0
+__t1_stack_top:

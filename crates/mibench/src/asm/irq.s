@@ -1,0 +1,46 @@
+; Timer-interrupt harness appended to single-task benchmarks for the
+; concurrency campaign. The ISR root (__isr_entry) is excluded from
+; caching and, under the Masked protocol, receives funcId save/restore
+; veneers from the SwapRAM pass. The work body (__isr_work) stays
+; cacheable on purpose: every tick can re-enter the miss handler from
+; interrupt context, which is exactly the reentrancy pressure the
+; campaign wants. The harness writes no checksum-port words and
+; preserves every register it touches, so all benchmark oracles remain
+; valid under any interrupt schedule.
+
+    .text
+
+    .func __isr_entry
+__isr_entry:
+    push r12
+    call #__isr_work
+    pop  r12
+    reti
+    .endfunc
+
+; One Galois-LFSR step (taps 0xB400) folded into an accumulator, plus a
+; tick counter. Uses only r12 (saved by the root).
+    .func __isr_work
+__isr_work:
+    mov  &__isr_lfsr, r12
+    bit  #1, r12
+    jz   __iw_even
+    clrc
+    rrc  r12
+    xor  #0xB400, r12
+    jmp  __iw_fold
+__iw_even:
+    clrc
+    rrc  r12
+__iw_fold:
+    mov  r12, &__isr_lfsr
+    xor  r12, &__isr_acc
+    add  #1, &__isr_ticks
+    ret
+    .endfunc
+
+    .data
+    .align 2
+__isr_ticks: .word 0
+__isr_lfsr:  .word 0xACE1
+__isr_acc:   .word 0

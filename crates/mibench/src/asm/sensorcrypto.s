@@ -1,0 +1,211 @@
+; SensorCrypto — two-task concurrency benchmark (SwapRAM-only).
+;
+; A timer ISR plays a sensor: each tick it draws one 16-bit LFSR sample
+; (seeded from the input word) into __samples, then performs a
+; round-robin context switch between two preemptive tasks. Task 0
+; (main) waits for the cipher, then emits order-sensitive accumulators
+; over the sample and cipher buffers. Task 1 enciphers the sample
+; buffer with a rotate-xor keystream as soon as sampling completes.
+;
+; The scheduler saves the full register file PLUS the SwapRAM funcId
+; publish word (&__sr_fid) in each task's context frame — the per-task
+; funcId save is what makes preemption safe across the
+; MOV #fid / CALL &redir publish window in *both* ISR protocols. This
+; reference to a SwapRAM table symbol makes the benchmark build only
+; under the SwapRam system, by design.
+;
+; Every value is a pure function of the input (never of interrupt
+; timing), so the Rust oracle holds under any schedule that delivers
+; enough ticks.
+
+    .equ CHECKSUM, 0x0104
+    .equ NSAMP,    96
+
+    .text
+
+; ---------------------------------------------------------------- main
+; Task 0. Primes task 1's static context frame, seeds the LFSR from the
+; input word, enables interrupts, and waits for the cipher.
+    .func main
+main:
+    mov  #task1, &__t1_pc
+    mov  #__t1_frame, &__tcb1
+    mov  #0, &__cur
+    mov  &__input, r12
+    xor  #0xACE1, r12
+    mov  r12, &__lfsr
+    mov  #__samples, &__sptr
+    eint
+m_wait:
+    tst  &__cipher_done
+    jz   m_wait
+    dint
+    mov  #__samples, r12
+    mov  #NSAMP, r13
+    call #accum_buf
+    mov  r12, &CHECKSUM
+    mov  #__cipher, r12
+    mov  #NSAMP, r13
+    call #accum_buf
+    mov  r12, &CHECKSUM
+    ret
+    .endfunc
+
+; --------------------------------------------------------------- task1
+; Task 1 entry. Never returns: spins after publishing the cipher.
+    .func task1
+task1:
+t1_wait:
+    tst  &__done_sampling
+    jz   t1_wait
+    call #crypt_buf
+    mov  #1, &__cipher_done
+t1_spin:
+    jmp  t1_spin
+    .endfunc
+
+; ---------------------------------------------------------- next_sample
+; Steps the Galois LFSR (taps 0xB400) and returns the new state in r12.
+    .func next_sample
+next_sample:
+    mov  &__lfsr, r12
+    bit  #1, r12
+    jz   ns_even
+    clrc
+    rrc  r12
+    xor  #0xB400, r12
+    jmp  ns_done
+ns_even:
+    clrc
+    rrc  r12
+ns_done:
+    mov  r12, &__lfsr
+    ret
+    .endfunc
+
+; ----------------------------------------------------------- crypt_buf
+; cipher[i] = samples[i] + ks, where ks = rol1(ks) ^ samples[i],
+; ks seeded with 0x1234.
+    .func crypt_buf
+crypt_buf:
+    push r9
+    push r10
+    mov  #0x1234, r9
+    mov  #__samples, r12
+    mov  #__cipher, r13
+    mov  #NSAMP, r14
+cb_loop:
+    rla  r9
+    adc  r9
+    mov  @r12+, r15
+    xor  r15, r9
+    mov  r15, r10
+    add  r9, r10
+    mov  r10, 0(r13)
+    incd r13
+    dec  r14
+    jnz  cb_loop
+    pop  r10
+    pop  r9
+    ret
+    .endfunc
+
+; ----------------------------------------------------------- accum_buf
+; Order-sensitive word accumulator: acc = rol1(acc) + w over
+; (r12 = ptr, r13 = word count); result in r12.
+    .func accum_buf
+accum_buf:
+    push r9
+    mov  #0, r9
+ab_loop:
+    rla  r9
+    adc  r9
+    add  @r12+, r9
+    dec  r13
+    jnz  ab_loop
+    mov  r9, r12
+    pop  r9
+    ret
+    .endfunc
+
+; ----------------------------------------------------------- __isr_entry
+; Timer ISR: full context save (r4..r15 + &__sr_fid), one sensor sample
+; while sampling is live, then a round-robin switch between the two
+; task stacks. Excluded from caching (vector stability) but calls the
+; cacheable next_sample, so ticks still exercise the miss handler from
+; interrupt context.
+    .func __isr_entry
+__isr_entry:
+    push r4
+    push r5
+    push r6
+    push r7
+    push r8
+    push r9
+    push r10
+    push r11
+    push r12
+    push r13
+    push r14
+    push r15
+    push &__sr_fid
+    tst  &__done_sampling
+    jnz  isr_switch
+    call #next_sample
+    mov  &__sptr, r13
+    mov  r12, 0(r13)
+    incd &__sptr
+    add  #1, &__nsamp
+    cmp  #NSAMP, &__nsamp
+    jnz  isr_switch
+    mov  #1, &__done_sampling
+isr_switch:
+    tst  &__cur
+    jnz  isr_from1
+    mov  sp, &__tcb0
+    mov  #1, &__cur
+    mov  &__tcb1, sp
+    jmp  isr_resume
+isr_from1:
+    mov  sp, &__tcb1
+    mov  #0, &__cur
+    mov  &__tcb0, sp
+isr_resume:
+    pop  &__sr_fid
+    pop  r15
+    pop  r14
+    pop  r13
+    pop  r12
+    pop  r11
+    pop  r10
+    pop  r9
+    pop  r8
+    pop  r7
+    pop  r6
+    pop  r5
+    pop  r4
+    reti
+    .endfunc
+
+    .data
+    .align 2
+__input:         .space 2
+__lfsr:          .word 0
+__sptr:          .word 0
+__nsamp:         .word 0
+__done_sampling: .word 0
+__cipher_done:   .word 0
+__cur:           .word 0
+__tcb0:          .word 0
+__tcb1:          .word 0
+__samples:       .space 192
+__cipher:        .space 192
+; Task 1's working stack, then its statically primed context frame:
+; 13 zero words (fid save + r15..r4), SR with GIE set, and the entry PC
+; (patched by main). The frame is consumed top-down by the restore
+; sequence: pop &__sr_fid, pop r15..r4, reti.
+__t1_stack:      .space 160
+__t1_frame:      .space 26
+__t1_sr:         .word 8
+__t1_pc:         .word 0
+__t1_stack_top:

@@ -17,6 +17,7 @@ use msp430_asm::layout::LayoutConfig;
 use msp430_asm::object::{assemble, Assembly};
 use msp430_asm::parser::parse;
 use msp430_sim::freq::Frequency;
+use msp430_sim::irq::{IrqSchedule, IrqTimer};
 use msp430_sim::machine::{Fr2355, Machine, RunOutcome};
 use msp430_sim::mem::{AddrRange, Image};
 use msp430_sim::sanitize::SanitizerConfig;
@@ -125,6 +126,20 @@ pub enum Program {
     Block(Box<BlockProgram>, BlockConfig),
 }
 
+/// Timer-interrupt wiring a build requests: the ISR vector resolved from
+/// the assembled image and a default periodic tick. [`prepare`] arms a
+/// timer with these values; experiment drivers may re-attach a custom
+/// [`IrqTimer`] afterwards to impose seeded schedules — multi-task
+/// benchmarks only make forward progress while ticks keep arriving, so
+/// replacement schedules must keep a periodic tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IrqSetup {
+    /// Address of the ISR entry point (`__isr_entry`).
+    pub vector: u16,
+    /// Default tick period in cycles for [`prepare`].
+    pub default_period: u64,
+}
+
 /// A built benchmark ready to run.
 #[derive(Debug, Clone)]
 pub struct Built {
@@ -147,6 +162,10 @@ pub struct Built {
     pub metadata_bytes: u16,
     /// Runtime code bytes in NVM (Figure 7 "runtime"), 0 for baseline.
     pub handler_bytes: u16,
+    /// Timer-interrupt wiring, when the build carries an ISR (multi-task
+    /// benchmarks always; single-task benchmarks under a SwapRAM config
+    /// with [`SwapConfig::irq_harness`] set).
+    pub irq: Option<IrqSetup>,
 }
 
 // The experiment harness shares `Built` artifacts across worker threads
@@ -206,8 +225,11 @@ impl From<AsmError> for BuildError {
     }
 }
 
-/// Generates the C runtime startup shim.
-fn crt0(stack_top: u16) -> String {
+/// Generates the C runtime startup shim. With `irq_harness` the shim
+/// enables interrupts around `main` (multi-task benchmarks instead
+/// manage GIE themselves, inside `main`).
+fn crt0(stack_top: u16, irq_harness: bool) -> String {
+    let (eint, dint) = if irq_harness { ("    eint\n", "    dint\n") } else { ("", "") };
     format!(
         "\
     .equ CONSOLE, 0x0100
@@ -221,8 +243,8 @@ fn crt0(stack_top: u16) -> String {
 __start:
     mov #__stack_top, sp
     mov #1, &MARK
-    call #main
-    mov #2, &MARK
+{eint}    call #main
+{dint}    mov #2, &MARK
     mov #0, &HALT
 __halt_spin:
     jmp __halt_spin
@@ -237,12 +259,29 @@ __halt_spin:
 ///
 /// Returns parse errors from any of the three parts.
 pub fn parse_benchmark(bench: Benchmark, profile: &MemoryProfile) -> AsmResult<msp430_asm::Module> {
-    let mut src = crt0(profile.stack_top);
+    parse_benchmark_with(bench, profile, false)
+}
+
+/// Like [`parse_benchmark`], additionally appending the timer-ISR
+/// harness (`irq.s`) and the interrupt-enabling crt0 when `irq_harness`
+/// is set. Multi-task benchmarks carry their own ISR and ignore the
+/// flag.
+pub fn parse_benchmark_with(
+    bench: Benchmark,
+    profile: &MemoryProfile,
+    irq_harness: bool,
+) -> AsmResult<msp430_asm::Module> {
+    let harness = irq_harness && !bench.is_multitask();
+    let mut src = crt0(profile.stack_top, harness);
     if bench.uses_lib() {
         src.push_str(include_str!("asm/lib.s"));
         src.push('\n');
     }
     src.push_str(bench.asm_source());
+    if harness {
+        src.push('\n');
+        src.push_str(include_str!("asm/irq.s"));
+    }
     parse(&src)
 }
 
@@ -279,7 +318,9 @@ pub fn build(
     system: &System,
     profile: &MemoryProfile,
 ) -> Result<Built, BuildError> {
-    let module = parse_benchmark(bench, profile).map_err(BuildError::Asm)?;
+    let irq_harness =
+        matches!(system, System::SwapRam(cfg) if cfg.irq_harness) && !bench.is_multitask();
+    let module = parse_benchmark_with(bench, profile, irq_harness).map_err(BuildError::Asm)?;
     let layout = layout_for(profile);
     let (program, metadata_bytes, handler_bytes, assembly_ref) = match system {
         System::Baseline => {
@@ -287,10 +328,24 @@ pub fn build(
             (Program::Base(a.clone()), 0, 0, a)
         }
         System::SwapRam(cfg) => {
-            let inst = swapram::pass::instrument(&module, cfg, &layout)?;
+            // The ISR entry must stay at a stable address (it is the
+            // interrupt vector): harness builds register it as an ISR
+            // root (excluded + funcId-veneered under Masked); multi-task
+            // builds blacklist it instead — their scheduler saves the
+            // funcId word per task in the context frame, so veneering
+            // with a single static slot would restore the wrong task's
+            // publish state after a context switch.
+            let mut cfg = cfg.clone();
+            if irq_harness {
+                cfg = cfg.with_isr_root("__isr_entry");
+            }
+            if bench.is_multitask() {
+                cfg = cfg.with_blacklisted("__isr_entry");
+            }
+            let inst = swapram::pass::instrument(&module, &cfg, &layout)?;
             let (m, h) = (inst.metadata_bytes, inst.handler_bytes);
             let a = inst.assembly.clone();
-            (Program::Swap(Box::new(inst), cfg.clone()), m, h, a)
+            (Program::Swap(Box::new(inst), cfg), m, h, a)
         }
         System::BlockCache(cfg) => {
             let p = bbpass::transform(&module, cfg, &layout)?;
@@ -303,6 +358,15 @@ pub fn build(
     let input_addr = assembly_ref
         .symbol("__input")
         .ok_or_else(|| BuildError::Asm(AsmError::global("benchmark lacks `__input`")))?;
+    let irq = if irq_harness || bench.is_multitask() {
+        let vector = assembly_ref
+            .symbol("__isr_entry")
+            .ok_or_else(|| BuildError::Asm(AsmError::global("ISR build lacks `__isr_entry`")))?;
+        let default_period = if bench.is_multitask() { 7919 } else { 9973 };
+        Some(IrqSetup { vector, default_period })
+    } else {
+        None
+    };
     Ok(Built {
         bench,
         program,
@@ -313,6 +377,7 @@ pub fn build(
         data_bytes: assembly_ref.section_size("data"),
         metadata_bytes,
         handler_bytes,
+        irq,
     })
 }
 
@@ -391,6 +456,10 @@ pub fn prepare(
             machine.bus_mut().poke_byte(base.wrapping_add(i as u16), *b);
         }
     }
+    if let Some(irq) = &built.irq {
+        let schedule = IrqSchedule::periodic(irq.default_period, irq.default_period);
+        machine.bus_mut().attach_timer(IrqTimer::new(schedule, irq.vector));
+    }
     attach(machine, built)
 }
 
@@ -440,6 +509,9 @@ pub fn sanitizer_for(built: &Built) -> Option<SanitizerConfig> {
             );
             let mut allow = vec![inst.fid_addr];
             allow.extend(inst.funcs.iter().map(|f| f.act_addr));
+            // Masked-protocol ISR veneers save/restore the funcId word
+            // through per-root slots in the metadata tables.
+            allow.extend(inst.isr_slots.iter().map(|(_, addr)| *addr));
             let tables = section_range(&inst.assembly, swapram::tables::TABLES_SECTION);
             (&inst.assembly, cache, tables, allow)
         }
@@ -453,12 +525,20 @@ pub fn sanitizer_for(built: &Built) -> Option<SanitizerConfig> {
         }
     };
     let text = section_range(assembly, "text");
+    // Multi-task benchmarks park task 1's stack inside the data section
+    // (a statically allocated stack + context frame), so the single-stack
+    // floor does not apply to them.
+    let stack_limit = if built.bench.is_multitask() {
+        None
+    } else {
+        stack_floor(assembly, &built.profile)
+    };
     Some(SanitizerConfig {
         exec: text.iter().copied().chain([cache]).collect(),
         tracked: Some(cache),
         protected: text.iter().copied().chain(tables).chain([cache]).collect(),
         store_allow,
-        stack_limit: stack_floor(assembly, &built.profile),
+        stack_limit,
     })
 }
 
@@ -472,7 +552,15 @@ fn attach(
     match &built.program {
         Program::Base(_) => Ok((None, None)),
         Program::Swap(inst, cfg) => {
-            let rt = SwapRuntime::new(inst, cfg.clone());
+            let mut rt = SwapRuntime::new(inst, cfg.clone());
+            // Under the Masked protocol the runtime trusts the scheduler's
+            // task-control blocks: suspended task stacks are scanned for
+            // return addresses that pin cached copies against eviction.
+            if cfg.isr_protocol == swapram::IsrProtocol::Masked {
+                if let Some(tcb0) = inst.assembly.symbol("__tcb0") {
+                    rt.set_task_table(tcb0, 2);
+                }
+            }
             let h = rt.stats_handle();
             machine.attach_hook(Box::new(rt));
             Ok((Some(h), None))

@@ -616,6 +616,66 @@ pub fn lzfx_decompress(comp: &[u8], expect: usize) -> Vec<u8> {
     out
 }
 
+/// SensorCrypto benchmark: 96 Galois-LFSR samples (taps `0xB400`, seed
+/// `input16 ^ 0xACE1`) produced by the sensor ISR, enciphered by the
+/// crypto task with a rotate-xor keystream (`ks = rol1(ks) ^ s[i]`,
+/// `c[i] = s[i] + ks`, ks seeded `0x1234`); emits the order-sensitive
+/// accumulator `acc = rol1(acc) + w` over both buffers. Every value is a
+/// pure function of the input, never of interrupt timing.
+pub fn sensorcrypto(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 2);
+    let mut lfsr = u16::from_le_bytes([input[0], input[1]]) ^ 0xACE1;
+    let mut samples = [0u16; 96];
+    for i in 0..96 {
+        lfsr = if lfsr & 1 != 0 { (lfsr >> 1) ^ 0xB400 } else { lfsr >> 1 };
+        samples[i] = lfsr;
+    }
+    let mut ks: u16 = 0x1234;
+    let mut cipher = [0u16; 96];
+    for i in 0..96 {
+        ks = ks.rotate_left(1) ^ samples[i];
+        cipher[i] = samples[i].wrapping_add(ks);
+    }
+    let acc = |buf: &[u16]| {
+        let mut a: u16 = 0;
+        for &w in buf {
+            a = a.rotate_left(1).wrapping_add(w);
+        }
+        a
+    };
+    vec![acc(&samples), acc(&cipher)]
+}
+
+/// CommsCompress benchmark: the comms ISR receives the 256-byte input
+/// one byte per tick, the compression task run-length-encodes it as
+/// (count, byte) pairs with runs capped at 255; emits the byte
+/// accumulator `acc = rol1(acc) + b` over the raw buffer, the compressed
+/// length, and the accumulator over the compressed stream.
+pub fn commscompress(input: &[u8]) -> Vec<u16> {
+    assert!(input.len() >= 256);
+    let rx = &input[..256];
+    let mut comp = Vec::new();
+    let mut i = 0;
+    while i < rx.len() {
+        let b = rx[i];
+        let mut n = 1;
+        while i + n < rx.len() && n < 255 && rx[i + n] == b {
+            n += 1;
+        }
+        comp.push(n as u8);
+        comp.push(b);
+        i += n;
+    }
+    let acc8 = |buf: &[u8]| {
+        let mut a: u16 = 0;
+        for &x in buf {
+            a = a.rotate_left(1).wrapping_add(u16::from(x));
+        }
+        a
+    };
+    vec![acc8(rx), comp.len() as u16, acc8(&comp)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

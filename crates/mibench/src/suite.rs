@@ -33,6 +33,12 @@ pub enum Benchmark {
     Rsa,
     /// Arithmetic placement microbenchmark (Figure 1 only).
     Arith,
+    /// Two-task concurrency benchmark: sensor ISR + cipher task (SENS).
+    /// SwapRAM-only — its scheduler saves `&__sr_fid` per task.
+    SensorCrypto,
+    /// Two-task concurrency benchmark: comms ISR + RLE task (COMM).
+    /// SwapRAM-only — its scheduler saves `&__sr_fid` per task.
+    CommsCompress,
 }
 
 impl Benchmark {
@@ -50,6 +56,18 @@ impl Benchmark {
         Benchmark::Rsa,
     ];
 
+    /// The preemptive two-task concurrency benchmarks. These carry their
+    /// own timer ISR and round-robin scheduler, reference SwapRAM table
+    /// symbols (`__sr_fid`) from the context-switch path, and therefore
+    /// build only under [`System::SwapRam`](crate::builder::System).
+    pub const MULTITASK: [Benchmark; 2] = [Benchmark::SensorCrypto, Benchmark::CommsCompress];
+
+    /// Whether this is a preemptive multi-task benchmark (carries its own
+    /// ISR, scheduler and task-control blocks).
+    pub fn is_multitask(self) -> bool {
+        matches!(self, Benchmark::SensorCrypto | Benchmark::CommsCompress)
+    }
+
     /// The paper's short name (Table 1).
     pub fn short_name(self) -> &'static str {
         match self {
@@ -63,6 +81,8 @@ impl Benchmark {
             Benchmark::Bitcount => "BIT",
             Benchmark::Rsa => "RSA",
             Benchmark::Arith => "ARITH",
+            Benchmark::SensorCrypto => "SENS",
+            Benchmark::CommsCompress => "COMM",
         }
     }
 
@@ -79,6 +99,8 @@ impl Benchmark {
             Benchmark::Bitcount => "bitcount",
             Benchmark::Rsa => "rsa",
             Benchmark::Arith => "arith",
+            Benchmark::SensorCrypto => "sensorcrypto",
+            Benchmark::CommsCompress => "commscompress",
         }
     }
 
@@ -95,12 +117,21 @@ impl Benchmark {
             Benchmark::Bitcount => include_str!("asm/bitcount.s"),
             Benchmark::Rsa => include_str!("asm/rsa.s"),
             Benchmark::Arith => include_str!("asm/arith.s"),
+            Benchmark::SensorCrypto => include_str!("asm/sensorcrypto.s"),
+            Benchmark::CommsCompress => include_str!("asm/commscompress.s"),
         }
     }
 
     /// Whether the benchmark links the shared runtime library.
     pub fn uses_lib(self) -> bool {
-        !matches!(self, Benchmark::Crc | Benchmark::Arith | Benchmark::Rc4)
+        !matches!(
+            self,
+            Benchmark::Crc
+                | Benchmark::Arith
+                | Benchmark::Rc4
+                | Benchmark::SensorCrypto
+                | Benchmark::CommsCompress
+        )
     }
 
     /// Bytes of input the benchmark consumes from `__input`.
@@ -116,6 +147,8 @@ impl Benchmark {
             Benchmark::Bitcount => 2,
             Benchmark::Rsa => 8,
             Benchmark::Arith => 0,
+            Benchmark::SensorCrypto => 2,
+            Benchmark::CommsCompress => 256,
         }
     }
 
@@ -133,6 +166,8 @@ impl Benchmark {
             Benchmark::Bitcount => oracle::bitcount(input),
             Benchmark::Rsa => oracle::rsa(input),
             Benchmark::Arith => oracle::arith(input),
+            Benchmark::SensorCrypto => oracle::sensorcrypto(input),
+            Benchmark::CommsCompress => oracle::commscompress(input),
         }
     }
 

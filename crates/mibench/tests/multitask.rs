@@ -1,0 +1,101 @@
+//! Multi-task benchmark pipeline checks: the preemptive two-task
+//! benchmarks (sensor ISR + crypto task, comms ISR + compression task)
+//! must produce their oracle checksums under SwapRAM with interrupts
+//! live, in both execution engines, and the single-task IRQ harness
+//! must leave every benchmark oracle intact.
+
+use mibench::builder::{build, run, run_on, MemoryProfile, System};
+use mibench::{input_for, Benchmark};
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::{Engine, Fr2355};
+use swapram::SwapConfig;
+
+fn swap_system() -> System {
+    System::SwapRam(SwapConfig::unified_fr2355().with_invariant_checks(true))
+}
+
+#[test]
+fn multitask_benchmarks_match_oracle_under_swapram() {
+    for bench in Benchmark::MULTITASK {
+        for seed in [1u64, 7] {
+            let profile = MemoryProfile::unified();
+            let built = build(bench, &swap_system(), &profile)
+                .unwrap_or_else(|e| panic!("{}: build failed: {e}", bench.name()));
+            assert!(built.irq.is_some(), "{}: multitask build must arm a timer", bench.name());
+            let input = input_for(bench, seed);
+            let r = run(&built, Frequency::MHZ_24, &input, 2_000_000_000)
+                .unwrap_or_else(|e| panic!("{}: run failed: {e}", bench.name()));
+            assert!(r.outcome.success(), "{}: {:?}", bench.name(), r.outcome.exit);
+            assert_eq!(
+                r.outcome.checksum.0,
+                bench.oracle_checksum(&input),
+                "{} seed {seed}: checksum mismatch",
+                bench.name()
+            );
+            let swap = r.swap.expect("SwapRAM stats");
+            assert!(r.outcome.stats.irq_delivered > 0, "{}: no ticks delivered", bench.name());
+            assert!(swap.misses > 0, "{}: cache never exercised", bench.name());
+        }
+    }
+}
+
+#[test]
+fn multitask_engines_agree() {
+    for bench in Benchmark::MULTITASK {
+        let profile = MemoryProfile::unified();
+        let built = build(bench, &swap_system(), &profile).expect("build");
+        let input = input_for(bench, 3);
+        let mut results = Vec::new();
+        for engine in [Engine::Interp, Engine::Predecoded] {
+            let mut m = Fr2355::machine(Frequency::MHZ_24);
+            m.set_engine(engine);
+            let r = run_on(&mut m, &built, &input, 2_000_000_000)
+                .unwrap_or_else(|e| panic!("{}/{engine:?}: {e}", bench.name()));
+            assert!(r.outcome.success(), "{}/{engine:?}: {:?}", bench.name(), r.outcome.exit);
+            results.push(r);
+        }
+        assert_eq!(
+            results[0], results[1],
+            "{}: engines disagree on a multitask benchmark",
+            bench.name()
+        );
+    }
+}
+
+#[test]
+fn irq_harness_preserves_single_task_oracles() {
+    // Representative spread: tiny (bitcount), pointer-heavy (stringsearch)
+    // and compute-heavy (crc) benchmarks under a live periodic ISR whose
+    // work body shares the code cache with the application.
+    for bench in [Benchmark::Bitcount, Benchmark::Stringsearch, Benchmark::Crc] {
+        let profile = MemoryProfile::unified();
+        let system = System::SwapRam(
+            SwapConfig::unified_fr2355().with_invariant_checks(true).with_irq_harness(true),
+        );
+        let built = build(bench, &system, &profile)
+            .unwrap_or_else(|e| panic!("{}: build failed: {e}", bench.name()));
+        assert!(built.irq.is_some(), "{}: harness build must arm a timer", bench.name());
+        let input = input_for(bench, 5);
+        let r = run(&built, Frequency::MHZ_24, &input, 2_000_000_000)
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", bench.name()));
+        assert!(r.outcome.success(), "{}: {:?}", bench.name(), r.outcome.exit);
+        assert_eq!(
+            r.outcome.checksum.0,
+            bench.oracle_checksum(&input),
+            "{}: ISR harness perturbed the benchmark output",
+            bench.name()
+        );
+        assert!(r.outcome.stats.irq_delivered > 0, "{}: harness never ticked", bench.name());
+    }
+}
+
+#[test]
+fn multitask_requires_swapram() {
+    // The scheduler saves `&__sr_fid` per task, so the sources reference a
+    // SwapRAM table symbol and must fail cleanly under other systems.
+    let profile = MemoryProfile::unified();
+    let err = build(Benchmark::SensorCrypto, &System::Baseline, &profile)
+        .expect_err("baseline multitask build must fail");
+    let msg = err.to_string();
+    assert!(msg.contains("__sr_fid"), "unexpected error: {msg}");
+}

@@ -18,7 +18,10 @@ pub const FLAG_C: u16 = 0x0001;
 pub const FLAG_Z: u16 = 0x0002;
 /// Negative flag bit.
 pub const FLAG_N: u16 = 0x0004;
-/// Global interrupt enable bit (unused; interrupts are not modeled).
+/// Global interrupt enable bit: gates delivery of latched timer
+/// interrupts (see [`crate::irq`]). Set/cleared by the guest's
+/// `eint`/`dint` (`bis`/`bic #8, sr`), cleared by hardware on interrupt
+/// entry and restored by `reti`.
 pub const FLAG_GIE: u16 = 0x0008;
 /// Overflow flag bit.
 pub const FLAG_V: u16 = 0x0100;
@@ -432,6 +435,7 @@ impl Cpu {
         self.set_sp(self.sp().wrapping_add(2));
         self.regs[2] = sr;
         self.regs[0] = pc;
+        bus.note_reti();
         Ok(())
     }
 

@@ -33,6 +33,7 @@ pub mod error;
 pub mod fault;
 pub mod freq;
 pub mod hwcache;
+pub mod irq;
 pub mod isa;
 pub mod machine;
 pub mod mem;
@@ -47,10 +48,11 @@ pub use energy::EnergyModel;
 pub use error::{SimError, SimResult};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use freq::Frequency;
+pub use irq::{IrqSchedule, IrqTimer};
 pub use isa::{AddrMode, Instr, Opcode, Operand, Reg};
 pub use machine::{
-    default_engine, set_default_engine, Engine, ExitReason, Hook, Machine, RunOutcome, TrapAction,
-    ENGINE_ENV,
+    default_engine, set_default_engine, Engine, ExitReason, Hook, IrqBoundary, Machine, RunOutcome,
+    TrapAction, ENGINE_ENV, IRQ_LATENCY_CYCLES,
 };
 pub use mem::{AccessKind, Bus, MemoryMap, Region};
 pub use sanitize::{SanitizerConfig, Violation};

@@ -11,15 +11,21 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use crate::blockcache::BlockEngine;
-use crate::cpu::Cpu;
+use crate::cpu::{Cpu, FLAG_GIE};
 use crate::error::{SimError, SimResult};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::freq::Frequency;
 use crate::hwcache::HwCache;
+use crate::isa::Reg;
 use crate::mem::{Bus, Image, MemoryMap};
 use crate::profile::Profiler;
 use crate::sanitize::Violation;
 use crate::trace::Stats;
+
+/// Cycles the hardware interrupt entry sequence takes on the MSP430
+/// (push PC, push SR, clear SR, fetch the vector): 6 cycles from request
+/// acceptance to the first ISR instruction.
+pub const IRQ_LATENCY_CYCLES: u32 = 6;
 
 /// Environment variable selecting the default execution engine:
 /// `interp` for the classic fetch/decode interpreter, anything else (or
@@ -81,6 +87,17 @@ pub enum TrapAction {
     Halt(u16),
 }
 
+/// Which side of an interrupt the machine is crossing when it calls
+/// [`Hook::on_interrupt_boundary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrqBoundary {
+    /// A timer interrupt is about to be delivered (the hardware entry
+    /// sequence has not run yet; CPU state is the interrupted program's).
+    Entry,
+    /// A `reti` just completed (CPU state is the resumed program's).
+    Return,
+}
+
 /// A software runtime attached to the machine (see module docs).
 pub trait Hook {
     /// Services a trap: control flow reached `trap_pc` inside the trap
@@ -90,6 +107,24 @@ pub trait Hook {
     ///
     /// Returns an error to abort simulation (e.g. corrupted runtime state).
     fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction>;
+
+    /// Called at every interrupt boundary when a timer is armed: just
+    /// before delivery and just after each `reti`. Runtimes use this to
+    /// audit their invariants at exactly the points asynchronous control
+    /// flow could observe them mid-update. The default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error to abort simulation (e.g. an invariant violated
+    /// at the boundary).
+    fn on_interrupt_boundary(
+        &mut self,
+        _cpu: &mut Cpu,
+        _bus: &mut Bus,
+        _boundary: IrqBoundary,
+    ) -> SimResult<()> {
+        Ok(())
+    }
 
     /// Downcast support for callers that retrieve the hook after a run
     /// (e.g. to audit runtime metadata against final machine state).
@@ -336,12 +371,14 @@ impl Machine {
     ///
     /// Propagates simulation errors from [`Machine::step`].
     pub fn run(&mut self, max_cycles: u64) -> SimResult<RunOutcome> {
-        // Fault plans fire at exact instruction boundaries and profilers
-        // record every PC, so the pre-decoded engine may only batch
-        // straight-line runs when neither is attached; the engine then
+        // Fault plans fire at exact instruction boundaries, profilers
+        // record every PC, and timer interrupts are accepted between
+        // instructions — so the pre-decoded engine may only batch
+        // straight-line runs when none is attached; the engine then
         // replicates this loop's per-instruction checks inline (see
         // [`BlockEngine::step_batched`]).
-        let batch = self.faults.is_none() && self.profiler.is_none();
+        let irq = self.bus.timer().is_some();
+        let batch = self.faults.is_none() && self.profiler.is_none() && !irq;
         let exit = loop {
             let stepped = if batch { self.step_batch(max_cycles) } else { self.step() };
             // A latched sanitizer violation wins over whatever the wild
@@ -357,11 +394,76 @@ impl Machine {
             if let Some(reason) = self.fire_due_faults() {
                 break reason;
             }
+            // Drain the reti flag even with no timer armed, so a timer
+            // attached later never observes a stale boundary.
+            if self.bus.take_reti() && irq {
+                self.interrupt_boundary(IrqBoundary::Return)?;
+            }
+            if irq {
+                self.service_interrupt()?;
+            }
             if self.bus.stats().total_cycles() >= max_cycles {
                 break ExitReason::CycleLimit;
             }
         };
         Ok(self.outcome(exit))
+    }
+
+    /// Notifies the hook of an interrupt boundary (no-op without a hook).
+    /// Runs in trusted-runtime mode like a trap service, so the hook's
+    /// own bookkeeping reads never trip the sanitizer.
+    fn interrupt_boundary(&mut self, boundary: IrqBoundary) -> SimResult<()> {
+        let Some(mut hook) = self.hook.take() else { return Ok(()) };
+        self.bus.set_runtime_mode(true);
+        let result = hook.on_interrupt_boundary(&mut self.cpu, &mut self.bus, boundary);
+        self.bus.set_runtime_mode(false);
+        self.hook = Some(hook);
+        result
+    }
+
+    /// Polls the timer and, if an interrupt is pending and deliverable,
+    /// performs the MSP430 hardware entry sequence: push PC, push SR,
+    /// clear SR (masking further interrupts — no nesting), load the
+    /// vector, charge [`IRQ_LATENCY_CYCLES`].
+    ///
+    /// Delivery is gated on the `GIE` bit and deferred while the PC sits
+    /// in the trap window — a pending runtime trap services first, so the
+    /// hook's view of the trapping call's stack frame stays intact.
+    ///
+    /// # Errors
+    ///
+    /// An unset or misaligned vector is a [`SimError::Hook`] error; the
+    /// stack pushes go through the bus and may fault like any guest
+    /// store. Boundary-hook errors propagate.
+    fn service_interrupt(&mut self) -> SimResult<()> {
+        self.bus.poll_timer();
+        if !self.bus.irq_pending()
+            || self.cpu.sr() & FLAG_GIE == 0
+            || self.bus.map().trap.contains(self.cpu.pc())
+        {
+            return Ok(());
+        }
+        let vector = self.bus.timer().map_or(0, |t| t.vector());
+        if vector == 0 || vector == 0xFFFF || vector & 1 != 0 {
+            return Err(SimError::Hook(format!("invalid interrupt vector 0x{vector:04x}")));
+        }
+        self.interrupt_boundary(IrqBoundary::Entry)?;
+        let pc = self.cpu.pc();
+        let sr = self.cpu.sr();
+        let sp = self.cpu.sp().wrapping_sub(2);
+        self.cpu.set_sp(sp);
+        self.bus.write_word(sp, pc)?;
+        let sp = sp.wrapping_sub(2);
+        self.cpu.set_sp(sp);
+        self.bus.write_word(sp, sr)?;
+        self.cpu.set_reg(Reg::SR, 0);
+        self.cpu.set_pc(vector);
+        self.bus.clear_irq_pending();
+        let stats = self.bus.stats_mut();
+        stats.irq_delivered += 1;
+        stats.irq_latency_cycles += u64::from(IRQ_LATENCY_CYCLES);
+        stats.unstalled_cycles += u64::from(IRQ_LATENCY_CYCLES);
+        Ok(())
     }
 
     /// Like [`Machine::step`], but lets the pre-decoded engine execute a
@@ -669,6 +771,172 @@ mod tests {
         });
         let out = m.run(1_000).unwrap();
         assert_eq!(out.exit, ExitReason::SanitizerTrap(Violation::BadStore { addr: 0x4100 }));
+    }
+
+    /// `eint` (`bis #8, sr`) as an encodable instruction.
+    fn eint() -> Instr {
+        Instr::FormatI {
+            op: Opcode::Bis,
+            size: Size::Word,
+            src: Operand::Imm(0x0008),
+            dst: Operand::Reg(Reg::SR),
+        }
+    }
+
+    fn reti() -> Instr {
+        Instr::FormatII { op: Opcode::Reti, size: Size::Word, dst: Operand::Reg(Reg::CG) }
+    }
+
+    fn say(b: u8) -> Instr {
+        Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Byte,
+            src: Operand::Imm(u16::from(b)),
+            dst: Operand::Absolute(ports::CONSOLE),
+        }
+    }
+
+    /// Main at 0x4000: enable interrupts, set up a stack, spin. ISR at
+    /// 0x4400: emit one console byte, return.
+    fn irq_machine(engine: Engine) -> Machine {
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.set_engine(engine);
+        let set_sp = Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::Imm(0x3000),
+            dst: Operand::Reg(Reg::SP),
+        };
+        m.load(&image_of(
+            &[set_sp, eint(), Instr::Jump { op: Opcode::Jmp, offset_words: -1 }],
+            0x4000,
+        ));
+        let isr = image_of(&[say(b'!'), reti()], 0x4400);
+        m.bus_mut().load_image(&isr).unwrap();
+        m
+    }
+
+    #[test]
+    fn timer_interrupt_delivers_and_returns() {
+        use crate::irq::{IrqSchedule, IrqTimer};
+
+        for engine in [Engine::Interp, Engine::Predecoded] {
+            let mut m = irq_machine(engine);
+            m.bus_mut().attach_timer(IrqTimer::new(IrqSchedule::periodic(500, 100), 0x4400));
+            let out = m.run(2_000).unwrap();
+            assert_eq!(out.exit, ExitReason::CycleLimit);
+            assert_eq!(out.stats.irq_delivered, 4, "fires at 100/600/1100/1600 ({engine:?})");
+            assert_eq!(out.console, b"!!!!");
+            assert_eq!(out.stats.irq_latency_cycles, 4 * u64::from(IRQ_LATENCY_CYCLES));
+            // reti restored SR with GIE set, so the spin loop keeps taking
+            // interrupts — and the stack is balanced again.
+            assert_eq!(m.cpu().sr() & FLAG_GIE, FLAG_GIE);
+            assert_eq!(m.cpu().sp(), 0x3000);
+        }
+    }
+
+    #[test]
+    fn interrupts_masked_until_eint() {
+        use crate::irq::{IrqSchedule, IrqTimer};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // No eint: GIE stays clear, nothing is ever delivered; fires
+        // coalesce into the single pending latch.
+        m.load(&image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4000));
+        m.bus_mut().attach_timer(IrqTimer::new(IrqSchedule::periodic(100, 50), 0x4400));
+        let out = m.run(1_000).unwrap();
+        assert_eq!(out.exit, ExitReason::CycleLimit);
+        assert_eq!(out.stats.irq_delivered, 0);
+        assert!(out.stats.irq_coalesced >= 8, "pending requests coalesce while masked");
+        assert!(m.bus().irq_pending());
+    }
+
+    #[test]
+    fn gie_cleared_during_isr_prevents_nesting() {
+        use crate::irq::{IrqSchedule, IrqTimer};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        let set_sp = Instr::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: Operand::Imm(0x3000),
+            dst: Operand::Reg(Reg::SP),
+        };
+        m.load(&image_of(
+            &[set_sp, eint(), Instr::Jump { op: Opcode::Jmp, offset_words: -1 }],
+            0x4000,
+        ));
+        // ISR that spins forever: with GIE cleared on entry, the dense
+        // periodic schedule must deliver exactly once.
+        let isr = image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4400);
+        m.bus_mut().load_image(&isr).unwrap();
+        m.bus_mut().attach_timer(IrqTimer::new(IrqSchedule::periodic(50, 100), 0x4400));
+        let out = m.run(5_000).unwrap();
+        assert_eq!(out.exit, ExitReason::CycleLimit);
+        assert_eq!(out.stats.irq_delivered, 1);
+        assert_eq!(m.cpu().sr() & FLAG_GIE, 0, "hardware cleared GIE on entry");
+    }
+
+    #[test]
+    fn invalid_vector_is_typed_error() {
+        use crate::irq::{IrqSchedule, IrqTimer};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.load(&image_of(
+            &[eint(), Instr::Jump { op: Opcode::Jmp, offset_words: -1 }],
+            0x4000,
+        ));
+        m.bus_mut().attach_timer(IrqTimer::new(IrqSchedule::periodic(50, 50), 0x4401));
+        assert!(matches!(m.run(1_000), Err(SimError::Hook(_))));
+    }
+
+    #[test]
+    fn power_cycle_clears_pending_interrupt() {
+        use crate::irq::{IrqSchedule, IrqTimer};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        // Masked the whole run, so the one-shot fire stays latched.
+        m.load(&image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4000));
+        m.bus_mut().attach_timer(IrqTimer::new(IrqSchedule::at(vec![50]), 0x4400));
+        let out = m.run(500).unwrap();
+        assert_eq!(out.exit, ExitReason::CycleLimit);
+        assert!(m.bus().irq_pending());
+        m.power_cycle();
+        assert!(!m.bus().irq_pending(), "latched requests are volatile");
+        assert!(m.bus().timer().is_some(), "the schedule itself survives");
+    }
+
+    #[test]
+    fn boundary_hook_sees_entry_and_return() {
+        use crate::irq::{IrqSchedule, IrqTimer};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Auditor {
+            seen: Rc<RefCell<Vec<IrqBoundary>>>,
+        }
+        impl Hook for Auditor {
+            fn on_trap(&mut self, _c: &mut Cpu, _b: &mut Bus, _pc: u16) -> SimResult<TrapAction> {
+                unreachable!("no trap window entry in this test")
+            }
+            fn on_interrupt_boundary(
+                &mut self,
+                _cpu: &mut Cpu,
+                _bus: &mut Bus,
+                boundary: IrqBoundary,
+            ) -> SimResult<()> {
+                self.seen.borrow_mut().push(boundary);
+                Ok(())
+            }
+        }
+
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut m = irq_machine(Engine::Interp);
+        m.attach_hook(Box::new(Auditor { seen: Rc::clone(&seen) }));
+        m.bus_mut().attach_timer(IrqTimer::new(IrqSchedule::at(vec![100]), 0x4400));
+        let out = m.run(1_000).unwrap();
+        assert_eq!(out.stats.irq_delivered, 1);
+        assert_eq!(*seen.borrow(), vec![IrqBoundary::Entry, IrqBoundary::Return]);
     }
 
     #[test]

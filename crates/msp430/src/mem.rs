@@ -15,6 +15,7 @@
 use crate::error::{SimError, SimResult};
 use crate::freq::Frequency;
 use crate::hwcache::HwCache;
+use crate::irq::IrqTimer;
 use crate::ports::Ports;
 use crate::sanitize::{Sanitizer, SanitizerConfig, Violation};
 use crate::trace::{Category, Stats};
@@ -339,6 +340,11 @@ pub struct Bus {
     /// fill tracking, so the engine must drop blocks built under the old
     /// one's skip analysis.
     sanitizer_epoch: u64,
+    /// Optional timer-interrupt controller (see [`crate::irq`]).
+    timer: Option<Box<IrqTimer>>,
+    /// Set by [`crate::cpu::Cpu::exec_reti`]; the run loop takes it to
+    /// observe interrupt-return boundaries regardless of engine.
+    reti_seen: bool,
 }
 
 impl Bus {
@@ -356,6 +362,8 @@ impl Bus {
             sanitizer: None,
             code_watch: None,
             sanitizer_epoch: 0,
+            timer: None,
+            reti_seen: false,
         }
     }
 
@@ -440,6 +448,57 @@ impl Bus {
     /// The attached sanitizer, if any.
     pub fn sanitizer(&self) -> Option<&Sanitizer> {
         self.sanitizer.as_deref()
+    }
+
+    /// Attaches (or replaces) the timer-interrupt controller.
+    pub fn attach_timer(&mut self, timer: IrqTimer) {
+        self.timer = Some(Box::new(timer));
+    }
+
+    /// Detaches the timer-interrupt controller, returning it.
+    pub fn detach_timer(&mut self) -> Option<IrqTimer> {
+        self.timer.take().map(|t| *t)
+    }
+
+    /// The attached timer, if any.
+    #[inline]
+    pub fn timer(&self) -> Option<&IrqTimer> {
+        self.timer.as_deref()
+    }
+
+    /// Latches any timer fires due at the current cumulative cycle count,
+    /// coalescing multiple fires into the single pending latch.
+    pub fn poll_timer(&mut self) {
+        let cycle = self.stats.total_cycles();
+        if let Some(t) = &mut self.timer {
+            self.stats.irq_coalesced += t.latch_due(cycle);
+        }
+    }
+
+    /// Whether a timer interrupt is latched awaiting delivery.
+    #[inline]
+    pub fn irq_pending(&self) -> bool {
+        self.timer.as_ref().is_some_and(|t| t.pending())
+    }
+
+    /// Clears the pending latch (the interrupt was delivered).
+    pub fn clear_irq_pending(&mut self) {
+        if let Some(t) = &mut self.timer {
+            t.clear_pending();
+        }
+    }
+
+    /// Records that a `reti` executed (called from the CPU core so both
+    /// engines report through the same path).
+    #[inline]
+    pub(crate) fn note_reti(&mut self) {
+        self.reti_seen = true;
+    }
+
+    /// Takes the interrupt-return flag set by the last `reti`.
+    #[inline]
+    pub fn take_reti(&mut self) -> bool {
+        std::mem::take(&mut self.reti_seen)
     }
 
     /// Enters/leaves trusted-runtime mode: sanitizer checks are suppressed
@@ -849,6 +908,14 @@ impl Bus {
         if let Some(s) = &mut self.sanitizer {
             s.power_cycle();
         }
+        // A latched-but-undelivered interrupt request is volatile
+        // peripheral state: it dies with the power. The fire schedule's
+        // cursor survives because it is keyed on cumulative bench cycles,
+        // like the fault plans.
+        if let Some(t) = &mut self.timer {
+            t.clear_pending();
+        }
+        self.reti_seen = false;
     }
 
     /// Flips bit `bit` (0–7) of the byte at `addr` — a silent fault

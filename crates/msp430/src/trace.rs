@@ -84,6 +84,14 @@ pub struct Stats {
     pub hw_cache_hits: u64,
     /// Hardware read-cache misses.
     pub hw_cache_misses: u64,
+    /// Timer interrupts delivered to the CPU.
+    pub irq_delivered: u64,
+    /// Timer fires coalesced into an already-pending request (no separate
+    /// delivery of their own).
+    pub irq_coalesced: u64,
+    /// Cycles spent in the hardware interrupt entry sequence (6 per
+    /// delivery on the MSP430), already included in `unstalled_cycles`.
+    pub irq_latency_cycles: u64,
     /// Executed instructions per attribution category.
     pub instructions: [u64; 4],
 }

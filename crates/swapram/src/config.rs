@@ -45,6 +45,31 @@ pub enum RecoveryMode {
     DirtyLog,
 }
 
+/// Critical-section policy for the runtime's metadata updates when timer
+/// interrupts are armed (see the concurrency campaign).
+///
+/// The hazard: instrumented call sites publish the callee's function id
+/// through the shared `__sr_fid` word in the two-instruction window
+/// `MOV #fid, &__sr_fid; CALL &redir`. An ISR that performs its own
+/// instrumented call inside that window clobbers the id, so the
+/// interrupted call traps with the *ISR's* id. Similarly, a preempting
+/// ISR may miss and evict while the runtime itself is mid-eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsrProtocol {
+    /// Reentrancy-hardened: ISR entry/exit veneers save and restore the
+    /// shared `__sr_fid` word, the miss handler runs to completion before
+    /// a pending interrupt is delivered (trap-window deferral models
+    /// interrupt masking across the critical section), and eviction also
+    /// honours return addresses on *suspended* task stacks.
+    Masked,
+    /// The paper's trust model: no veneers, and the miss handler yields
+    /// to pending interrupts at its preemption points — reproducing the
+    /// unprotected metadata-update windows a real interrupt-oblivious
+    /// deployment would have. Hazards are detected (guards/sanitizer/
+    /// oracle), not prevented.
+    Unprotected,
+}
+
 /// Configuration for the static pass and runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SwapConfig {
@@ -82,6 +107,17 @@ pub struct SwapConfig {
     /// FRAM image. Costs one FRAM word per function plus the
     /// [`crate::cost::CostModel`] guard charges per miss.
     pub guards: bool,
+    /// Critical-section policy under timer interrupts.
+    pub isr_protocol: IsrProtocol,
+    /// Functions that are interrupt-service-routine roots (vector
+    /// targets). They are never cached — an interrupt must vector to a
+    /// stable FRAM address — and under [`IsrProtocol::Masked`] the pass
+    /// wraps them in `__sr_fid` save/restore veneers.
+    pub isr_roots: BTreeSet<String>,
+    /// Build the benchmark with the periodic interrupt harness: link the
+    /// ISR workload module and enable interrupts around `main` (see
+    /// `mibench`'s builder). Off for the plain single-threaded figures.
+    pub irq_harness: bool,
 }
 
 impl SwapConfig {
@@ -102,6 +138,9 @@ impl SwapConfig {
             recovery: RecoveryMode::FullScan,
             check_invariants: false,
             guards: true,
+            isr_protocol: IsrProtocol::Masked,
+            isr_roots: BTreeSet::new(),
+            irq_harness: false,
         }
     }
 
@@ -144,6 +183,25 @@ impl SwapConfig {
     /// default; turning them off reproduces the paper's unguarded tables.
     pub fn with_guards(mut self, on: bool) -> SwapConfig {
         self.guards = on;
+        self
+    }
+
+    /// Sets the critical-section policy under interrupts (builder style).
+    pub fn with_isr_protocol(mut self, protocol: IsrProtocol) -> SwapConfig {
+        self.isr_protocol = protocol;
+        self
+    }
+
+    /// Marks a function as an ISR root (builder style): excluded from
+    /// caching and veneered under [`IsrProtocol::Masked`].
+    pub fn with_isr_root(mut self, name: &str) -> SwapConfig {
+        self.isr_roots.insert(name.to_string());
+        self
+    }
+
+    /// Enables or disables the periodic interrupt harness (builder style).
+    pub fn with_irq_harness(mut self, on: bool) -> SwapConfig {
+        self.irq_harness = on;
         self
     }
 }
@@ -192,5 +250,20 @@ mod tests {
         assert!(!c.check_invariants);
         assert!(c.guards, "metadata guards default on");
         assert!(!c.with_guards(false).guards);
+    }
+
+    #[test]
+    fn isr_defaults_and_builders() {
+        let c = SwapConfig::unified_fr2355();
+        assert_eq!(c.isr_protocol, IsrProtocol::Masked);
+        assert!(c.isr_roots.is_empty());
+        assert!(!c.irq_harness);
+        let c = c
+            .with_isr_protocol(IsrProtocol::Unprotected)
+            .with_isr_root("__isr_entry")
+            .with_irq_harness(true);
+        assert_eq!(c.isr_protocol, IsrProtocol::Unprotected);
+        assert!(c.isr_roots.contains("__isr_entry"));
+        assert!(c.irq_harness);
     }
 }

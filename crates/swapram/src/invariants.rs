@@ -33,6 +33,7 @@ pub fn check(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
     check_queue(rt)?;
     check_functions(rt, bus)?;
     check_journal(rt, bus)?;
+    check_task_table(rt, bus)?;
     Ok(())
 }
 
@@ -186,6 +187,32 @@ fn check_functions(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
     let fid = bus.peek_word(rt.fid_addr());
     if nfuncs > 0 && fid >= nfuncs {
         return Err(format!("funcId word holds {fid}, only {nfuncs} functions exist"));
+    }
+    Ok(())
+}
+
+/// Registered task-control-block table: every saved stack pointer is
+/// either zero (task not primed) or an even RAM address (SRAM or FRAM —
+/// the unified memory profile parks stacks in FRAM). An odd or
+/// out-of-RAM saved SP means the scheduler's context-save path corrupted
+/// the slot, and the eviction scan that walks these stacks would read
+/// garbage.
+fn check_task_table(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
+    let Some((table, ntasks)) = rt.task_table() else {
+        return Ok(());
+    };
+    for t in 0..ntasks {
+        let sp = bus.peek_word(table.wrapping_add(2 * t));
+        if sp == 0 {
+            continue;
+        }
+        if sp & 1 != 0 {
+            return Err(format!("task {t}: saved SP {sp:#06x} is odd"));
+        }
+        let region = bus.map().region_of(sp);
+        if region != msp430_sim::mem::Region::Sram && region != msp430_sim::mem::Region::Fram {
+            return Err(format!("task {t}: saved SP {sp:#06x} outside RAM"));
+        }
     }
     Ok(())
 }

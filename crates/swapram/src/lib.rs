@@ -60,7 +60,7 @@ pub mod runtime;
 pub mod stats;
 pub mod tables;
 
-pub use config::{PolicyKind, RecoveryMode, SwapConfig};
+pub use config::{IsrProtocol, PolicyKind, RecoveryMode, SwapConfig};
 pub use cost::CostModel;
 pub use pass::{Instrumented, Journal, SwapFunc, SwapReloc};
 pub use runtime::{RecoveryOutcome, SwapRuntime};

@@ -28,11 +28,11 @@
 //! markers, which the benchmark sources (like compiler output) already
 //! carry.
 
-use crate::config::{RecoveryMode, SwapConfig};
+use crate::config::{IsrProtocol, RecoveryMode, SwapConfig};
 use crate::guards::guard_value;
 use crate::tables::{
-    act_symbol, guard_symbol, redir_symbol, reloc_symbol, rofs_symbol, DIRTY_COUNT_SYMBOL,
-    DIRTY_SLOTS_SYMBOL, FID_SYMBOL, GEN_SYMBOL, TABLES_SECTION,
+    act_symbol, guard_symbol, isrfid_symbol, redir_symbol, reloc_symbol, rofs_symbol,
+    DIRTY_COUNT_SYMBOL, DIRTY_SLOTS_SYMBOL, FID_SYMBOL, GEN_SYMBOL, TABLES_SECTION,
 };
 use msp430_asm::ast::{AsmOperand, Insn, Item, Module, Stmt};
 use msp430_asm::error::{AsmError, AsmResult};
@@ -120,6 +120,12 @@ pub struct Instrumented {
     /// Layout of the persistent dirty log, when the configuration asked
     /// for [`RecoveryMode::DirtyLog`] and the program fits its id space.
     pub journal: Option<Journal>,
+    /// `(function, save-slot address)` for every veneered ISR root: the
+    /// FRAM words the entry/exit veneers park the interrupted program's
+    /// `__sr_fid` in (empty unless [`IsrProtocol::Masked`] with ISR
+    /// roots present). Runtime-adjacent stores — the sanitizer must
+    /// allow application writes to them like the fid word itself.
+    pub isr_slots: Vec<(String, u16)>,
 }
 
 impl Instrumented {
@@ -160,19 +166,35 @@ pub fn instrument(
     let layout = layout.clone().with_section(TABLES_SECTION, swap.tables_base);
 
     // Determine the cacheable set: every `.func` function except the entry
-    // point and the blacklist.
+    // point, the blacklist and ISR roots (an interrupt must vector to a
+    // stable FRAM address, so vector targets can never move into SRAM).
     let fns = program::functions_of(module);
     let mut ids: BTreeMap<String, u16> = BTreeMap::new();
     for f in &fns {
-        if f.name == layout.entry || swap.blacklist.contains(&f.name) {
+        if f.name == layout.entry
+            || swap.blacklist.contains(&f.name)
+            || swap.isr_roots.contains(&f.name)
+        {
             continue;
         }
         let id = ids.len() as u16;
         ids.insert(f.name.clone(), id);
     }
 
+    // ISR roots actually present in the module get fid save/restore
+    // veneers under the masked protocol (see `inject_isr_veneers`).
+    let veneered: Vec<String> = if swap.isr_protocol == IsrProtocol::Masked {
+        fns.iter()
+            .filter(|f| swap.isr_roots.contains(&f.name))
+            .map(|f| f.name.clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     // ---- Pass 1: rewrite call sites, emit base tables. ----
-    let (mut instrumented, call_sites) = rewrite_calls(module, &ids, &fns);
+    let (instrumented, call_sites) = rewrite_calls(module, &ids, &fns);
+    let mut instrumented = inject_isr_veneers(&instrumented, &veneered);
     instrumented.push(Item::Section(TABLES_SECTION.to_string()));
     instrumented.push(Item::Align(2));
     instrumented.push(Item::Label(FID_SYMBOL.to_string()));
@@ -181,6 +203,13 @@ pub fn instrument(
         instrumented.push(Item::Label(redir_symbol(name)));
         instrumented.push(Item::Word(vec![Expr::num(i64::from(swap.trap_addr))]));
         instrumented.push(Item::Label(act_symbol(name)));
+        instrumented.push(Item::Word(vec![Expr::num(0)]));
+    }
+    // One static save slot per veneered ISR root. A static (not stacked)
+    // slot suffices: interrupts do not nest (hardware clears GIE on
+    // entry), so at most one ISR activation per root is ever live.
+    for name in &veneered {
+        instrumented.push(Item::Label(isrfid_symbol(name)));
         instrumented.push(Item::Word(vec![Expr::num(0)]));
     }
     let wants_journal =
@@ -342,6 +371,11 @@ pub fn instrument(
         None
     };
 
+    let isr_slots = veneered
+        .iter()
+        .map(|n| Ok((n.clone(), lookup(&isrfid_symbol(n))?)))
+        .collect::<AsmResult<Vec<_>>>()?;
+
     Ok(Instrumented {
         fid_addr: lookup(FID_SYMBOL)?,
         assembly,
@@ -350,7 +384,51 @@ pub fn instrument(
         handler_bytes,
         call_sites,
         journal,
+        isr_slots,
     })
+}
+
+/// Wraps each veneered ISR root in `__sr_fid` save/restore code: the first
+/// instruction parks the interrupted program's published function id in
+/// the root's static save slot, and every `reti` is preceded by a restore.
+/// This closes the publish-window hazard (an ISR performing its own
+/// instrumented call between a call site's `MOV #fid, &__sr_fid` and its
+/// `CALL &redir`) without changing the ISR's stack-frame shape.
+fn inject_isr_veneers(module: &Module, roots: &[String]) -> Module {
+    if roots.is_empty() {
+        return module.clone();
+    }
+    let spans = program::functions_of(module);
+    let mut in_root: Vec<Option<String>> = vec![None; module.stmts.len()];
+    for f in &spans {
+        if roots.contains(&f.name) {
+            for slot in &mut in_root[f.body.clone()] {
+                *slot = Some(f.name.clone());
+            }
+        }
+    }
+    let mov_abs = |src: String, dst: String| {
+        Item::Insn(Insn::FormatI {
+            op: Opcode::Mov,
+            size: Size::Word,
+            src: AsmOperand::Absolute(Expr::sym(src)),
+            dst: AsmOperand::Absolute(Expr::sym(dst)),
+        })
+    };
+    let mut out = Module::new();
+    let mut entered: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (i, stmt) in module.stmts.iter().enumerate() {
+        if let (Some(name), Item::Insn(insn)) = (&in_root[i], &stmt.item) {
+            if entered.insert(name.clone()) {
+                out.push(mov_abs(FID_SYMBOL.to_string(), isrfid_symbol(name)));
+            }
+            if matches!(insn, Insn::FormatII { op: Opcode::Reti, .. }) {
+                out.push(mov_abs(isrfid_symbol(name), FID_SYMBOL.to_string()));
+            }
+        }
+        out.stmts.push(stmt.clone());
+    }
+    out
 }
 
 /// Pass 1 body: returns the rewritten module and the number of rewritten
@@ -581,6 +659,75 @@ big_end:
         let m = parse("    .section srtab\n    .word 0\n").unwrap();
         let (sc, lc) = cfg();
         assert!(instrument(&m, &sc, &lc).is_err());
+    }
+
+    const ISR_SRC: &str = "\
+    .text
+    .func __start
+__start:
+    mov #0x2ffe, sp
+    call #main
+    mov #0, &0x0102
+    .endfunc
+    .func main
+main:
+    mov #3, r12
+    call #work
+    ret
+    .endfunc
+    .func work
+work:
+    dec r12
+    jnz work
+    ret
+    .endfunc
+    .func isr
+isr:
+    push r12
+    call #work
+    pop r12
+    reti
+    .endfunc
+";
+
+    #[test]
+    fn isr_roots_excluded_and_veneered() {
+        use crate::config::IsrProtocol;
+        let m = parse(ISR_SRC).unwrap();
+        let (sc, lc) = cfg();
+        let sc = sc.with_isr_root("isr");
+        assert_eq!(sc.isr_protocol, IsrProtocol::Masked);
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        // The root is never cacheable — an interrupt vector needs a
+        // stable FRAM target.
+        assert!(inst.func_by_name("isr").is_none());
+        // Its save slot exists and the veneers reference it.
+        assert_eq!(inst.isr_slots.len(), 1);
+        assert_eq!(inst.isr_slots[0].0, "isr");
+        let slot = inst.isr_slots[0].1;
+        assert!(slot >= sc.tables_base, "slot lives in the metadata section");
+        let asm_text = inst.assembly.module.to_asm();
+        let sym = isrfid_symbol("isr");
+        assert_eq!(
+            asm_text.matches(sym.as_str()).count(),
+            3,
+            "label + save + restore references"
+        );
+        // The ISR's own instrumented call still publishes work's fid —
+        // that is exactly the hazard the veneer closes.
+        assert!(inst.call_sites >= 3);
+    }
+
+    #[test]
+    fn unprotected_isr_root_keeps_hazard_window() {
+        use crate::config::IsrProtocol;
+        let m = parse(ISR_SRC).unwrap();
+        let (sc, lc) = cfg();
+        let sc = sc.with_isr_root("isr").with_isr_protocol(IsrProtocol::Unprotected);
+        let inst = instrument(&m, &sc, &lc).unwrap();
+        assert!(inst.func_by_name("isr").is_none(), "still never cached");
+        assert!(inst.isr_slots.is_empty(), "no veneer under the paper's trust model");
+        assert!(!inst.assembly.module.to_asm().contains("__sr_isrfid_"));
     }
 
     #[test]

@@ -12,14 +12,14 @@
 //! [`CostModel`] and attributed to the `miss handler` / `memcpy`
 //! categories of Figure 8.
 
-use crate::config::{PolicyKind, RecoveryMode, SwapConfig};
+use crate::config::{IsrProtocol, PolicyKind, RecoveryMode, SwapConfig};
 use crate::cost::CostModel;
 use crate::guards::{guard_value, plausible_act};
 use crate::pass::{Instrumented, Journal, SwapFunc};
 use crate::stats::SwapStats;
-use msp430_sim::cpu::Cpu;
+use msp430_sim::cpu::{Cpu, FLAG_GIE};
 use msp430_sim::error::{SimError, SimResult};
-use msp430_sim::machine::{Hook, TrapAction};
+use msp430_sim::machine::{Hook, IrqBoundary, TrapAction};
 use msp430_sim::mem::{AccessKind, Bus};
 use msp430_sim::trace::Category;
 use std::cell::RefCell;
@@ -97,6 +97,12 @@ pub struct SwapRuntime {
     /// dedup index — rebuilt implicitly on reboot because a fresh runtime
     /// starts empty and the generation advances).
     logged: Vec<bool>,
+    /// `(table address, task count)` of a guest task-control-block table:
+    /// one saved stack pointer per task, contiguous words. Registered by
+    /// the builder for multi-task programs so eviction can honour return
+    /// addresses on *suspended* task stacks (the live SP scan only covers
+    /// the running task). [`IsrProtocol::Masked`] only.
+    task_table: Option<(u16, u16)>,
 }
 
 impl std::fmt::Debug for SwapRuntime {
@@ -137,7 +143,23 @@ impl SwapRuntime {
             freeze_left: 0,
             journal: inst.journal,
             logged,
+            task_table: None,
         }
+    }
+
+    /// Registers the guest's task-control-block table: `ntasks` contiguous
+    /// words at `addr`, each the saved stack pointer of a suspended task
+    /// (zero until the task is primed). Under [`IsrProtocol::Masked`] the
+    /// eviction scan then also honours return addresses on suspended task
+    /// stacks; [`IsrProtocol::Unprotected`] ignores the table, reproducing
+    /// the paper's single-stack trust model.
+    pub fn set_task_table(&mut self, addr: u16, ntasks: u16) {
+        self.task_table = Some((addr, ntasks));
+    }
+
+    /// The registered task table, if any (for the invariant checker).
+    pub fn task_table(&self) -> Option<(u16, u16)> {
+        self.task_table
     }
 
     /// A shared handle to the runtime counters; clone it before attaching
@@ -439,6 +461,76 @@ impl SwapRuntime {
         Ok(pinned)
     }
 
+    /// Like [`SwapRuntime::stack_pins`], but over the *suspended* task
+    /// stacks named by the registered task table: the live SP scan only
+    /// covers the running task, yet a preempted task's return addresses
+    /// pin cached code just the same — evicting through them wild-jumps
+    /// on the next context switch. [`IsrProtocol::Masked`] hardening only.
+    fn task_stack_pins(&mut self, bus: &mut Bus, lo: u16, hi: u16) -> SimResult<bool> {
+        let Some((table, ntasks)) = self.task_table else {
+            return Ok(false);
+        };
+        let mut words = 0u64;
+        let mut pinned = false;
+        'tasks: for t in 0..ntasks {
+            let sp = bus.read_word(table.wrapping_add(2 * t), AccessKind::Read)?;
+            words += 1;
+            if sp == 0 || sp & 1 != 0 {
+                // An unprimed (or dead) task has no stack to honour.
+                continue;
+            }
+            let region = bus.map().region_of(sp);
+            for i in 0..64u16 {
+                let addr = sp.wrapping_add(2 * i);
+                if addr < sp || bus.map().region_of(addr) != region {
+                    break;
+                }
+                let w = bus.read_word(addr, AccessKind::Read)?;
+                words += 1;
+                if w >= lo && w < hi {
+                    pinned = true;
+                    break 'tasks;
+                }
+            }
+        }
+        self.charge(bus, Category::MissHandler, 2 + words / 2, 4 + words)?;
+        Ok(pinned)
+    }
+
+    /// [`IsrProtocol::Unprotected`] preemption point: when an interrupt is
+    /// pending and enabled, re-arm the trapping `CALL &__sr_redir_f`
+    /// (pop its return address, back the PC up to the call) and return so
+    /// the machine delivers the ISR first — the call then re-executes and
+    /// re-traps. This reproduces an interrupt-oblivious handler's exposure:
+    /// the ISR runs between the call site's `MOV #fid, &__sr_fid` and the
+    /// (re-executed) dispatch, so an instrumented ISR clobbers the id.
+    /// Returns `true` when the yield was taken (the caller must resume).
+    fn try_isr_yield(&mut self, cpu: &mut Cpu, bus: &mut Bus) -> SimResult<bool> {
+        if self.cfg.isr_protocol != IsrProtocol::Unprotected {
+            return Ok(false);
+        }
+        bus.poll_timer();
+        if !bus.irq_pending() || cpu.sr() & FLAG_GIE == 0 {
+            return Ok(false);
+        }
+        let sp = cpu.sp();
+        if sp == 0 || sp & 1 != 0 {
+            return Ok(false);
+        }
+        let ret = bus.read_word(sp, AccessKind::Read)?;
+        let site = bus.read_word(ret.wrapping_sub(2), AccessKind::Read).unwrap_or(0);
+        if !self.funcs.iter().any(|g| g.redir_addr == site) {
+            // Not a recognisable instrumented-call frame (direct-drive
+            // harness): yielding could not be re-armed safely, stay put.
+            return Ok(false);
+        }
+        // `CALL &abs` is two words; the return address points just past it.
+        cpu.set_sp(sp.wrapping_add(2));
+        cpu.set_pc(ret.wrapping_sub(4));
+        self.stats.borrow_mut().isr_yields += 1;
+        Ok(true)
+    }
+
     /// Authenticates a trap entry against its call site and returns the
     /// verified function id, repairing a corrupted `funcId` word or a
     /// bit-flipped redirection word that still landed inside the trap
@@ -495,9 +587,13 @@ impl SwapRuntime {
         match by_site {
             Some(gid) => {
                 // `__sr_fid` disagrees with the call site: the word was
-                // corrupted after the call site wrote it. Repair it.
+                // corrupted — or clobbered by an ISR's own instrumented
+                // call inside the publish window — after the call site
+                // wrote it. Repair it from the stack's evidence.
                 bus.write_word(self.fid_addr, gid)?;
-                self.stats.borrow_mut().guard_repairs += 1;
+                let mut stats = self.stats.borrow_mut();
+                stats.guard_repairs += 1;
+                stats.fid_repairs += 1;
                 Ok(gid)
             }
             None => Err(SimError::Hook(format!(
@@ -629,6 +725,18 @@ impl SwapRuntime {
     /// Propagates bus faults; reports an invariant violation when
     /// checking is enabled.
     pub fn recover(&mut self, bus: &mut Bus) -> SimResult<RecoveryOutcome> {
+        // Recovery is trusted runtime work, exactly like the miss
+        // handler: its modeled handler fetches and metadata rewinds must
+        // not trip the execution sanitizer. The machine brackets hook
+        // calls in runtime mode itself, but recovery is invoked directly
+        // by boot code, so bracket it here.
+        bus.set_runtime_mode(true);
+        let out = self.recover_inner(bus);
+        bus.set_runtime_mode(false);
+        out
+    }
+
+    fn recover_inner(&mut self, bus: &mut Bus) -> SimResult<RecoveryOutcome> {
         // Reset the volatile view (fresh runtimes start this way; being
         // idempotent lets one runtime instance survive its own reboots).
         self.entries.clear();
@@ -850,12 +958,35 @@ impl Hook for SwapRuntime {
         Some(self)
     }
 
+    /// Invariant oracle at every interrupt boundary: the metadata must be
+    /// consistent at ISR entry (whatever the handler was doing when
+    /// preempted) and again after `RETI` (whatever the ISR did to it).
+    fn on_interrupt_boundary(
+        &mut self,
+        _cpu: &mut Cpu,
+        bus: &mut Bus,
+        _boundary: IrqBoundary,
+    ) -> SimResult<()> {
+        if !self.cfg.check_invariants {
+            return Ok(());
+        }
+        self.stats.borrow_mut().boundary_checks += 1;
+        self.check_invariants(bus)
+            .map_err(|m| SimError::Hook(format!("SwapRAM invariant violation at interrupt boundary: {m}")))
+    }
+
     fn on_trap(&mut self, cpu: &mut Cpu, bus: &mut Bus, trap_pc: u16) -> SimResult<TrapAction> {
         if !self.cfg.guards && trap_pc != self.cfg.trap_addr {
             return Err(SimError::Hook(format!(
                 "unexpected trap at 0x{trap_pc:04x} (SwapRAM trap is 0x{:04x})",
                 self.cfg.trap_addr
             )));
+        }
+        // Unprotected entry preemption point: let a pending ISR run before
+        // any miss bookkeeping (the re-armed call re-traps afterwards, so
+        // the miss is not lost — it may be counted twice).
+        if trap_pc == self.cfg.trap_addr && self.try_isr_yield(cpu, bus)? {
+            return Ok(TrapAction::Resume);
         }
         self.stats.borrow_mut().misses += 1;
         // Handler entry: save argument registers, read funcId, look up the
@@ -952,6 +1083,14 @@ impl Hook for SwapRuntime {
                     blocked = true;
                     break;
                 }
+                if self.cfg.isr_protocol == IsrProtocol::Masked
+                    && self.task_stack_pins(bus, e.addr, e.addr.wrapping_add(e.size))?
+                {
+                    // A suspended task's return address pins the victim:
+                    // its active counter only tracks the running task.
+                    blocked = true;
+                    break;
+                }
             }
             if !blocked {
                 flagged.retain(|e| self.entries.contains(e));
@@ -975,6 +1114,13 @@ impl Hook for SwapRuntime {
         }
         for e in flagged {
             self.evict(bus, e)?;
+            // Unprotected mid-eviction preemption point: each completed
+            // eviction leaves the metadata self-consistent, so yielding
+            // here is state-safe — the hazard it opens is the ISR missing
+            // and re-placing functions under the interrupted handler.
+            if self.try_isr_yield(cpu, bus)? {
+                return Ok(TrapAction::Resume);
+            }
         }
 
         if let Err(err) = self.fill(bus, &f, place) {

@@ -46,6 +46,17 @@ pub struct SwapStats {
     /// Misses degraded to FRAM execution because an integrity check made
     /// caching unsafe (e.g. an implausible active counter).
     pub guard_degraded: u64,
+    /// Miss-handler preemption-point yields to a pending interrupt
+    /// ([`crate::config::IsrProtocol::Unprotected`] only): the trapping
+    /// call was re-armed and the handler returned so the ISR could run
+    /// first.
+    pub isr_yields: u64,
+    /// Interrupt-boundary invariant audits performed (entry + return).
+    pub boundary_checks: u64,
+    /// Traps whose published function id disagreed with the stack's
+    /// call-site operand and was repaired from it (an ISR clobbered
+    /// `__sr_fid` in the publish window).
+    pub fid_repairs: u64,
 }
 
 impl SwapStats {

@@ -34,6 +34,13 @@ pub fn guard_symbol(func: &str) -> String {
     format!("__sr_guard_{func}")
 }
 
+/// Symbol of an ISR root's `__sr_fid` save slot: the entry veneer parks
+/// the interrupted program's published function id here and the exit
+/// veneer restores it (see [`crate::config::IsrProtocol::Masked`]).
+pub fn isrfid_symbol(func: &str) -> String {
+    format!("__sr_isrfid_{func}")
+}
+
 /// Symbol of the persistent recovery-generation word (dirty-log recovery).
 pub const GEN_SYMBOL: &str = "__sr_gen";
 
@@ -53,5 +60,6 @@ mod tests {
         assert_ne!(reloc_symbol(1), rofs_symbol(1));
         assert_ne!(reloc_symbol(1), reloc_symbol(2));
         assert_ne!(guard_symbol("f"), redir_symbol("f"));
+        assert_ne!(isrfid_symbol("f"), act_symbol("f"));
     }
 }

@@ -1,0 +1,303 @@
+//! Reentrancy tests: timer interrupts and an instrumented ISR preempting
+//! the SwapRAM-managed application.
+//!
+//! The hazard under test is the paper's interrupt-oblivious trust model:
+//! call sites publish the callee's function id through the shared
+//! `__sr_fid` word in the two-instruction window `MOV #fid, &__sr_fid;
+//! CALL &redir`, and an ISR performing its own instrumented call inside
+//! that window (or while the interrupted call's miss is being re-armed)
+//! clobbers the id. [`IsrProtocol::Masked`] closes the window with
+//! save/restore veneers; [`IsrProtocol::Unprotected`] reproduces the
+//! exposure, which the guards must *detect* rather than prevent.
+
+use msp430_asm::layout::LayoutConfig;
+use msp430_asm::parser::parse;
+use msp430_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+use msp430_sim::freq::Frequency;
+use msp430_sim::machine::{Engine, ExitReason, Fr2355, Machine};
+use msp430_sim::ports::checksum_of_words;
+use msp430_sim::{IrqSchedule, IrqTimer};
+use swapram::pass::instrument;
+use swapram::{Instrumented, IsrProtocol, RecoveryMode, SwapConfig, SwapRuntime};
+
+/// main iterates `r12 = (r12 + 3) * 2` six times through two cacheable
+/// helpers while a timer ISR — itself calling a cacheable function, so it
+/// misses, fills, and publishes `__sr_fid` reentrantly — preempts it at
+/// schedule-controlled cycles. The ISR preserves every register it and its
+/// callee touch, so the checksum must be byte-identical to an
+/// interrupt-free run whenever the runtime's metadata survives the
+/// preemption.
+const SRC: &str = "\
+    .text
+    .func __start
+__start:
+    mov #0x2ffe, sp
+    eint
+    call #main
+    dint
+    mov #0, &0x0102
+    .endfunc
+    .func main
+main:
+    mov #0, r10
+    mov #6, r11
+main_loop:
+    mov r10, r12
+    call #inc3
+    call #dbl
+    mov r12, r10
+    dec r11
+    jnz main_loop
+    mov r10, &0x0104
+    ret
+    .endfunc
+    .func inc3
+inc3:
+    add #3, r12
+    ret
+    .endfunc
+    .func dbl
+dbl:
+    add r12, r12
+    ret
+    .endfunc
+    .func isr
+isr:
+    push r12
+    push r13
+    call #isrwork
+    pop r13
+    pop r12
+    reti
+    .endfunc
+    .func isrwork
+isrwork:
+    mov #21, r13
+    add r13, r13
+    ret
+    .endfunc
+";
+
+const BUDGET: u64 = 50_000_000;
+
+fn expected_checksum() -> u32 {
+    let mut v: u16 = 0;
+    for _ in 0..6 {
+        v = (v + 3) * 2;
+    }
+    checksum_of_words([v])
+}
+
+fn base_cfg(protocol: IsrProtocol) -> SwapConfig {
+    SwapConfig {
+        cache_size: 0x0E00,
+        check_invariants: true,
+        ..SwapConfig::unified_fr2355()
+    }
+    .with_isr_protocol(protocol)
+    .with_isr_root("isr")
+}
+
+fn instrumented(cfg: &SwapConfig) -> Instrumented {
+    let m = parse(SRC).unwrap();
+    let lc = LayoutConfig::new(0x4000, 0x9000);
+    instrument(&m, cfg, &lc).unwrap()
+}
+
+/// Builds a machine with the runtime attached and, when `schedule` is
+/// given, the timer armed at the ISR root's (FRAM, stable) address.
+fn machine_with(inst: &Instrumented, cfg: &SwapConfig, schedule: Option<IrqSchedule>) -> Machine {
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    machine.load(&inst.assembly.image);
+    machine.attach_hook(Box::new(SwapRuntime::new(inst, cfg.clone())));
+    if let Some(s) = schedule {
+        let vector = inst.assembly.symbol("isr").expect("ISR root has an address");
+        machine.bus_mut().attach_timer(IrqTimer::new(s, vector));
+    }
+    machine
+}
+
+#[test]
+fn masked_interrupts_preserve_semantics() {
+    let cfg = base_cfg(IsrProtocol::Masked);
+    let inst = instrumented(&cfg);
+
+    // Interrupt-free reference.
+    let mut clean = machine_with(&inst, &cfg, None);
+    let clean_out = clean.run(BUDGET).unwrap();
+    assert_eq!(clean_out.exit, ExitReason::Halted(0));
+    assert_eq!(clean_out.checksum.0, expected_checksum());
+
+    // Dense periodic preemption, invariants audited at every boundary.
+    let mut machine = machine_with(&inst, &cfg, Some(IrqSchedule::periodic(311, 97)));
+    let out = machine.run(BUDGET).unwrap();
+    assert_eq!(out.exit, ExitReason::Halted(0));
+    assert_eq!(out.checksum.0, expected_checksum(), "veneers keep dispatch correct");
+    assert!(out.stats.irq_delivered >= 1, "the schedule must actually fire");
+
+    let hook = machine.take_hook().unwrap();
+    let rt = hook.as_any().unwrap().downcast_ref::<SwapRuntime>().unwrap();
+    let s = rt.stats_handle();
+    let s = s.borrow();
+    assert!(s.boundary_checks >= 2, "entry + return audits ran: {s}");
+    assert_eq!(s.isr_yields, 0, "masked mode never yields mid-miss");
+    assert_eq!(s.fid_repairs, 0, "veneers leave nothing to repair");
+}
+
+#[test]
+fn masked_engines_agree_under_interrupts() {
+    let cfg = base_cfg(IsrProtocol::Masked);
+    let inst = instrumented(&cfg);
+    let mut outs = Vec::new();
+    for engine in [Engine::Interp, Engine::Predecoded] {
+        let mut machine = machine_with(&inst, &cfg, Some(IrqSchedule::periodic(311, 97)));
+        machine.set_engine(engine);
+        outs.push(machine.run(BUDGET).unwrap());
+    }
+    assert_eq!(outs[0].exit, outs[1].exit);
+    assert_eq!(outs[0].checksum, outs[1].checksum);
+    assert_eq!(outs[0].stats, outs[1].stats, "cycle-exact parity under interrupts");
+}
+
+#[test]
+fn unprotected_guarded_repairs_clobbered_fid() {
+    // One-shot interrupts swept across the first-miss window (a periodic
+    // storm would faithfully starve the main thread forever — the yield
+    // loop never wins against a period shorter than the ISR). Offsets that
+    // catch a miss in flight make the handler yield; the unveneered ISR
+    // then clobbers `__sr_fid` and the re-armed call re-traps with the
+    // wrong id — which the call-site cross-check must repair, keeping
+    // every run's output correct.
+    let cfg = base_cfg(IsrProtocol::Unprotected);
+    let inst = instrumented(&cfg);
+    let (mut yields, mut repairs) = (0u64, 0u64);
+    for offset in 1..360u64 {
+        let mut machine = machine_with(&inst, &cfg, Some(IrqSchedule::at(vec![offset])));
+        let out = machine.run(BUDGET).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(0), "offset {offset}");
+        assert_eq!(out.checksum.0, expected_checksum(), "offset {offset}: guards repair");
+        let hook = machine.take_hook().unwrap();
+        let rt = hook.as_any().unwrap().downcast_ref::<SwapRuntime>().unwrap();
+        let s = rt.stats_handle();
+        let s = s.borrow();
+        yields += s.isr_yields;
+        repairs += s.fid_repairs;
+    }
+    assert!(yields >= 1, "some offset must catch a miss in flight and yield");
+    assert!(repairs >= 1, "some yield must clobber the id and be repaired");
+}
+
+#[test]
+fn unprotected_unguarded_reaches_a_hazard() {
+    // The acceptance hazard: without guards, a clobbered `__sr_fid`
+    // dispatches the wrong function and the run must NOT silently produce
+    // the correct output (wrong checksum, a typed error, or no halt).
+    let cfg = SwapConfig { guards: false, check_invariants: false, ..base_cfg(IsrProtocol::Unprotected) };
+    let inst = instrumented(&cfg);
+    let mut machine = machine_with(&inst, &cfg, Some(IrqSchedule::periodic(53, 11)));
+    let hazardous = match machine.run(BUDGET) {
+        Err(_) => true,
+        Ok(out) => !(out.exit == ExitReason::Halted(0) && out.checksum.0 == expected_checksum()),
+    };
+    assert!(hazardous, "unprotected+unguarded must not silently succeed");
+}
+
+#[test]
+fn power_loss_inside_isr_recovers_cleanly() {
+    // Satellite regression: power fails while the ISR (and the reentrant
+    // miss it triggers) is in flight. The reboot must clear the latched
+    // interrupt, and boot-time recovery must rewind the half-done caching
+    // state in both recovery modes.
+    for recovery in [RecoveryMode::FullScan, RecoveryMode::DirtyLog] {
+        let cfg = base_cfg(IsrProtocol::Masked).with_recovery(recovery);
+        let inst = instrumented(&cfg);
+
+        // One-shot interrupt at cycle 400 (inside the main loop); sweep
+        // the loss cycle until it provably lands inside the ISR — the
+        // interrupt was delivered and GIE is still cleared at the loss
+        // (entry clears it, only `reti` restores it). The sweep is needed
+        // because the miss handler charges many cycles in one step, so a
+        // fixed loss cycle may fire before the delivery it chases.
+        let mut machine = None;
+        for loss in (404..3000u64).step_by(4) {
+            let mut m = machine_with(&inst, &cfg, Some(IrqSchedule::at(vec![400])));
+            m.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+                cycle: loss,
+                kind: FaultKind::PowerLoss,
+            }]));
+            let out = m.run(BUDGET).unwrap();
+            assert_eq!(out.exit, ExitReason::PowerLoss, "{recovery:?} loss {loss}");
+            if out.stats.irq_delivered == 1 && m.cpu().sr() & 0x0008 == 0 {
+                machine = Some(m);
+                break;
+            }
+        }
+        let mut machine = machine.expect("some loss cycle lands inside the ISR");
+
+        machine.power_cycle();
+        let timer = machine.bus().timer().expect("timer survives reboot");
+        assert!(!timer.pending(), "{recovery:?}: reboot clears the latched interrupt");
+
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        rt.recover(machine.bus_mut()).expect("recovery after mid-ISR loss");
+        machine.attach_hook(Box::new(rt));
+        let out = machine.run(BUDGET).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(0), "{recovery:?}");
+        assert_eq!(out.checksum.0, expected_checksum(), "{recovery:?}");
+    }
+}
+
+#[test]
+fn every_offset_interrupt_is_semantics_preserving() {
+    // Satellite property test: fire exactly one interrupt at every cycle
+    // offset across the window covering the program's first misses, fills,
+    // and evictions. Under the masked protocol every run must halt with a
+    // byte-identical checksum and a clean invariant audit at each boundary
+    // (check_invariants is on, so a violation aborts the run).
+    let cfg = base_cfg(IsrProtocol::Masked);
+    let inst = instrumented(&cfg);
+    for offset in 1..360u64 {
+        let mut machine = machine_with(&inst, &cfg, Some(IrqSchedule::at(vec![offset])));
+        let out = machine
+            .run(BUDGET)
+            .unwrap_or_else(|e| panic!("offset {offset}: simulation error {e:?}"));
+        assert_eq!(out.exit, ExitReason::Halted(0), "offset {offset}");
+        assert_eq!(out.checksum.0, expected_checksum(), "offset {offset}");
+
+        let hook = machine.take_hook().unwrap();
+        let rt = hook.as_any().unwrap().downcast_ref::<SwapRuntime>().unwrap();
+        rt.check_invariants(machine.bus())
+            .unwrap_or_else(|e| panic!("offset {offset}: final invariants: {e}"));
+    }
+}
+
+#[test]
+fn every_offset_interrupt_across_recovery_window_is_clean() {
+    // Same property across the post-reboot window: power fails mid-run,
+    // and the single interrupt lands at every offset inside the recovery
+    // boot's first instructions (schedule cycles are cumulative across
+    // power cycles, like fault plans).
+    let cfg = base_cfg(IsrProtocol::Masked).with_recovery(RecoveryMode::DirtyLog);
+    let inst = instrumented(&cfg);
+    let loss_cycle = 500u64;
+    for offset in 0..150u64 {
+        let mut machine =
+            machine_with(&inst, &cfg, Some(IrqSchedule::at(vec![loss_cycle + offset])));
+        machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            cycle: loss_cycle,
+            kind: FaultKind::PowerLoss,
+        }]));
+        let out = machine.run(BUDGET).unwrap();
+        assert_eq!(out.exit, ExitReason::PowerLoss, "offset {offset}");
+        machine.power_cycle();
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        rt.recover(machine.bus_mut())
+            .unwrap_or_else(|e| panic!("offset {offset}: recovery rejected: {e:?}"));
+        machine.attach_hook(Box::new(rt));
+        let out = machine
+            .run(BUDGET)
+            .unwrap_or_else(|e| panic!("offset {offset}: post-recovery error {e:?}"));
+        assert_eq!(out.exit, ExitReason::Halted(0), "offset {offset}");
+        assert_eq!(out.checksum.0, expected_checksum(), "offset {offset}");
+    }
+}
