@@ -1,0 +1,59 @@
+//! Runs the intermittent-computing campaign: every benchmark on seeded
+//! harvested-energy traces across four loss-density tiers, under all
+//! three recovery protocols, reporting forward-progress metrics.
+//!
+//! Flags / environment:
+//! - `--fast` or `SWAPRAM_FAST=1`: skip the storm tier (the CI
+//!   configuration keeps sparse/dense/famine — the separation tiers).
+//! - `--json <path>`: also write the JSON report (clean runs + the
+//!   `intermittent` section) to `path`.
+//! - `SWAPRAM_FAULT_SEED=<n>`: base seed for the traces (default
+//!   0xF00D). Identical seeds yield byte-identical intermittent rows
+//!   regardless of `SWAPRAM_JOBS`.
+
+use experiments::intermittent::{self, Tier};
+use experiments::{resilience, Harness};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast")
+        || std::env::var("SWAPRAM_FAST").is_ok_and(|v| v != "0" && !v.is_empty());
+    let json_path = args.iter().position(|a| a == "--json").and_then(|i| args.get(i + 1).cloned());
+
+    let tiers: Vec<Tier> =
+        if fast { Tier::FAST.to_vec() } else { Tier::ALL.to_vec() };
+    let seed = resilience::base_seed();
+    let h = Harness::new();
+    eprintln!(
+        "intermittent: {} tier(s), base seed {seed:#x}, {} worker thread(s)",
+        tiers.len(),
+        h.jobs()
+    );
+
+    let rows = intermittent::run(&h, &tiers, seed);
+    print!("{}", intermittent::render(&rows));
+
+    if let Some(path) = json_path {
+        if let Err(e) = h.write_json(std::path::Path::new(&path)) {
+            eprintln!("intermittent: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("intermittent: JSON -> {path}");
+    }
+
+    let silent = intermittent::silent_rows(&rows);
+    if !silent.is_empty() {
+        for r in silent {
+            eprintln!(
+                "SILENT-WRONG {} tier {} seed {:#x} ({:?}): boots={} error={:?}",
+                r.bench.name(),
+                r.tier.name(),
+                r.seed,
+                r.recovery,
+                r.boots,
+                r.error
+            );
+        }
+        std::process::exit(1);
+    }
+}

@@ -486,13 +486,7 @@ pub fn rows_json(rows: &[ConcurrencyRow]) -> Json {
                             IsrProtocol::Unprotected => "unprotected",
                         }),
                     ),
-                    (
-                        "recovery",
-                        Json::str(match r.recovery {
-                            RecoveryMode::FullScan => "full-scan",
-                            RecoveryMode::DirtyLog => "dirty-log",
-                        }),
-                    ),
+                    ("recovery", Json::str(crate::resilience::recovery_name(r.recovery))),
                     ("seed", Json::U64(r.seed)),
                     ("power_loss", Json::Bool(r.power_loss)),
                     ("bit_flip", Json::Bool(r.bit_flip)),

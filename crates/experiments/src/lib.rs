@@ -26,6 +26,7 @@
 //! | [`resilience`]| power-loss fault injection + crash recovery    |
 //! | [`corruption`]| seeded bit-flip injection vs. the defense stack |
 //! | [`concurrency`]| timer interrupts + preemptive tasks vs. reentrancy |
+//! | [`intermittent`]| harvested-energy traces vs. forward progress      |
 
 pub mod ablation;
 pub mod concurrency;
@@ -36,6 +37,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod intermittent;
 pub mod json;
 pub mod measure;
 pub mod report;
@@ -85,6 +87,10 @@ pub fn run_report(h: &Harness, fast: bool) -> String {
     let irq_schedules =
         if fast { concurrency::FAST_SCHEDULES } else { concurrency::DEFAULT_SCHEDULES };
     out.push_str(&concurrency::render(&concurrency::run(h, irq_schedules, resilience::base_seed())));
+    out.push('\n');
+    let tiers: &[intermittent::Tier] =
+        if fast { &intermittent::Tier::FAST } else { &intermittent::Tier::ALL };
+    out.push_str(&intermittent::render(&intermittent::run(h, tiers, resilience::base_seed())));
     out.push('\n');
     if !fast {
         out.push_str(&ablation::render_sweep(&ablation::cache_size_sweep(h)));

@@ -43,6 +43,15 @@ pub const DEFAULT_SCHEDULES: usize = 8;
 /// Schedules per benchmark in `--fast` (CI) mode.
 pub const FAST_SCHEDULES: usize = 3;
 
+/// The deterministic JSON/report name of a recovery protocol.
+pub fn recovery_name(mode: RecoveryMode) -> &'static str {
+    match mode {
+        RecoveryMode::FullScan => "full-scan",
+        RecoveryMode::DirtyLog => "dirty-log",
+        RecoveryMode::PersistentStack => "persistent-stack",
+    }
+}
+
 /// Base fault seed: `SWAPRAM_FAULT_SEED` if set, else the default.
 pub fn base_seed() -> u64 {
     std::env::var(FAULT_SEED_ENV)
@@ -252,17 +261,19 @@ fn episode(
 }
 
 /// (Re)initializes application state: every image segment except the
-/// `srtab` metadata tables, plus the input and corpus buffers. On reboot
-/// (`skip_metadata`) the metadata section is left exactly as the power
-/// loss tore it — that is what recovery must repair.
+/// `srtab` metadata tables and the `srres` resume area, plus the input
+/// and corpus buffers. On reboot (`skip_metadata`) the metadata section
+/// is left exactly as the power loss tore it — that is what recovery
+/// must repair — and the resume area keeps its committed checkpoint
+/// frames and watchdog words, which must survive every reboot.
 pub(crate) fn poke_app_state(machine: &mut Machine, built: &Built, input: &[u8], skip_metadata: bool) {
-    let tables_base = match &built.program {
-        Program::Swap(_, cfg) => cfg.tables_base,
-        _ => 0,
+    let (tables_base, resume_base) = match &built.program {
+        Program::Swap(_, cfg) => (cfg.tables_base, cfg.resume_base),
+        _ => (0, 0),
     };
     if skip_metadata {
         for seg in &built.image().segments {
-            if seg.addr == tables_base {
+            if seg.addr == tables_base || seg.addr == resume_base {
                 continue;
             }
             for (i, b) in seg.bytes.iter().enumerate() {
@@ -289,13 +300,7 @@ pub fn rows_json(rows: &[ResilienceRow]) -> Json {
             .map(|r| {
                 let mut fields = vec![
                     ("bench", Json::str(r.bench.name())),
-                    (
-                        "recovery",
-                        Json::str(match r.recovery {
-                            RecoveryMode::FullScan => "full-scan",
-                            RecoveryMode::DirtyLog => "dirty-log",
-                        }),
-                    ),
+                    ("recovery", Json::str(recovery_name(r.recovery))),
                     ("seed", Json::U64(r.seed)),
                     ("losses", Json::U64(u64::from(r.losses))),
                     ("boots", Json::U64(u64::from(r.boots))),
@@ -322,10 +327,7 @@ pub fn rows_json(rows: &[ResilienceRow]) -> Json {
 pub fn render(rows: &[ResilienceRow]) -> String {
     let mut out = String::new();
     for recovery in [RecoveryMode::FullScan, RecoveryMode::DirtyLog] {
-        let mode = match recovery {
-            RecoveryMode::FullScan => "full-scan",
-            RecoveryMode::DirtyLog => "dirty-log",
-        };
+        let mode = recovery_name(recovery);
         let mut t = Table::new(
             &format!("Resilience — power-loss survival under {mode} recovery"),
             &["benchmark", "schedules", "losses", "recovered", "avg overhead", "ok"],

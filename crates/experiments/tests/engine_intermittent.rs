@@ -1,0 +1,42 @@
+//! Engine-differential gate for the intermittent campaign: dying-gasp
+//! checkpoints, mid-computation resume, and watchdog accounting must
+//! publish byte-identical rows whether the simulator runs the reference
+//! interpreter or the pre-decoded engine. The dense tier exercises the
+//! full boot/resume loop on every benchmark.
+//!
+//! Lives in its own integration-test binary: the engine override is
+//! process-global, and a dedicated process keeps it from racing other
+//! tests.
+
+use experiments::intermittent::{self, Tier};
+use experiments::{resilience, Harness};
+use mibench::Benchmark;
+use msp430_sim::{set_default_engine, Engine};
+
+#[test]
+fn intermittent_rows_identical_across_engines() {
+    set_default_engine(Some(Engine::Interp));
+    let interp =
+        intermittent::run(&Harness::new(), &[Tier::Dense], resilience::DEFAULT_FAULT_SEED);
+    set_default_engine(Some(Engine::Predecoded));
+    let pre = intermittent::run(&Harness::new(), &[Tier::Dense], resilience::DEFAULT_FAULT_SEED);
+    set_default_engine(None);
+
+    assert_eq!(
+        interp.len(),
+        (Benchmark::MIBENCH.len() + Benchmark::MULTITASK.len()) * intermittent::PROTOCOLS.len(),
+        "campaign did not cover the dense tier"
+    );
+    for (i, p) in interp.iter().zip(&pre) {
+        assert_eq!(format!("{i:?}"), format!("{p:?}"), "intermittent row diverged between engines");
+    }
+    assert_eq!(
+        intermittent::rows_json(&interp).render(),
+        intermittent::rows_json(&pre).render(),
+        "published intermittent rows differ between engines"
+    );
+    assert!(
+        interp.iter().any(|r| r.resumes > 0),
+        "the dense tier must exercise mid-computation resume"
+    );
+}

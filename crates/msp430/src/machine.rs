@@ -126,6 +126,25 @@ pub trait Hook {
         Ok(())
     }
 
+    /// Called when a scheduled power-loss fault fires, after the last
+    /// instruction retired and before the machine reports
+    /// [`ExitReason::PowerLoss`]: the supply just crossed the brown-out
+    /// threshold, and the decoupling capacitor's tail charge powers a
+    /// final bounded burst of work. Just-in-time checkpointing runtimes
+    /// (the Hibernus / QuickRecall model) use this dying gasp to commit a
+    /// resume frame at the exact interruption point, so the next boot
+    /// continues without re-executing anything — the property that makes
+    /// checkpointing sound for programs that mutate non-volatile data in
+    /// place. The default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error to abort simulation (e.g. corrupted runtime
+    /// state discovered while checkpointing).
+    fn on_power_failing(&mut self, _cpu: &mut Cpu, _bus: &mut Bus) -> SimResult<()> {
+        Ok(())
+    }
+
     /// Downcast support for callers that retrieve the hook after a run
     /// (e.g. to audit runtime metadata against final machine state).
     /// Implementations that want to be downcast return `Some(self)`.
@@ -273,6 +292,13 @@ impl Machine {
         &mut self.bus
     }
 
+    /// Simultaneous mutable CPU and bus access, for host-side runtimes
+    /// whose boot-time recovery both rewrites memory and restores the
+    /// register file (e.g. persistent-stack resume).
+    pub fn cpu_bus_mut(&mut self) -> (&mut Cpu, &mut Bus) {
+        (&mut self.cpu, &mut self.bus)
+    }
+
     /// Attaches a runtime hook, replacing any previous one.
     pub fn attach_hook(&mut self, hook: Box<dyn Hook>) {
         self.hook = Some(hook);
@@ -391,7 +417,7 @@ impl Machine {
             if let Some(code) = stepped? {
                 break ExitReason::Halted(code);
             }
-            if let Some(reason) = self.fire_due_faults() {
+            if let Some(reason) = self.fire_due_faults()? {
                 break reason;
             }
             // Drain the reti flag even with no timer armed, so a timer
@@ -484,17 +510,36 @@ impl Machine {
     }
 
     /// Fires every scheduled fault whose cycle has been reached. Bit flips
-    /// apply silently; a power loss stops the firing sweep (later events
-    /// stay pending for subsequent boots) and returns the exit reason.
-    fn fire_due_faults(&mut self) -> Option<ExitReason> {
+    /// apply silently; a power loss notifies the hook (the brown-out
+    /// dying gasp, see [`Hook::on_power_failing`]), stops the firing
+    /// sweep (later events stay pending for subsequent boots) and returns
+    /// the exit reason.
+    fn fire_due_faults(&mut self) -> SimResult<Option<ExitReason>> {
         let now = self.bus.stats().total_cycles();
         loop {
-            let ev = self.faults.as_mut()?.take_due(now)?;
+            let Some(ev) = self.faults.as_mut().and_then(|f| f.take_due(now)) else {
+                return Ok(None);
+            };
             match ev.kind {
-                FaultKind::PowerLoss => return Some(ExitReason::PowerLoss),
+                FaultKind::PowerLoss => {
+                    self.power_failing()?;
+                    return Ok(Some(ExitReason::PowerLoss));
+                }
                 FaultKind::BitFlip { addr, bit } => self.bus.flip_bit(addr, bit),
             }
         }
+    }
+
+    /// Notifies the hook that the supply just browned out (no-op without
+    /// a hook). Runs in trusted-runtime mode like a trap service, so the
+    /// hook's checkpoint writes never trip the sanitizer.
+    fn power_failing(&mut self) -> SimResult<()> {
+        let Some(mut hook) = self.hook.take() else { return Ok(()) };
+        self.bus.set_runtime_mode(true);
+        let result = hook.on_power_failing(&mut self.cpu, &mut self.bus);
+        self.bus.set_runtime_mode(false);
+        self.hook = Some(hook);
+        result
     }
 
     /// Snapshots the current run outcome with the given exit reason.
@@ -904,6 +949,45 @@ mod tests {
         m.power_cycle();
         assert!(!m.bus().irq_pending(), "latched requests are volatile");
         assert!(m.bus().timer().is_some(), "the schedule itself survives");
+    }
+
+    #[test]
+    fn power_cycle_partitions_persistent_from_volatile_state() {
+        use crate::fault::{EnergyShape, EnergyTrace};
+
+        let mut m = Fr2355::machine(Frequency::MHZ_8);
+        m.load(&image_of(&[Instr::Jump { op: Opcode::Jmp, offset_words: -1 }], 0x4000));
+
+        // Energy-trace fault cursor: cumulative bench clock, survives.
+        let trace = EnergyTrace::new(EnergyShape::RcCharge, 600, 5);
+        m.attach_fault_plan(trace.plan_until(10_000));
+        let total = m.fault_plan().unwrap().events().len();
+        let out = m.run(100_000).unwrap();
+        assert_eq!(out.exit, ExitReason::PowerLoss);
+        assert_eq!(m.fault_plan().unwrap().fired(), 1);
+
+        // Volatile state to be lost: SRAM byte, port output. Persistent
+        // state to survive: an FRAM word (e.g. a watchdog counter in the
+        // metadata section) and a journalled port snapshot (resume frame
+        // I/O log).
+        m.bus_mut().poke_byte(0x2100, 0xAB);
+        m.bus_mut().write_word(crate::ports::CONSOLE, 0x41).unwrap();
+        m.bus_mut().poke_word(0xB7F0, 0x1234);
+        m.bus_mut().nv_stash_ports(0xB7F0, 7);
+
+        m.power_cycle();
+
+        let plan = m.fault_plan().unwrap();
+        assert_eq!(plan.fired(), 1, "fault cursor survives like the bench clock");
+        assert_eq!(plan.events().len(), total, "no events dropped");
+        assert_eq!(m.bus().peek_word(0xB7F0), 0x1234, "FRAM persists");
+        assert_eq!(m.bus().nv_stashed_tag(0xB7F0), Some(7), "NV I/O journal persists");
+        assert_eq!(m.bus().peek_byte(0x2100), 0, "SRAM cleared");
+        assert!(m.bus().ports().console().is_empty(), "live port state cleared");
+        let restored = m.bus_mut().nv_restore_ports(0xB7F0, 7);
+        assert!(restored, "matching tag restores the snapshot");
+        assert_eq!(m.bus().ports().console(), [0x41], "snapshot replays checkpoint-time output");
+        assert!(!m.bus_mut().nv_restore_ports(0xB7F0, 8), "stale tag must not replay");
     }
 
     #[test]

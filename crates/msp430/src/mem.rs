@@ -345,6 +345,12 @@ pub struct Bus {
     /// Set by [`crate::cpu::Cpu::exec_reti`]; the run loop takes it to
     /// observe interrupt-return boundaries regardless of engine.
     reti_seen: bool,
+    /// Non-volatile I/O journal: tagged snapshots of the port state, keyed
+    /// by an FRAM anchor address. Models a checkpointing runtime logging
+    /// its output-channel state (console bytes, checksum accumulator) to
+    /// NVRAM alongside a resume frame, so replayed I/O after a power loss
+    /// is exactly-once. Survives [`Bus::power_cycle`] like FRAM.
+    nv_ports: std::collections::BTreeMap<u16, (u16, Ports)>,
 }
 
 impl Bus {
@@ -364,6 +370,7 @@ impl Bus {
             sanitizer_epoch: 0,
             timer: None,
             reti_seen: false,
+            nv_ports: std::collections::BTreeMap::new(),
         }
     }
 
@@ -557,6 +564,38 @@ impl Bus {
     #[inline]
     pub fn ports(&self) -> &Ports {
         &self.ports
+    }
+
+    /// Snapshots the current port state into the non-volatile I/O journal
+    /// under `key` (an FRAM anchor address, e.g. a checkpoint slot) with a
+    /// caller-chosen `tag` (e.g. a checkpoint generation). Overwrites any
+    /// previous snapshot under the same key.
+    pub fn nv_stash_ports(&mut self, key: u16, tag: u16) {
+        self.nv_ports.insert(key, (tag, self.ports.clone()));
+    }
+
+    /// The tag of the journalled port snapshot under `key`, if any.
+    pub fn nv_stashed_tag(&self, key: u16) -> Option<u16> {
+        self.nv_ports.get(&key).map(|(tag, _)| *tag)
+    }
+
+    /// Restores the port state from the journalled snapshot under `key`,
+    /// provided its tag matches (a mismatch means the snapshot belongs to
+    /// a different checkpoint generation and must not be replayed).
+    /// Returns whether the restore happened.
+    pub fn nv_restore_ports(&mut self, key: u16, tag: u16) -> bool {
+        match self.nv_ports.get(&key) {
+            Some((t, snap)) if *t == tag => {
+                self.ports = snap.clone();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drops the journalled port snapshot under `key`, if any.
+    pub fn nv_discard_ports(&mut self, key: u16) {
+        self.nv_ports.remove(&key);
     }
 
     /// The hardware cache (for inspection in tests/ablations).
@@ -916,6 +955,8 @@ impl Bus {
             t.clear_pending();
         }
         self.reti_seen = false;
+        // `nv_ports` deliberately survives: it models an FRAM-resident
+        // I/O journal written by a checkpointing runtime.
     }
 
     /// Flips bit `bit` (0–7) of the byte at `addr` — a silent fault

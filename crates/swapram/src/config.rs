@@ -43,6 +43,20 @@ pub enum RecoveryMode {
     /// [`RecoveryMode::FullScan`] on a torn or stale log. Requires the
     /// static pass to emit the journal words (≤ 256 functions).
     DirtyLog,
+    /// Intermittent-computing mode: besides the [`RecoveryMode::FullScan`]
+    /// metadata sweep, the runtime checkpoints the *execution state* — the
+    /// register file, the FRAM-resident call stack, the `__sr_fid` word,
+    /// and every active counter — into a generation-tagged, double-buffered
+    /// resume frame in FRAM at function-call boundaries (two-phase commit:
+    /// the generation word is published last, so a torn checkpoint is
+    /// always detected by its CRC and rolled back to the previous frame).
+    /// After a power loss the machine resumes mid-computation instead of
+    /// replaying from `main`. A persistent boot-loop watchdog counts
+    /// consecutive boots without checkpoint progress (the Sisyphus
+    /// condition) and degrades to FRAM execution rather than livelocking.
+    /// Requires the unified profile (call stack in FRAM) and no preemptive
+    /// task table.
+    PersistentStack,
 }
 
 /// Critical-section policy for the runtime's metadata updates when timer
@@ -118,6 +132,26 @@ pub struct SwapConfig {
     /// ISR workload module and enable interrupts around `main` (see
     /// `mibench`'s builder). Off for the plain single-threaded figures.
     pub irq_harness: bool,
+    /// Base FRAM address of the [`RecoveryMode::PersistentStack`] resume
+    /// area (double-buffered checkpoint slots + watchdog words), emitted
+    /// as its own section above the handler window.
+    pub resume_base: u16,
+    /// Capacity of a checkpoint slot's saved-stack window in bytes
+    /// (even). Checkpoints are skipped — not truncated — when the live
+    /// stack is deeper than this.
+    pub resume_stack_bytes: u16,
+    /// Exclusive top of the application stack (the address the entry
+    /// stub loads into SP, rounded up to a word): the checkpoint saves
+    /// `[SP, stack_top)`.
+    pub stack_top: u16,
+    /// Minimum cycles between committed checkpoints: call-boundary
+    /// checkpoint opportunities within this window are skipped so commit
+    /// cost stays a bounded fraction of execution.
+    pub checkpoint_interval: u64,
+    /// Consecutive boots without a new committed checkpoint before the
+    /// Sisyphus watchdog declares a livelock and degrades the runtime to
+    /// FRAM execution (the persistent flag clears on the next commit).
+    pub watchdog_boots: u16,
 }
 
 impl SwapConfig {
@@ -141,6 +175,11 @@ impl SwapConfig {
             isr_protocol: IsrProtocol::Masked,
             isr_roots: BTreeSet::new(),
             irq_harness: false,
+            resume_base: 0xBC00,
+            resume_stack_bytes: 320,
+            stack_top: 0xA000,
+            checkpoint_interval: 2_000,
+            watchdog_boots: 4,
         }
     }
 
@@ -202,6 +241,27 @@ impl SwapConfig {
     /// Enables or disables the periodic interrupt harness (builder style).
     pub fn with_irq_harness(mut self, on: bool) -> SwapConfig {
         self.irq_harness = on;
+        self
+    }
+
+    /// Sets the minimum cycle spacing between committed checkpoints
+    /// (builder style; [`RecoveryMode::PersistentStack`] only).
+    pub fn with_checkpoint_interval(mut self, cycles: u64) -> SwapConfig {
+        self.checkpoint_interval = cycles;
+        self
+    }
+
+    /// Sets the Sisyphus watchdog threshold: consecutive zero-progress
+    /// boots before degrading to FRAM execution (builder style).
+    pub fn with_watchdog_boots(mut self, boots: u16) -> SwapConfig {
+        self.watchdog_boots = boots.max(1);
+        self
+    }
+
+    /// Sets the checkpoint slot's saved-stack capacity in bytes (builder
+    /// style; rounded down to a word).
+    pub fn with_resume_stack_bytes(mut self, bytes: u16) -> SwapConfig {
+        self.resume_stack_bytes = bytes & !1;
         self
     }
 }

@@ -66,6 +66,23 @@ pub struct CostModel {
     pub guard_word_instrs: u64,
     /// Cycles per CRC'd metadata word.
     pub guard_word_cycles: u64,
+    /// Fixed part of a persistent-stack checkpoint commit: read the slot
+    /// header, save the register file, publish the generation word, and
+    /// journal the I/O-port state.
+    pub checkpoint_base_instrs: u64,
+    /// Cycles for the fixed checkpoint part.
+    pub checkpoint_base_cycles: u64,
+    /// Per word copied into the checkpoint slot (stack window, active
+    /// counters) — the CRC fold is charged separately via the guard-word
+    /// rates.
+    pub checkpoint_word_instrs: u64,
+    /// Cycles per checkpointed word.
+    pub checkpoint_word_cycles: u64,
+    /// Boot-time watchdog bookkeeping: read and rewrite the four
+    /// persistent watchdog words.
+    pub watchdog_instrs: u64,
+    /// Cycles for watchdog bookkeeping.
+    pub watchdog_cycles: u64,
 }
 
 impl CostModel {
@@ -94,6 +111,12 @@ impl CostModel {
             guard_base_cycles: 12,
             guard_word_instrs: 18,
             guard_word_cycles: 40,
+            checkpoint_base_instrs: 24,
+            checkpoint_base_cycles: 60,
+            checkpoint_word_instrs: 3,
+            checkpoint_word_cycles: 6,
+            watchdog_instrs: 10,
+            watchdog_cycles: 26,
         }
     }
 }

@@ -20,7 +20,8 @@
 //! only ever delay eviction, never permit it wrongly), so the checker
 //! validates only that a counter never underflows past zero.
 
-use crate::guards::{guard_value, plausible_act};
+use crate::guards::{crc16, guard_value, plausible_act};
+use crate::pass::ResumeArea;
 use crate::runtime::SwapRuntime;
 use msp430_sim::mem::Bus;
 
@@ -34,6 +35,7 @@ pub fn check(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
     check_functions(rt, bus)?;
     check_journal(rt, bus)?;
     check_task_table(rt, bus)?;
+    check_resume(rt, bus)?;
     Ok(())
 }
 
@@ -212,6 +214,41 @@ fn check_task_table(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
         let region = bus.map().region_of(sp);
         if region != msp430_sim::mem::Region::Sram && region != msp430_sim::mem::Region::Fram {
             return Err(format!("task {t}: saved SP {sp:#06x} outside RAM"));
+        }
+    }
+    Ok(())
+}
+
+/// Persistent-stack checkpoint slots: a slot whose generation word is
+/// published (the commit's *last* write) must carry a plausible stack
+/// length and a matching CRC. The two-phase commit only publishes after
+/// the payload and CRC have landed, and the runtime never runs guest code
+/// mid-commit, so any observable committed slot must verify — a mismatch
+/// means corruption, not an in-flight commit. Unmarked slots are by
+/// definition in-progress or rolled back and are not checked.
+fn check_resume(rt: &SwapRuntime, bus: &Bus) -> Result<(), String> {
+    let Some(ra) = rt.resume_area() else {
+        return Ok(());
+    };
+    for s in 0..2usize {
+        let tag = bus.peek_word(ra.word_addr(s, 0));
+        if tag & ResumeArea::GEN_MARK == 0 {
+            continue;
+        }
+        let len = bus.peek_word(ra.word_addr(s, ResumeArea::LEN_OFS));
+        if len & 1 != 0 || len > ra.stack_cap {
+            return Err(format!(
+                "checkpoint slot {s}: committed frame has implausible stack length {len}"
+            ));
+        }
+        let n = ResumeArea::ACT_OFS - ResumeArea::LEN_OFS + ra.nfuncs + len / 2;
+        let words = (0..n).map(|i| bus.peek_word(ra.word_addr(s, ResumeArea::LEN_OFS + i)));
+        let want = crc16(words);
+        let stored = bus.peek_word(ra.word_addr(s, ResumeArea::CRC_OFS));
+        if stored != want {
+            return Err(format!(
+                "checkpoint slot {s}: committed frame CRC {stored:#06x} != computed {want:#06x}"
+            ));
         }
     }
     Ok(())

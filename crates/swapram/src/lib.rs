@@ -62,7 +62,7 @@ pub mod tables;
 
 pub use config::{IsrProtocol, PolicyKind, RecoveryMode, SwapConfig};
 pub use cost::CostModel;
-pub use pass::{Instrumented, Journal, SwapFunc, SwapReloc};
+pub use pass::{Instrumented, Journal, ResumeArea, SwapFunc, SwapReloc};
 pub use runtime::{RecoveryOutcome, SwapRuntime};
 pub use stats::SwapStats;
 

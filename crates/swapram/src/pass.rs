@@ -31,8 +31,9 @@
 use crate::config::{IsrProtocol, RecoveryMode, SwapConfig};
 use crate::guards::guard_value;
 use crate::tables::{
-    act_symbol, guard_symbol, isrfid_symbol, redir_symbol, reloc_symbol, rofs_symbol,
-    DIRTY_COUNT_SYMBOL, DIRTY_SLOTS_SYMBOL, FID_SYMBOL, GEN_SYMBOL, TABLES_SECTION,
+    act_symbol, guard_symbol, isrfid_symbol, redir_symbol, reloc_symbol, resume_slot_symbol,
+    rofs_symbol, DIRTY_COUNT_SYMBOL, DIRTY_SLOTS_SYMBOL, FID_SYMBOL, GEN_SYMBOL,
+    RESUME_SECTION, TABLES_SECTION, WATCHDOG_SYMBOL,
 };
 use msp430_asm::ast::{AsmOperand, Insn, Item, Module, Stmt};
 use msp430_asm::error::{AsmError, AsmResult};
@@ -99,6 +100,62 @@ pub struct Journal {
 /// recovery (the pass emits no journal).
 pub const JOURNAL_MAX_FUNCS: usize = 256;
 
+/// FRAM layout of the persistent-stack resume area the pass emits under
+/// [`RecoveryMode::PersistentStack`]: two generation-tagged checkpoint
+/// slots (double-buffered, committed two-phase) plus the Sisyphus
+/// watchdog words. See `crate::runtime` for the checkpoint protocol.
+///
+/// Slot layout, in words: `gen` (0 = invalid, committed generations have
+/// [`ResumeArea::GEN_MARK`] set), `crc` (CRC-16 over everything after
+/// it), `stack_len` (bytes), 16 saved registers, the `__sr_fid` word,
+/// one active counter per function, then the saved stack window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeArea {
+    /// Addresses of the two checkpoint slots.
+    pub slot_addrs: [u16; 2],
+    /// Size of one slot in words.
+    pub slot_words: u16,
+    /// Capacity of a slot's saved-stack window, in bytes.
+    pub stack_cap: u16,
+    /// Number of active counters saved per slot.
+    pub nfuncs: u16,
+    /// Address of the watchdog block: boot count, last resumed state
+    /// fingerprint, consecutive zero-progress boots, degraded flag.
+    pub watchdog_addr: u16,
+}
+
+impl ResumeArea {
+    /// Bit set in every committed generation word (so a valid tag is
+    /// never zero and never plausible as a small counter).
+    pub const GEN_MARK: u16 = 0x8000;
+    /// Word offset of the CRC within a slot.
+    pub const CRC_OFS: u16 = 1;
+    /// Word offset of the saved-stack length within a slot.
+    pub const LEN_OFS: u16 = 2;
+    /// Word offset of the 16 saved registers within a slot.
+    pub const REGS_OFS: u16 = 3;
+    /// Word offset of the saved `__sr_fid` word within a slot.
+    pub const FID_OFS: u16 = 19;
+    /// Word offset of the saved active counters within a slot.
+    pub const ACT_OFS: u16 = 20;
+
+    /// Slot words needed for `nfuncs` counters and `stack_cap` stack
+    /// bytes.
+    pub fn words_for(nfuncs: u16, stack_cap: u16) -> u16 {
+        Self::ACT_OFS + nfuncs + stack_cap / 2
+    }
+
+    /// Byte address of word `ofs` in slot `slot`.
+    pub fn word_addr(&self, slot: usize, ofs: u16) -> u16 {
+        self.slot_addrs[slot] + ofs * 2
+    }
+
+    /// Byte address of the saved-stack window in slot `slot`.
+    pub fn stack_addr(&self, slot: usize) -> u16 {
+        self.word_addr(slot, Self::ACT_OFS + self.nfuncs)
+    }
+}
+
 /// Output of the static pass: the final binary plus everything the runtime
 /// needs to manage the cache.
 #[derive(Debug, Clone)]
@@ -126,6 +183,9 @@ pub struct Instrumented {
     /// roots present). Runtime-adjacent stores — the sanitizer must
     /// allow application writes to them like the fid word itself.
     pub isr_slots: Vec<(String, u16)>,
+    /// Layout of the persistent-stack resume area, when the configuration
+    /// asked for [`RecoveryMode::PersistentStack`].
+    pub resume: Option<ResumeArea>,
 }
 
 impl Instrumented {
@@ -156,14 +216,20 @@ pub fn instrument(
     swap: &SwapConfig,
     layout: &LayoutConfig,
 ) -> AsmResult<Instrumented> {
-    if module.stmts.iter().any(
-        |s| matches!(&s.item, Item::Section(name) if name == TABLES_SECTION),
-    ) {
-        return Err(AsmError::global(format!(
-            "section `{TABLES_SECTION}` is reserved for SwapRAM metadata"
-        )));
+    for reserved in [TABLES_SECTION, RESUME_SECTION] {
+        if module.stmts.iter().any(
+            |s| matches!(&s.item, Item::Section(name) if name == reserved),
+        ) {
+            return Err(AsmError::global(format!(
+                "section `{reserved}` is reserved for SwapRAM metadata"
+            )));
+        }
     }
-    let layout = layout.clone().with_section(TABLES_SECTION, swap.tables_base);
+    let wants_resume = swap.recovery == RecoveryMode::PersistentStack;
+    let mut layout = layout.clone().with_section(TABLES_SECTION, swap.tables_base);
+    if wants_resume {
+        layout = layout.with_section(RESUME_SECTION, swap.resume_base);
+    }
 
     // Determine the cacheable set: every `.func` function except the entry
     // point, the blacklist and ISR roots (an interrupt must vector to a
@@ -221,6 +287,29 @@ pub fn instrument(
         instrumented.push(Item::Word(vec![Expr::num(0)]));
         instrumented.push(Item::Label(DIRTY_SLOTS_SYMBOL.to_string()));
         instrumented.push(Item::Word(vec![Expr::num(0); ids.len().max(1)]));
+    }
+    let resume_stack_cap = swap.resume_stack_bytes & !1;
+    let resume_slot_words = ResumeArea::words_for(ids.len().max(1) as u16, resume_stack_cap);
+    if wants_resume {
+        // The FR2355's FRAM ends at 0xC000: the double-buffered area must
+        // fit between `resume_base` and the end of the part.
+        let need = u32::from(resume_slot_words) * 4 + 8;
+        let avail = 0xC000u32.saturating_sub(u32::from(swap.resume_base));
+        if need > avail {
+            return Err(AsmError::global(format!(
+                "persistent-stack resume area needs {need} bytes at 0x{:04x} but only {avail} fit below the end of FRAM; shrink `resume_stack_bytes`",
+                swap.resume_base
+            )));
+        }
+        instrumented.push(Item::Section(RESUME_SECTION.to_string()));
+        instrumented.push(Item::Align(2));
+        for i in 0..2 {
+            instrumented.push(Item::Label(resume_slot_symbol(i)));
+            // Generation word 0 = invalid: a fresh image has no frame.
+            instrumented.push(Item::Word(vec![Expr::num(0); usize::from(resume_slot_words)]));
+        }
+        instrumented.push(Item::Label(WATCHDOG_SYMBOL.to_string()));
+        instrumented.push(Item::Word(vec![Expr::num(0); 4]));
     }
 
     // ---- Intermediate assembly: fix layout and materialise relaxation. ----
@@ -376,6 +465,18 @@ pub fn instrument(
         .map(|n| Ok((n.clone(), lookup(&isrfid_symbol(n))?)))
         .collect::<AsmResult<Vec<_>>>()?;
 
+    let resume = if wants_resume {
+        Some(ResumeArea {
+            slot_addrs: [lookup(&resume_slot_symbol(0))?, lookup(&resume_slot_symbol(1))?],
+            slot_words: resume_slot_words,
+            stack_cap: resume_stack_cap,
+            nfuncs: ids.len().max(1) as u16,
+            watchdog_addr: lookup(WATCHDOG_SYMBOL)?,
+        })
+    } else {
+        None
+    };
+
     Ok(Instrumented {
         fid_addr: lookup(FID_SYMBOL)?,
         assembly,
@@ -385,6 +486,7 @@ pub fn instrument(
         call_sites,
         journal,
         isr_slots,
+        resume,
     })
 }
 

@@ -14,11 +14,12 @@
 
 use crate::config::{IsrProtocol, PolicyKind, RecoveryMode, SwapConfig};
 use crate::cost::CostModel;
-use crate::guards::{guard_value, plausible_act};
-use crate::pass::{Instrumented, Journal, SwapFunc};
+use crate::guards::{crc16, guard_value, plausible_act};
+use crate::pass::{Instrumented, Journal, ResumeArea, SwapFunc};
 use crate::stats::SwapStats;
 use msp430_sim::cpu::{Cpu, FLAG_GIE};
 use msp430_sim::error::{SimError, SimResult};
+use msp430_sim::isa::Reg;
 use msp430_sim::machine::{Hook, IrqBoundary, TrapAction};
 use msp430_sim::mem::{AccessKind, Bus};
 use msp430_sim::trace::Category;
@@ -67,6 +68,15 @@ pub struct RecoveryOutcome {
     pub rewound: u64,
     /// True when a torn or stale journal forced the full-scan fallback.
     pub journal_fallback: bool,
+    /// True when a committed persistent-stack checkpoint was restored:
+    /// the register file, call stack, and I/O state are back at the
+    /// checkpoint and execution continues mid-computation instead of
+    /// replaying from the entry point ([`SwapRuntime::recover_resume`]).
+    pub resumed: bool,
+    /// True when the Sisyphus watchdog has degraded the runtime to FRAM
+    /// execution after consecutive zero-progress boots (either on this
+    /// boot or a persistent earlier one not yet cleared by a commit).
+    pub watchdog_degraded: bool,
 }
 
 /// The runtime component of SwapRAM.
@@ -103,6 +113,21 @@ pub struct SwapRuntime {
     /// addresses on *suspended* task stacks (the live SP scan only covers
     /// the running task). [`IsrProtocol::Masked`] only.
     task_table: Option<(u16, u16)>,
+    /// Persistent-stack resume layout, when the pass emitted one.
+    resume: Option<ResumeArea>,
+    /// Checkpoint slot the *next* commit writes (double-buffered: never
+    /// the slot a valid resume frame lives in).
+    ckpt_slot: usize,
+    /// Generation the next commit publishes (15-bit, monotone).
+    ckpt_gen: u16,
+    /// Total-cycle timestamp of the last committed checkpoint, for the
+    /// commit-interval gate.
+    last_commit: Option<u64>,
+    /// Volatile mirror of the persistent watchdog degraded flag: when
+    /// set, misses are served from FRAM homes without writing permanent
+    /// redirects (so traps — and with them checkpoint opportunities —
+    /// keep occurring).
+    wd_degraded: bool,
 }
 
 impl std::fmt::Debug for SwapRuntime {
@@ -144,6 +169,11 @@ impl SwapRuntime {
             journal: inst.journal,
             logged,
             task_table: None,
+            resume: inst.resume,
+            ckpt_slot: 0,
+            ckpt_gen: 1,
+            last_commit: None,
+            wd_degraded: false,
         }
     }
 
@@ -202,6 +232,368 @@ impl SwapRuntime {
     /// The dirty-log layout, when the instrumented program carries one.
     pub fn journal(&self) -> Option<&Journal> {
         self.journal.as_ref()
+    }
+
+    /// The persistent-stack resume layout, when the instrumented program
+    /// carries one (for the invariant checker and tests).
+    pub fn resume_area(&self) -> Option<&ResumeArea> {
+        self.resume.as_ref()
+    }
+
+    /// Whether the Sisyphus watchdog has degraded the runtime to FRAM
+    /// execution (cleared by the next committed checkpoint).
+    pub fn watchdog_degraded(&self) -> bool {
+        self.wd_degraded
+    }
+
+    /// Whether persistent-stack checkpointing is active.
+    fn ps_active(&self) -> bool {
+        self.cfg.recovery == RecoveryMode::PersistentStack && self.resume.is_some()
+    }
+
+    /// Translates a word that points into a cached SRAM copy to the
+    /// equivalent address in the function's FRAM home; any other value is
+    /// returned unchanged. Checkpointed stacks and program counters must
+    /// be cache-independent: after a reboot the cache is empty, so a
+    /// return address into vanished SRAM would wild-jump, while its FRAM
+    /// translation lands on the identical instruction bytes (copies are
+    /// verbatim; branch indirection goes through relocation words).
+    fn to_fram_addr(&self, w: u16) -> u16 {
+        if u32::from(w) < u32::from(self.cfg.cache_base) || u32::from(w) >= self.end() {
+            return w;
+        }
+        for e in &self.entries {
+            if w >= e.addr && w < e.addr.wrapping_add(e.size) {
+                if let Some(f) = self.funcs.get(usize::from(e.id)) {
+                    return f.fram_addr.wrapping_add(w - e.addr);
+                }
+            }
+        }
+        w
+    }
+
+    /// The next checkpoint generation after `g` (15-bit, skipping 0 so a
+    /// committed tag is never the invalid value).
+    fn next_gen(g: u16) -> u16 {
+        if g >= 0x7fff {
+            1
+        } else {
+            g + 1
+        }
+    }
+
+    /// Persistent-stack commit point: snapshots the execution state —
+    /// resume PC, register file, `__sr_fid`, active counters, and the
+    /// live stack window (with SRAM return addresses translated to FRAM
+    /// homes) — into the standby checkpoint slot under a two-phase
+    /// commit, and journals the I/O-port state under the same generation
+    /// tag so console/checksum output is exactly-once across a resume.
+    ///
+    /// Write order is the crash-safety argument: the slot's generation
+    /// word is zeroed first (invalidating any stale frame there), the
+    /// payload and CRC land next, and the tagged generation word is
+    /// published last — a power loss anywhere in between leaves an
+    /// unmarked or CRC-invalid slot that boot-time validation rolls
+    /// back, falling back to the other slot's older committed frame.
+    ///
+    /// Opportunities are skipped (counted in `checkpoint_skips`) when a
+    /// task table is registered (one resume frame cannot represent
+    /// multiple task stacks), when the stack is missing, misaligned,
+    /// deeper than the slot window, or not in FRAM; the commit interval
+    /// gate is a silent rate limit, not a skip. A `force`d commit — the
+    /// brown-out dying gasp — bypasses the interval gate only; the
+    /// structural skip conditions still hold.
+    fn maybe_checkpoint(
+        &mut self,
+        cpu: &Cpu,
+        bus: &mut Bus,
+        resume_pc: u16,
+        force: bool,
+    ) -> SimResult<()> {
+        if !self.ps_active() {
+            return Ok(());
+        }
+        let Some(ra) = self.resume else {
+            return Ok(());
+        };
+        let now = bus.stats().total_cycles();
+        if !force {
+            if let Some(last) = self.last_commit {
+                if now.saturating_sub(last) < self.cfg.checkpoint_interval {
+                    return Ok(());
+                }
+            }
+        }
+        let sp = cpu.sp();
+        let top = self.cfg.stack_top;
+        let skip = self.task_table.is_some()
+            || sp == 0
+            || sp & 1 != 0
+            || sp >= top
+            || top - sp > ra.stack_cap
+            || !bus.fram_contains(sp, u32::from(top));
+        if skip {
+            self.stats.borrow_mut().checkpoint_skips += 1;
+            if force {
+                // A dying gasp that cannot represent the current state
+                // must not leave older frames behind: resuming an earlier
+                // checkpoint would re-execute the window since it
+                // committed, replaying non-idempotent NVRAM writes. The
+                // Hibernus-style fail-safe is to clear the valid frames so
+                // the next boot replays from the entry point instead.
+                for s in 0..2usize {
+                    bus.write_word(ra.word_addr(s, 0), 0)?;
+                    bus.nv_discard_ports(ra.slot_addrs[s]);
+                }
+            }
+            return Ok(());
+        }
+        let len = top - sp;
+
+        // Capture the payload: everything after the slot's CRC word, in
+        // slot order (`stack_len`, 16 registers, `__sr_fid`, one counter
+        // per function, the stack window).
+        let mut payload: Vec<u16> = Vec::with_capacity(usize::from(ra.slot_words));
+        payload.push(len);
+        for r in 0..16u8 {
+            payload.push(match r {
+                0 => resume_pc,
+                1 => sp,
+                _ => cpu.reg(Reg::r(r)),
+            });
+        }
+        payload.push(bus.read_word(self.fid_addr, AccessKind::Read)?);
+        for i in 0..usize::from(ra.nfuncs) {
+            payload.push(match self.funcs.get(i) {
+                Some(f) => bus.read_word(f.act_addr, AccessKind::Read)?,
+                None => 0,
+            });
+        }
+        for i in 0..len / 2 {
+            let w = bus.read_word(sp + 2 * i, AccessKind::Read)?;
+            payload.push(self.to_fram_addr(w));
+        }
+
+        // Two-phase commit into the standby slot.
+        let slot = self.ckpt_slot;
+        let gen = ResumeArea::GEN_MARK | self.ckpt_gen;
+        bus.write_word(ra.word_addr(slot, 0), 0)?;
+        for (i, w) in payload.iter().enumerate() {
+            bus.write_word(ra.word_addr(slot, ResumeArea::LEN_OFS + i as u16), *w)?;
+        }
+        bus.write_word(ra.word_addr(slot, ResumeArea::CRC_OFS), crc16(payload.iter().copied()))?;
+        bus.nv_stash_ports(ra.slot_addrs[slot], gen);
+        bus.write_word(ra.word_addr(slot, 0), gen)?;
+
+        let words = payload.len() as u64 + 2;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.checkpoint_base_instrs + self.cost.checkpoint_word_instrs * words,
+            self.cost.checkpoint_base_cycles + self.cost.checkpoint_word_cycles * words,
+        )?;
+        if self.wd_degraded {
+            // Forward progress is provable again: clear the *persistent*
+            // degradation so the next boot resumes normal caching. This
+            // boot keeps serving misses from FRAM — every instrumented
+            // call keeps trapping, so a commit point recurs at least once
+            // per checkpoint interval and the resume position advances
+            // through the whole boot instead of stalling where a warmed
+            // cache would stop trapping.
+            bus.write_word(ra.watchdog_addr.wrapping_add(4), 0)?;
+            bus.write_word(ra.watchdog_addr.wrapping_add(6), 0)?;
+        }
+        self.ckpt_slot = 1 - slot;
+        self.ckpt_gen = Self::next_gen(self.ckpt_gen);
+        self.last_commit = Some(now);
+        self.stats.borrow_mut().checkpoint_commits += 1;
+        Ok(())
+    }
+
+    /// Reads and validates one checkpoint slot's payload. Returns `None`
+    /// when the stored length is implausible or the CRC does not match —
+    /// a torn commit the caller rolls back.
+    fn read_slot(&mut self, bus: &mut Bus, ra: ResumeArea, slot: usize) -> SimResult<Option<Vec<u16>>> {
+        let len = bus.read_word(ra.word_addr(slot, ResumeArea::LEN_OFS), AccessKind::Read)?;
+        if len & 1 != 0 || len > ra.stack_cap || len >= self.cfg.stack_top {
+            return Ok(None);
+        }
+        let n = ResumeArea::ACT_OFS - ResumeArea::LEN_OFS + ra.nfuncs + len / 2;
+        let mut payload = Vec::with_capacity(usize::from(n));
+        for i in 0..n {
+            payload.push(bus.read_word(ra.word_addr(slot, ResumeArea::LEN_OFS + i), AccessKind::Read)?);
+        }
+        let crc = bus.read_word(ra.word_addr(slot, ResumeArea::CRC_OFS), AccessKind::Read)?;
+        let words = payload.len() as u64 + 2;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.checkpoint_base_instrs + self.cost.checkpoint_word_instrs * words,
+            self.cost.checkpoint_base_cycles + self.cost.checkpoint_word_cycles * words,
+        )?;
+        if crc != crc16(payload.iter().copied()) {
+            return Ok(None);
+        }
+        Ok(Some(payload))
+    }
+
+    /// Boot-time resume: picks the newest committed checkpoint slot,
+    /// validates it (CRC plus the I/O journal's generation tag), rolls
+    /// back torn slots, and restores the execution state. Returns the
+    /// resumed frame's state fingerprint (its payload CRC), or `None`
+    /// when no valid frame exists (first boot, or both slots torn) — the
+    /// program then replays from entry.
+    ///
+    /// Runs *after* the metadata recovery pass: the cache is empty and
+    /// every redirection word is rewound, which is exactly the state the
+    /// checkpoint's FRAM-translated stack and resume PC assume.
+    fn try_resume(&mut self, cpu: &mut Cpu, bus: &mut Bus) -> SimResult<Option<u16>> {
+        let Some(ra) = self.resume else {
+            return Ok(None);
+        };
+        let mut slots: Vec<(u16, usize)> = Vec::new();
+        let mut max_seen = 0u16;
+        for s in 0..2usize {
+            let tag = bus.read_word(ra.word_addr(s, 0), AccessKind::Read)?;
+            if tag & ResumeArea::GEN_MARK == 0 {
+                continue;
+            }
+            let g = tag & !ResumeArea::GEN_MARK;
+            max_seen = max_seen.max(g);
+            slots.push((g, s));
+        }
+        // Newest generation first; the older slot is the fallback.
+        slots.sort_unstable_by_key(|&(g, _)| std::cmp::Reverse(g));
+        for (g, s) in slots {
+            let tag = ResumeArea::GEN_MARK | g;
+            let valid = self
+                .read_slot(bus, ra, s)?
+                .filter(|_| bus.nv_stashed_tag(ra.slot_addrs[s]) == Some(tag));
+            let Some(payload) = valid else {
+                // Torn commit: marked but unverifiable. Roll it back so no
+                // later boot can trust it either.
+                bus.write_word(ra.word_addr(s, 0), 0)?;
+                bus.nv_discard_ports(ra.slot_addrs[s]);
+                self.stats.borrow_mut().torn_checkpoints += 1;
+                continue;
+            };
+            self.restore_slot(cpu, bus, ra, s, tag, &payload)?;
+            self.ckpt_slot = 1 - s;
+            self.ckpt_gen = Self::next_gen(max_seen);
+            self.last_commit = Some(bus.stats().total_cycles());
+            self.stats.borrow_mut().resumes += 1;
+            // The payload CRC doubles as the frame's state fingerprint
+            // for the watchdog's progress test: two checkpoints of the
+            // same register file, stack, and counters carry the same CRC.
+            return Ok(Some(bus.peek_word(ra.word_addr(s, ResumeArea::CRC_OFS))));
+        }
+        self.ckpt_slot = 0;
+        self.ckpt_gen = Self::next_gen(max_seen);
+        Ok(None)
+    }
+
+    /// Restores a validated checkpoint payload: `__sr_fid`, the active
+    /// counters, the stack window, the register file (PC last — it is the
+    /// resume point), and the checkpoint-time I/O-port state.
+    fn restore_slot(
+        &mut self,
+        cpu: &mut Cpu,
+        bus: &mut Bus,
+        ra: ResumeArea,
+        slot: usize,
+        tag: u16,
+        payload: &[u16],
+    ) -> SimResult<()> {
+        let len = payload[0];
+        let acts_start = usize::from(ResumeArea::ACT_OFS - ResumeArea::LEN_OFS);
+        bus.write_word(self.fid_addr, payload[acts_start - 1])?;
+        for (i, f) in self.funcs.iter().enumerate() {
+            let v = payload.get(acts_start + i).copied().unwrap_or(0);
+            bus.write_word(f.act_addr, v)?;
+        }
+        let sp = self.cfg.stack_top - len;
+        let stack_start = acts_start + usize::from(ra.nfuncs);
+        for i in 0..len / 2 {
+            bus.write_word(sp + 2 * i, payload[stack_start + usize::from(i)])?;
+        }
+        for r in (0..16u8).rev() {
+            cpu.set_reg(Reg::r(r), payload[1 + usize::from(r)]);
+        }
+        bus.nv_restore_ports(ra.slot_addrs[slot], tag);
+        let words = payload.len() as u64;
+        self.charge(
+            bus,
+            Category::MissHandler,
+            self.cost.checkpoint_base_instrs + self.cost.checkpoint_word_instrs * words,
+            self.cost.checkpoint_base_cycles + self.cost.checkpoint_word_cycles * words,
+        )
+    }
+
+    /// Per-boot Sisyphus-watchdog bookkeeping over the four persistent
+    /// words at `__sr_wdog` (boot count, last resumed state fingerprint,
+    /// consecutive zero-progress boots, degraded flag): a boot that
+    /// resumes a frame with the *same* fingerprint the previous boot
+    /// resumed — or that found nothing to resume at all — made no
+    /// provable forward progress (the dying-gasp commit means even a
+    /// boot that executed zero useful instructions re-commits an
+    /// identical frame, so generation numbers advance while the state
+    /// does not); [`SwapConfig::watchdog_boots`] such boots in a row
+    /// degrade the runtime to FRAM execution — converting a silent
+    /// reboot livelock into a detected, reported state that a later
+    /// state-changing committed checkpoint clears.
+    fn run_watchdog(&mut self, bus: &mut Bus, resumed_fp: Option<u16>) -> SimResult<bool> {
+        let Some(ra) = self.resume else {
+            return Ok(false);
+        };
+        let wa = ra.watchdog_addr;
+        let boots = bus.read_word(wa, AccessKind::Read)?;
+        let prog = bus.read_word(wa.wrapping_add(2), AccessKind::Read)?;
+        let nonprog = bus.read_word(wa.wrapping_add(4), AccessKind::Read)?;
+        let degraded = bus.read_word(wa.wrapping_add(6), AccessKind::Read)?;
+        let (prog2, nonprog2) = match resumed_fp {
+            Some(fp) if fp != prog => (fp, 0),
+            _ => (prog, nonprog.saturating_add(1)),
+        };
+        let mut degraded2 = u16::from(degraded != 0);
+        if degraded2 == 0 && nonprog2 >= self.cfg.watchdog_boots {
+            degraded2 = 1;
+            self.stats.borrow_mut().watchdog_degradations += 1;
+        }
+        bus.write_word(wa, boots.wrapping_add(1))?;
+        bus.write_word(wa.wrapping_add(2), prog2)?;
+        bus.write_word(wa.wrapping_add(4), nonprog2)?;
+        bus.write_word(wa.wrapping_add(6), degraded2)?;
+        self.charge(bus, Category::MissHandler, self.cost.watchdog_instrs, self.cost.watchdog_cycles)?;
+        self.wd_degraded = degraded2 != 0;
+        Ok(self.wd_degraded)
+    }
+
+    /// Boot-time recovery with persistent-stack resume: runs the metadata
+    /// recovery of [`SwapRuntime::recover`], then — under
+    /// [`RecoveryMode::PersistentStack`] — restores the newest committed
+    /// checkpoint (if any) and performs the watchdog bookkeeping. Under
+    /// the replay modes this is exactly `recover`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus faults; reports an invariant violation when
+    /// checking is enabled.
+    pub fn recover_resume(&mut self, cpu: &mut Cpu, bus: &mut Bus) -> SimResult<RecoveryOutcome> {
+        bus.set_runtime_mode(true);
+        let out = self.recover_resume_inner(cpu, bus);
+        bus.set_runtime_mode(false);
+        out
+    }
+
+    fn recover_resume_inner(&mut self, cpu: &mut Cpu, bus: &mut Bus) -> SimResult<RecoveryOutcome> {
+        let mut outcome = self.recover_inner(bus)?;
+        if self.ps_active() {
+            let fingerprint = self.try_resume(cpu, bus)?;
+            outcome.resumed = fingerprint.is_some();
+            outcome.watchdog_degraded = self.run_watchdog(bus, fingerprint)?;
+            self.enforce_invariants(bus)?;
+        }
+        Ok(outcome)
     }
 
     /// Runs the metadata invariant checker (host-side, charge-free).
@@ -779,7 +1171,13 @@ impl SwapRuntime {
         }
         drop(stats);
         self.enforce_invariants(bus)?;
-        Ok(RecoveryOutcome { mode, rewound, journal_fallback })
+        Ok(RecoveryOutcome {
+            mode,
+            rewound,
+            journal_fallback,
+            resumed: false,
+            watchdog_degraded: false,
+        })
     }
 
     /// Rewinds the functions named by an intact dirty log. Returns `None`
@@ -958,15 +1356,41 @@ impl Hook for SwapRuntime {
         Some(self)
     }
 
+    /// Brown-out dying gasp (the Hibernus / QuickRecall model): the
+    /// supply crossed its threshold and the capacitor tail powers one
+    /// final forced checkpoint at the exact interruption point. Because
+    /// the next boot resumes *here* — not at an earlier periodic commit —
+    /// no instruction window is ever re-executed on the resume path,
+    /// which keeps checkpointing sound for programs that mutate
+    /// non-volatile data in place (no write-after-read replay hazard).
+    /// Periodic trap/ISR-entry commits remain as hardening: they are the
+    /// fallback frames when a gasp commit itself tears mid-write.
+    fn on_power_failing(&mut self, cpu: &mut Cpu, bus: &mut Bus) -> SimResult<()> {
+        let resume_pc = self.to_fram_addr(cpu.pc());
+        self.maybe_checkpoint(cpu, bus, resume_pc, true)
+    }
+
     /// Invariant oracle at every interrupt boundary: the metadata must be
     /// consistent at ISR entry (whatever the handler was doing when
     /// preempted) and again after `RETI` (whatever the ISR did to it).
     fn on_interrupt_boundary(
         &mut self,
-        _cpu: &mut Cpu,
+        cpu: &mut Cpu,
         bus: &mut Bus,
-        _boundary: IrqBoundary,
+        boundary: IrqBoundary,
     ) -> SimResult<()> {
+        if boundary == IrqBoundary::Entry {
+            // Timer-driven commit point (the Mementos idiom): the entry
+            // boundary fires before the hardware pushes the interrupt
+            // frame, so the CPU still holds the interrupted program's
+            // state — a pure program snapshot. The interrupted PC may sit
+            // inside a cached SRAM copy; translate it to the FRAM home so
+            // the resume lands on identical instruction bytes with an
+            // empty cache. (The pending interrupt itself is volatile and
+            // is simply re-raised by the re-armed timer after a reboot.)
+            let resume_pc = self.to_fram_addr(cpu.pc());
+            self.maybe_checkpoint(cpu, bus, resume_pc, false)?;
+        }
         if !self.cfg.check_invariants {
             return Ok(());
         }
@@ -1006,12 +1430,24 @@ impl Hook for SwapRuntime {
             }
         }
         let f = self.func(fid)?.clone();
+        // Trap-entry commit point: the trap window is a stable FRAM
+        // address, so a resume that restores this PC simply re-traps and
+        // re-services the miss against the recovered (empty) cache.
+        self.maybe_checkpoint(cpu, bus, self.cfg.trap_addr, false)?;
         let exit = |rt: &mut SwapRuntime, cpu: &mut Cpu, bus: &mut Bus, target: u16| {
             cpu.set_pc(target);
             rt.charge(bus, Category::MissHandler, rt.cost.exit_instrs, rt.cost.exit_cycles)?;
             rt.enforce_invariants(bus)?;
             Ok(TrapAction::Resume)
         };
+        // Watchdog-degraded service: run the callee from its FRAM home
+        // without writing a permanent redirect — the call keeps trapping,
+        // so commit points keep occurring and a successful checkpoint can
+        // lift the degradation.
+        if self.wd_degraded {
+            self.stats.borrow_mut().watchdog_fallbacks += 1;
+            return exit(self, cpu, bus, f.fram_addr);
+        }
 
         // Defensive: already cached (e.g. racing call sites) — re-chain.
         if let Some(e) = self.entries.iter().find(|e| e.id == fid).copied() {
@@ -1439,5 +1875,248 @@ dbl:
         let out = machine.run(5_000_000).unwrap();
         assert!(out.success());
         assert_eq!(out.checksum.0, expected_checksum());
+    }
+
+    /// The same program with its stack in FRAM (the unified-profile
+    /// convention): persistent-stack checkpoints require the live stack
+    /// window to survive power loss, so an SRAM stack is (correctly)
+    /// skipped by the commit gate.
+    const SRC_FRAM: &str = "\
+    .text
+    .func __start
+__start:
+    mov #0x9ffe, sp
+    call #main
+    mov #0, &0x0102
+    .endfunc
+    .func main
+main:
+    mov #0, r10
+    mov #5, r11
+main_loop:
+    mov r10, r12
+    call #inc3
+    call #dbl
+    mov r12, r10
+    dec r11
+    jnz main_loop
+    mov r10, &0x0104
+    ret
+    .endfunc
+    .func inc3
+inc3:
+    add #3, r12
+    ret
+    .endfunc
+    .func dbl
+dbl:
+    add r12, r12
+    ret
+    .endfunc
+";
+
+    fn ps_cfg() -> SwapConfig {
+        SwapConfig {
+            recovery: RecoveryMode::PersistentStack,
+            ..SwapConfig::unified_fr2355()
+        }
+        .with_checkpoint_interval(0)
+    }
+
+    fn ps_instrumented(src: &str, cfg: &SwapConfig) -> Instrumented {
+        let m = parse(src).unwrap();
+        let lc = LayoutConfig::new(0x4000, 0x9000);
+        instrument(&m, cfg, &lc).unwrap()
+    }
+
+    #[test]
+    fn persistent_stack_resumes_across_power_losses() {
+        use msp430_sim::fault::{EnergyShape, EnergyTrace};
+        use msp430_sim::machine::ExitReason;
+
+        let cfg = ps_cfg();
+        let inst = ps_instrumented(SRC_FRAM, &cfg);
+
+        // Clean calibration run: commit points fire at trap entries.
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.load(&inst.assembly.image);
+        let rt = SwapRuntime::new(&inst, cfg.clone());
+        let clean_stats = rt.stats_handle();
+        machine.attach_hook(Box::new(rt));
+        let clean = machine.run(1_000_000).unwrap();
+        assert!(clean.success());
+        assert_eq!(clean.checksum.0, expected_checksum());
+        assert!(clean_stats.borrow().checkpoint_commits > 0, "traps must commit checkpoints");
+        let clean_cycles = clean.stats.total_cycles();
+
+        // Harvested-energy run: boots are too short to replay the whole
+        // program, so completion requires resuming mid-computation.
+        let trace = EnergyTrace::new(EnergyShape::RcCharge, clean_cycles / 3, 7);
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.load(&inst.assembly.image);
+        machine.attach_fault_plan(trace.plan_until(clean_cycles * 4));
+        machine.attach_hook(Box::new(SwapRuntime::new(&inst, cfg.clone())));
+        let mut boots = 1u32;
+        let (mut resumes, mut commits) = (0u64, 0u64);
+        loop {
+            let out = machine.run(1_000_000).unwrap();
+            match out.exit {
+                ExitReason::Halted(0) => {
+                    assert_eq!(out.checksum.0, expected_checksum(), "resumed output must be exact");
+                    break;
+                }
+                ExitReason::PowerLoss => {
+                    boots += 1;
+                    assert!(boots <= 64, "persistent-stack run did not converge");
+                    machine.power_cycle();
+                    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+                    let stats = rt.stats_handle();
+                    let (cpu, bus) = machine.cpu_bus_mut();
+                    rt.recover_resume(cpu, bus).expect("recovery failed");
+                    resumes += stats.borrow().resumes;
+                    commits += stats.borrow().checkpoint_commits;
+                    machine.attach_hook(Box::new(rt));
+                }
+                other => panic!("unexpected exit {other:?}"),
+            }
+        }
+        assert!(boots > 1, "the schedule must actually cut power");
+        assert!(resumes > 0, "at least one boot must resume from a checkpoint");
+        let _ = commits;
+    }
+
+    #[test]
+    fn torn_checkpoints_roll_back_and_replay_stays_correct() {
+        use msp430_sim::fault::{FaultEvent, FaultKind, FaultPlan};
+        use msp430_sim::machine::ExitReason;
+
+        let cfg = ps_cfg();
+        let inst = ps_instrumented(SRC_FRAM, &cfg);
+        let ra = inst.resume.expect("persistent-stack layout emitted");
+
+        let mut calib = Fr2355::machine(Frequency::MHZ_24);
+        calib.load(&inst.assembly.image);
+        calib.attach_hook(Box::new(SwapRuntime::new(&inst, cfg.clone())));
+        let clean = calib.run(1_000_000).unwrap();
+        assert!(clean.success());
+
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.load(&inst.assembly.image);
+        machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            cycle: clean.stats.total_cycles() / 2,
+            kind: FaultKind::PowerLoss,
+        }]));
+        machine.attach_hook(Box::new(SwapRuntime::new(&inst, cfg.clone())));
+        let out = machine.run(1_000_000).unwrap();
+        assert_eq!(out.exit, ExitReason::PowerLoss);
+        machine.power_cycle();
+
+        // Corrupt the payload of every committed slot: boot-time
+        // validation must reject them all and fall back to replay.
+        let mut committed = 0u32;
+        for s in 0..2usize {
+            let gen = machine.bus().peek_word(ra.word_addr(s, 0));
+            if gen & crate::pass::ResumeArea::GEN_MARK == 0 {
+                continue;
+            }
+            committed += 1;
+            let at = ra.word_addr(s, crate::pass::ResumeArea::REGS_OFS + 4);
+            let w = machine.bus().peek_word(at);
+            machine.bus_mut().poke_word(at, w ^ 0x0800);
+        }
+        assert!(committed > 0, "the interrupted run must have committed a checkpoint");
+
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        let stats = rt.stats_handle();
+        let (cpu, bus) = machine.cpu_bus_mut();
+        let outcome = rt.recover_resume(cpu, bus).expect("recovery failed");
+        assert!(!outcome.resumed, "no corrupted frame may be resumed");
+        assert_eq!(stats.borrow().torn_checkpoints, u64::from(committed));
+        for s in 0..2usize {
+            let gen = machine.bus().peek_word(ra.word_addr(s, 0));
+            assert_eq!(gen & crate::pass::ResumeArea::GEN_MARK, 0, "torn slot {s} rolled back");
+        }
+        machine.attach_hook(Box::new(rt));
+        let out = machine.run(1_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum(), "replay after rollback is exact");
+    }
+
+    #[test]
+    fn watchdog_degrades_boot_loops_to_fram_execution() {
+        // SRAM stack: the commit gate skips every checkpoint, so no boot
+        // can ever prove forward progress — the Sisyphus condition.
+        let cfg = ps_cfg().with_watchdog_boots(3);
+        let inst = ps_instrumented(SRC, &cfg);
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.load(&inst.assembly.image);
+
+        let mut last: Option<SwapRuntime> = None;
+        for boot in 1..=3u16 {
+            let mut rt = SwapRuntime::new(&inst, cfg.clone());
+            let (cpu, bus) = machine.cpu_bus_mut();
+            let outcome = rt.recover_resume(cpu, bus).expect("recovery failed");
+            assert!(!outcome.resumed);
+            assert_eq!(outcome.watchdog_degraded, boot >= 3, "degrades exactly at the threshold");
+            last = Some(rt);
+        }
+        let rt = last.unwrap();
+        assert!(rt.watchdog_degraded());
+        assert_eq!(rt.stats_handle().borrow().watchdog_degradations, 1);
+
+        // Degraded service: the program still completes, entirely from
+        // FRAM homes — detected degradation, never a livelock or a wrong
+        // answer.
+        let stats = rt.stats_handle();
+        machine.attach_hook(Box::new(rt));
+        let out = machine.run(1_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+        let s = stats.borrow();
+        assert!(s.watchdog_fallbacks > 0, "misses served via the degraded path");
+        assert_eq!(s.fills, 0, "no SRAM caching while degraded");
+        assert!(s.checkpoint_skips > 0, "SRAM-stack commits are skipped, not attempted");
+    }
+
+    #[test]
+    fn committed_checkpoint_clears_watchdog_degradation() {
+        // FRAM stack: a degraded boot's traps commit checkpoints, which
+        // clears the *persistent* flag — the degraded boot itself keeps
+        // serving from FRAM (so commit points keep recurring), and the
+        // *next* boot starts undegraded with normal caching.
+        let cfg = ps_cfg().with_watchdog_boots(2);
+        let inst = ps_instrumented(SRC_FRAM, &cfg);
+        let ra = inst.resume.expect("persistent-stack layout emitted");
+        let mut machine = Fr2355::machine(Frequency::MHZ_24);
+        machine.load(&inst.assembly.image);
+
+        let mut last: Option<SwapRuntime> = None;
+        for _ in 0..2 {
+            let mut rt = SwapRuntime::new(&inst, cfg.clone());
+            let (cpu, bus) = machine.cpu_bus_mut();
+            rt.recover_resume(cpu, bus).expect("recovery failed");
+            last = Some(rt);
+        }
+        let rt = last.unwrap();
+        assert!(rt.watchdog_degraded());
+        let stats = rt.stats_handle();
+        machine.attach_hook(Box::new(rt));
+        let out = machine.run(1_000_000).unwrap();
+        assert!(out.success());
+        assert_eq!(out.checksum.0, expected_checksum());
+        let s = stats.borrow();
+        assert!(s.checkpoint_commits > 0, "degraded traps still commit");
+        assert!(s.watchdog_fallbacks > 0, "the degraded boot serves from FRAM throughout");
+        assert_eq!(s.fills, 0, "no caching until the next boot");
+        drop(s);
+        let degraded_word = machine.bus().peek_word(ra.watchdog_addr.wrapping_add(6));
+        assert_eq!(degraded_word, 0, "the persistent degraded flag is cleared by the commit");
+
+        // The next boot reads the cleared flag and caches normally.
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        let (cpu, bus) = machine.cpu_bus_mut();
+        let outcome = rt.recover_resume(cpu, bus).expect("recovery failed");
+        assert!(!outcome.watchdog_degraded);
+        assert!(!rt.watchdog_degraded());
     }
 }

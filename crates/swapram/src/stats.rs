@@ -57,6 +57,22 @@ pub struct SwapStats {
     /// call-site operand and was repaired from it (an ISR clobbered
     /// `__sr_fid` in the publish window).
     pub fid_repairs: u64,
+    /// Persistent-stack checkpoints committed (generation published).
+    pub checkpoint_commits: u64,
+    /// Checkpoint opportunities skipped (interval not elapsed, stack
+    /// deeper than the slot capacity, or task table registered).
+    pub checkpoint_skips: u64,
+    /// Boots resumed from a committed checkpoint instead of replaying.
+    pub resumes: u64,
+    /// Checkpoint slots found torn (generation published but CRC or I/O
+    /// journal tag bad) and rolled back at boot.
+    pub torn_checkpoints: u64,
+    /// Sisyphus-watchdog firings: transitions into degraded FRAM
+    /// execution after consecutive zero-progress boots.
+    pub watchdog_degradations: u64,
+    /// Misses served from FRAM because the watchdog had degraded the
+    /// runtime.
+    pub watchdog_fallbacks: u64,
 }
 
 impl SwapStats {

@@ -41,6 +41,21 @@ pub fn isrfid_symbol(func: &str) -> String {
     format!("__sr_isrfid_{func}")
 }
 
+/// Name of the persistent-stack resume section (checkpoint slots +
+/// watchdog words), emitted above the handler window so the metadata
+/// tables' Figure-7 accounting is unchanged.
+pub const RESUME_SECTION: &str = "srres";
+
+/// Symbol of checkpoint slot `i` (two slots, double-buffered).
+pub fn resume_slot_symbol(i: usize) -> String {
+    format!("__sr_resume{i}")
+}
+
+/// Symbol of the Sisyphus watchdog block: four persistent words — boot
+/// count, last resumed checkpoint state fingerprint, consecutive
+/// zero-progress boots, degraded flag.
+pub const WATCHDOG_SYMBOL: &str = "__sr_wdog";
+
 /// Symbol of the persistent recovery-generation word (dirty-log recovery).
 pub const GEN_SYMBOL: &str = "__sr_gen";
 

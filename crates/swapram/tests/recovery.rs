@@ -18,7 +18,7 @@ use msp430_sim::machine::{ExitReason, Fr2355, Hook, Machine};
 use msp430_sim::mem::{Bus, MemoryMap};
 use msp430_sim::ports::checksum_of_words;
 use msp430_sim::rng::SplitMix64;
-use swapram::pass::instrument;
+use swapram::pass::{instrument, ResumeArea};
 use swapram::{Instrumented, RecoveryMode, SwapConfig, SwapRuntime};
 
 /// main iterates `r12 = ((r12 * 2) + 2) + 1` four times through a chain of
@@ -432,6 +432,341 @@ big_end:
     let good_ofs = bus.peek_word(r.rofs_addr);
     bus.poke_word(r.rofs_addr, good_ofs.wrapping_add(2));
     assert!(rt.check_invariants(&bus).is_err(), "corrupt static offset must be caught");
+}
+
+/// The recovery loop itself can lose power: `recover_full_scan` /
+/// `recover_from_log` rewind function-by-function, so a crash leaves a
+/// rewound prefix and an untouched suffix, with the journal still open
+/// (the generation closes only after every rewind). Re-entering recovery
+/// must finish the job from that state.
+#[test]
+fn recovery_reenters_after_crash_mid_rewind() {
+    for recovery in [RecoveryMode::FullScan, RecoveryMode::DirtyLog] {
+        let cfg = SwapConfig {
+            cache_size: 0x0E00,
+            recovery,
+            check_invariants: true,
+            ..SwapConfig::unified_fr2355()
+        };
+        let inst = instrumented(&cfg);
+        let mid = clean_cycles(&inst, &cfg) / 2;
+        let mut machine = machine_with(&inst, &cfg);
+        machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+            cycle: mid,
+            kind: FaultKind::PowerLoss,
+        }]));
+        let out = machine.run(BUDGET).unwrap();
+        assert_eq!(out.exit, ExitReason::PowerLoss);
+        machine.power_cycle();
+
+        // Snapshot the pre-recovery (crash-time) metadata and journal
+        // header, then let a first recovery pass run to completion.
+        let stale: Vec<u16> =
+            inst.funcs.iter().map(|f| machine.bus().peek_word(f.redir_addr)).collect();
+        let jhdr = inst.journal.map(|j| {
+            (machine.bus().peek_word(j.gen_addr), machine.bus().peek_word(j.count_addr))
+        });
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        rt.recover(machine.bus_mut()).expect("first recovery pass");
+        let rewound: Vec<u16> =
+            inst.funcs.iter().map(|f| machine.bus().peek_word(f.redir_addr)).collect();
+        assert_ne!(stale, rewound, "{recovery:?}: the loss must leave dirty metadata");
+
+        // Reconstruct the state a crash halfway through the rewind loop
+        // leaves behind: a suffix of functions still carries crash-time
+        // redirections, and the journal generation was never closed.
+        let half = inst.funcs.len() / 2;
+        for (f, w) in inst.funcs.iter().zip(&stale).skip(half) {
+            machine.bus_mut().poke_word(f.redir_addr, *w);
+        }
+        if let (Some(j), Some((gen, count))) = (inst.journal, jhdr) {
+            machine.bus_mut().poke_word(j.gen_addr, gen);
+            machine.bus_mut().poke_word(j.count_addr, count);
+        }
+        machine.power_cycle();
+
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        let outcome = rt.recover(machine.bus_mut()).expect("re-entered recovery");
+        if recovery == RecoveryMode::DirtyLog {
+            assert_eq!(outcome.mode, RecoveryMode::DirtyLog, "the open journal replays");
+            assert!(!outcome.journal_fallback);
+        }
+        let after: Vec<u16> =
+            inst.funcs.iter().map(|f| machine.bus().peek_word(f.redir_addr)).collect();
+        assert_eq!(after, rewound, "{recovery:?}: re-entry must finish the interrupted rewind");
+        rt.check_invariants(machine.bus()).expect("re-entered recovery leaves consistent state");
+
+        machine.attach_hook(Box::new(rt));
+        let out = machine.run(BUDGET).unwrap();
+        assert_eq!(out.exit, ExitReason::Halted(0));
+        assert_eq!(out.checksum.0, expected_checksum(), "{recovery:?}");
+    }
+}
+
+/// The journal closes in two writes (bump generation, zero count); a
+/// crash between them leaves old-generation entries under a new tag. The
+/// next recovery must spot the mismatch and fall back to the full scan.
+#[test]
+fn stale_generation_journal_forces_fallback_on_reentry() {
+    let cfg = SwapConfig {
+        cache_size: 0x0E00,
+        recovery: RecoveryMode::DirtyLog,
+        check_invariants: true,
+        ..SwapConfig::unified_fr2355()
+    };
+    let inst = instrumented(&cfg);
+    let j = inst.journal.unwrap();
+    let mid = clean_cycles(&inst, &cfg) / 2;
+    let mut machine = machine_with(&inst, &cfg);
+    machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+        cycle: mid,
+        kind: FaultKind::PowerLoss,
+    }]));
+    let out = machine.run(BUDGET).unwrap();
+    assert_eq!(out.exit, ExitReason::PowerLoss);
+    machine.power_cycle();
+
+    let count0 = machine.bus().peek_word(j.count_addr);
+    assert!(count0 > 0, "the interrupted run must have logged dirty functions");
+    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+    rt.recover(machine.bus_mut()).expect("first recovery pass");
+
+    // Crash landed between the generation bump and the count reset: the
+    // rewinds are durable, but the header says the old entries are live.
+    machine.bus_mut().poke_word(j.count_addr, count0);
+    machine.power_cycle();
+
+    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+    let outcome = rt.recover(machine.bus_mut()).expect("re-entered recovery");
+    assert_eq!(outcome.mode, RecoveryMode::FullScan);
+    assert!(outcome.journal_fallback, "stale-generation entries must not replay");
+    assert_eq!(rt.stats_handle().borrow().journal_fallbacks, 1);
+    assert_eq!(outcome.rewound, 0, "the first pass already rewound everything");
+    rt.check_invariants(machine.bus()).expect("consistent after the fallback");
+
+    machine.attach_hook(Box::new(rt));
+    let out = machine.run(BUDGET).unwrap();
+    assert_eq!(out.exit, ExitReason::Halted(0));
+    assert_eq!(out.checksum.0, expected_checksum());
+}
+
+/// Seeded nested-crash property: at every reboot, power may fail again
+/// zero to two times right after recovery finishes (before the first
+/// app instruction). Each re-entry must leave a consistent state and the
+/// run must still converge to the exact answer.
+#[test]
+fn seeded_reentry_property_survives_nested_crashes() {
+    for (seed, recovery) in [
+        (5u64, RecoveryMode::FullScan),
+        (29, RecoveryMode::DirtyLog),
+        (4242, RecoveryMode::DirtyLog),
+        (90210, RecoveryMode::FullScan),
+    ] {
+        let cfg = SwapConfig {
+            cache_size: 0x0E00,
+            recovery,
+            check_invariants: true,
+            ..SwapConfig::unified_fr2355()
+        };
+        let inst = instrumented(&cfg);
+        let c = clean_cycles(&inst, &cfg);
+        let plan = FaultPlan::power_losses(seed, 4, c / 10..c * 9 / 10);
+        let mut machine = machine_with(&inst, &cfg);
+        machine.attach_fault_plan(plan);
+        let mut rng = SplitMix64::new(seed ^ 0xDEAD_BEEF);
+        let mut boots = 1u32;
+        loop {
+            let out = machine.run(BUDGET).expect("simulation error");
+            match out.exit {
+                ExitReason::Halted(0) => {
+                    assert_eq!(out.checksum.0, expected_checksum(), "seed {seed} {recovery:?}");
+                    break;
+                }
+                ExitReason::PowerLoss => {
+                    boots += 1;
+                    assert!(boots <= 64, "seed {seed}: power-loss loop did not converge");
+                    machine.power_cycle();
+                    // Nested crashes: recovery completes, then power fails
+                    // again before any instruction runs.
+                    for _ in 0..rng.below(3) {
+                        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+                        rt.recover(machine.bus_mut()).expect("nested recovery");
+                        rt.check_invariants(machine.bus()).expect("nested recovery consistent");
+                        machine.power_cycle();
+                    }
+                    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+                    rt.recover(machine.bus_mut()).expect("final recovery");
+                    machine.attach_hook(Box::new(rt));
+                }
+                other => panic!("seed {seed}: unexpected exit {other:?}"),
+            }
+        }
+        assert!(boots > 1, "seed {seed}: the schedule must actually cut power");
+    }
+}
+
+/// The persistent-stack variants of the same program: SP parks at the
+/// top of FRAM so the live stack window survives power loss and the
+/// commit gate accepts checkpoints.
+fn fram_stack_src() -> String {
+    SRC.replace("#0x2ffe", "#0x9ffe")
+}
+
+fn ps_cfg() -> SwapConfig {
+    SwapConfig {
+        cache_size: 0x0E00,
+        recovery: RecoveryMode::PersistentStack,
+        check_invariants: true,
+        ..SwapConfig::unified_fr2355()
+    }
+    .with_checkpoint_interval(0)
+}
+
+fn ps_instrumented(cfg: &SwapConfig) -> Instrumented {
+    let m = parse(&fram_stack_src()).unwrap();
+    let lc = LayoutConfig::new(0x4000, 0x9000);
+    instrument(&m, cfg, &lc).unwrap()
+}
+
+/// Runs a PS machine to the single scheduled loss and power-cycles it,
+/// leaving committed checkpoint frames (trap commits plus the dying-gasp
+/// frame) in FRAM. Returns the machine.
+fn ps_machine_after_loss(inst: &Instrumented, cfg: &SwapConfig) -> Machine {
+    let mut calib = Fr2355::machine(Frequency::MHZ_24);
+    calib.load(&inst.assembly.image);
+    calib.attach_hook(Box::new(SwapRuntime::new(inst, cfg.clone())));
+    let clean = calib.run(BUDGET).unwrap();
+    assert_eq!(clean.exit, ExitReason::Halted(0));
+
+    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    machine.load(&inst.assembly.image);
+    machine.attach_fault_plan(FaultPlan::new(vec![FaultEvent {
+        cycle: clean.stats.total_cycles() / 2,
+        kind: FaultKind::PowerLoss,
+    }]));
+    machine.attach_hook(Box::new(SwapRuntime::new(inst, cfg.clone())));
+    let out = machine.run(BUDGET).unwrap();
+    assert_eq!(out.exit, ExitReason::PowerLoss);
+    machine.power_cycle();
+    machine
+}
+
+/// Power loss during persistent-stack recovery itself: each re-entered
+/// boot resumes the same frame without executing a single instruction,
+/// so the state fingerprint never moves. The Sisyphus watchdog must call
+/// that out as degradation instead of looping silently — and the
+/// degraded (but resumed) boot must still finish with the exact answer.
+#[test]
+fn persistent_stack_crash_during_recovery_degrades_then_completes() {
+    let cfg = ps_cfg().with_watchdog_boots(2);
+    let inst = ps_instrumented(&cfg);
+    let mut machine = ps_machine_after_loss(&inst, &cfg);
+
+    let mut last: Option<SwapRuntime> = None;
+    for boot in 1..=3u32 {
+        let mut rt = SwapRuntime::new(&inst, cfg.clone());
+        let (cpu, bus) = machine.cpu_bus_mut();
+        let outcome = rt.recover_resume(cpu, bus).expect("re-entered recovery");
+        assert!(outcome.resumed, "boot {boot}: the gasp frame must resume every time");
+        assert_eq!(
+            outcome.watchdog_degraded,
+            boot >= 3,
+            "boot {boot}: an unmoved fingerprint degrades exactly at the threshold"
+        );
+        if boot < 3 {
+            // Power fails again before the first resumed instruction.
+            machine.power_cycle();
+        }
+        last = Some(rt);
+    }
+    let rt = last.unwrap();
+    let stats = rt.stats_handle();
+    machine.attach_hook(Box::new(rt));
+    let out = machine.run(BUDGET).unwrap();
+    assert_eq!(out.exit, ExitReason::Halted(0));
+    assert_eq!(out.checksum.0, expected_checksum(), "degraded resume is still exact");
+    assert_eq!(stats.borrow().watchdog_degradations, 1);
+}
+
+/// A commit torn by the outage (bad payload under a published
+/// generation) must be rolled back on the next boot, and the boot after
+/// that — another crash before progress — must re-enter cleanly on the
+/// surviving older frame.
+///
+/// The invariant oracle stays off here: under the two-phase commit
+/// protocol a published generation with a bad CRC is unreachable from
+/// power loss alone, so the oracle classifies it as corruption and
+/// rejects the boot (covered below); rollback is the graceful-runtime
+/// path.
+#[test]
+fn persistent_stack_torn_commit_reenters_on_older_frame() {
+    let cfg = SwapConfig { check_invariants: false, ..ps_cfg() };
+    let inst = ps_instrumented(&cfg);
+    let ra = inst.resume.expect("persistent-stack layout emitted");
+    let mut machine = ps_machine_after_loss(&inst, &cfg);
+
+    // Both slots commit during the run (trap commits alternate, the gasp
+    // lands last); tear the payload of the newest one.
+    let gens: Vec<u16> = (0..2).map(|s| machine.bus().peek_word(ra.word_addr(s, 0))).collect();
+    assert!(
+        gens.iter().all(|g| g & ResumeArea::GEN_MARK != 0),
+        "both slots must hold committed frames: {gens:04x?}"
+    );
+    let newest = usize::from((gens[1] & !ResumeArea::GEN_MARK) > (gens[0] & !ResumeArea::GEN_MARK));
+    let at = ra.word_addr(newest, ResumeArea::REGS_OFS + 4);
+    let w = machine.bus().peek_word(at);
+    machine.bus_mut().poke_word(at, w ^ 0x0800);
+
+    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+    let stats = rt.stats_handle();
+    let (cpu, bus) = machine.cpu_bus_mut();
+    let outcome = rt.recover_resume(cpu, bus).expect("recovery with a torn frame");
+    assert!(outcome.resumed, "the older intact frame must resume");
+    assert_eq!(stats.borrow().torn_checkpoints, 1);
+    assert_eq!(
+        machine.bus().peek_word(ra.word_addr(newest, 0)) & ResumeArea::GEN_MARK,
+        0,
+        "the torn slot rolled back"
+    );
+
+    // Crash again before any progress: re-entry must tear nothing new
+    // and resume the same older frame.
+    machine.power_cycle();
+    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+    let stats = rt.stats_handle();
+    let (cpu, bus) = machine.cpu_bus_mut();
+    let outcome = rt.recover_resume(cpu, bus).expect("re-entered recovery");
+    assert!(outcome.resumed);
+    assert_eq!(stats.borrow().torn_checkpoints, 0, "rollback is durable, not re-detected");
+
+    machine.attach_hook(Box::new(rt));
+    let out = machine.run(BUDGET).unwrap();
+    assert_eq!(out.exit, ExitReason::Halted(0));
+    assert_eq!(out.checksum.0, expected_checksum(), "replay from the older frame is exact");
+}
+
+/// With the oracle on, the same torn frame is a *detected* integrity
+/// failure at boot — never a silent resume of corrupt state.
+#[test]
+fn oracle_rejects_torn_commit_as_corruption() {
+    let cfg = ps_cfg();
+    let inst = ps_instrumented(&cfg);
+    let ra = inst.resume.expect("persistent-stack layout emitted");
+    let mut machine = ps_machine_after_loss(&inst, &cfg);
+
+    let gens: Vec<u16> = (0..2).map(|s| machine.bus().peek_word(ra.word_addr(s, 0))).collect();
+    let newest = usize::from((gens[1] & !ResumeArea::GEN_MARK) > (gens[0] & !ResumeArea::GEN_MARK));
+    let at = ra.word_addr(newest, ResumeArea::REGS_OFS + 4);
+    let w = machine.bus().peek_word(at);
+    machine.bus_mut().poke_word(at, w ^ 0x0800);
+
+    let mut rt = SwapRuntime::new(&inst, cfg.clone());
+    let (cpu, bus) = machine.cpu_bus_mut();
+    let err = rt.recover_resume(cpu, bus).expect_err("oracle must reject the corrupt frame");
+    assert!(
+        format!("{err:?}").contains("invariant violation"),
+        "detected as an integrity failure: {err:?}"
+    );
 }
 
 #[test]
