@@ -9,7 +9,7 @@
 //!   `BENCH_experiments.json` in the current directory).
 use std::time::Instant;
 
-use experiments::Harness;
+use experiments::harness;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,8 +21,7 @@ fn main() {
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_experiments.json".to_string());
 
-    let h = Harness::new();
-    eprintln!("experiments: {} worker thread(s){}", h.jobs(), if fast { ", fast mode" } else { "" });
+    let h = harness::announce("experiments", if fast { "fast mode" } else { "" });
     let started = Instant::now();
     let report = experiments::run_report(&h, fast);
     let wall = started.elapsed();

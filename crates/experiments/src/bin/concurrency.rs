@@ -18,7 +18,7 @@
 //! Unprotected matrix surfaces no detected hazard at all (the campaign
 //! exists to show the guards catching what masking prevents).
 
-use experiments::{concurrency, resilience, Harness};
+use experiments::{concurrency, harness, resilience};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,15 +29,14 @@ fn main() {
     let schedules =
         if fast { concurrency::FAST_SCHEDULES } else { concurrency::DEFAULT_SCHEDULES };
     let seed = resilience::base_seed();
-    let h = Harness::new();
-    eprintln!(
-        "concurrency: {} schedules/cell, base seed {seed:#x}, {} worker thread(s)",
-        schedules,
-        h.jobs()
+    let h = harness::announce(
+        "concurrency",
+        &format!("{schedules} schedules/cell, base seed {seed:#x}"),
     );
 
     let rows = concurrency::run(&h, schedules, seed);
     print!("{}", concurrency::render(&rows));
+    harness::finish("concurrency", &h);
 
     if let Some(path) = json_path {
         if let Err(e) = h.write_json(std::path::Path::new(&path)) {

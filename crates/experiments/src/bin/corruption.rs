@@ -16,7 +16,7 @@
 //! output — the property this campaign exists to enforce.
 
 use experiments::corruption::{self, FlipRegion};
-use experiments::Harness;
+use experiments::harness;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,14 +26,14 @@ fn main() {
 
     let flips = if fast { corruption::FAST_FLIPS } else { corruption::DEFAULT_FLIPS };
     let seed = corruption::campaign_seed();
-    let h = Harness::new();
-    eprintln!(
-        "corruption: {flips} flips/(benchmark, region), base seed {seed:#x}, {} worker thread(s)",
-        h.jobs()
+    let h = harness::announce(
+        "corruption",
+        &format!("{flips} flips/(benchmark, region), base seed {seed:#x}"),
     );
 
     let rows = corruption::run(&h, flips, seed);
     print!("{}", corruption::render(&rows));
+    harness::finish("corruption", &h);
 
     if let Some(path) = json_path {
         if let Err(e) = h.write_json(std::path::Path::new(&path)) {

@@ -12,7 +12,7 @@
 //!   regardless of `SWAPRAM_JOBS`.
 
 use experiments::intermittent::{self, Tier};
-use experiments::{resilience, Harness};
+use experiments::{harness, resilience};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,15 +23,14 @@ fn main() {
     let tiers: Vec<Tier> =
         if fast { Tier::FAST.to_vec() } else { Tier::ALL.to_vec() };
     let seed = resilience::base_seed();
-    let h = Harness::new();
-    eprintln!(
-        "intermittent: {} tier(s), base seed {seed:#x}, {} worker thread(s)",
-        tiers.len(),
-        h.jobs()
+    let h = harness::announce(
+        "intermittent",
+        &format!("{} tier(s), base seed {seed:#x}", tiers.len()),
     );
 
     let rows = intermittent::run(&h, &tiers, seed);
     print!("{}", intermittent::render(&rows));
+    harness::finish("intermittent", &h);
 
     if let Some(path) = json_path {
         if let Err(e) = h.write_json(std::path::Path::new(&path)) {

@@ -11,7 +11,7 @@
 //!   0xF00D). Identical seeds yield byte-identical resilience rows
 //!   regardless of `SWAPRAM_JOBS`.
 
-use experiments::{resilience, Harness};
+use experiments::{harness, resilience};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,15 +22,14 @@ fn main() {
     let schedules =
         if fast { resilience::FAST_SCHEDULES } else { resilience::DEFAULT_SCHEDULES };
     let seed = resilience::base_seed();
-    let h = Harness::new();
-    eprintln!(
-        "resilience: {} schedules/benchmark, base seed {seed:#x}, {} worker thread(s)",
-        schedules,
-        h.jobs()
+    let h = harness::announce(
+        "resilience",
+        &format!("{schedules} schedules/benchmark, base seed {seed:#x}"),
     );
 
     let rows = resilience::run(&h, schedules, seed);
     print!("{}", resilience::render(&rows));
+    harness::finish("resilience", &h);
 
     if let Some(path) = json_path {
         if let Err(e) = h.write_json(std::path::Path::new(&path)) {

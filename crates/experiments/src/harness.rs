@@ -351,26 +351,91 @@ impl Harness {
         doc
     }
 
-    /// Writes [`Harness::json_report`] (pretty-printed) to `path`.
+    /// Writes [`Harness::json_report`] (pretty-printed) to `path`,
+    /// streaming through a buffered writer instead of materializing the
+    /// whole report as one `String` — at campaign scale (thousands of
+    /// rows) the document never lives in memory twice.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let mut doc = self.json_report().pretty(2);
-        doc.push('\n');
-        std::fs::write(path, doc)
+        use std::io::Write as _;
+        let file = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(file);
+        self.json_report().write_pretty(&mut w, 2)?;
+        w.write_all(b"\n")?;
+        w.flush()
+    }
+}
+
+/// Parses a `SWAPRAM_JOBS` value. `0` and garbage are hard errors — a
+/// silently misread worker count would skew every campaign's scaling
+/// numbers.
+///
+/// # Errors
+///
+/// A human-readable description of the rejected value.
+pub fn parse_jobs(raw: &str) -> Result<usize, String> {
+    let t = raw.trim();
+    match t.parse::<usize>() {
+        Ok(0) => Err(format!("{JOBS_ENV} must be at least 1, got 0")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("{JOBS_ENV} must be a positive integer, got {t:?}")),
+    }
+}
+
+/// Resolves the worker count from the environment: [`parse_jobs`] of
+/// `SWAPRAM_JOBS` if set, else the number of available cores.
+///
+/// # Errors
+///
+/// See [`parse_jobs`]; an unset variable is not an error.
+pub fn resolve_jobs() -> Result<usize, String> {
+    match std::env::var(JOBS_ENV) {
+        Ok(v) => parse_jobs(&v),
+        Err(_) => Ok(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)),
     }
 }
 
 /// Default worker count: `SWAPRAM_JOBS` if set, else available cores.
+///
+/// # Panics
+///
+/// On a malformed `SWAPRAM_JOBS` value (see [`parse_jobs`]). Binaries
+/// that want a clean exit call [`announce`] / [`resolve_jobs`] first.
 pub fn default_jobs() -> usize {
-    if let Ok(v) = std::env::var(JOBS_ENV) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    resolve_jobs().unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Standard campaign-binary preamble: resolves the worker count (exiting
+/// with a clear error on a malformed `SWAPRAM_JOBS`), prints the resolved
+/// count in the section header on stderr, and returns the harness.
+/// Headers go to stderr so seq-vs-par stdout diffs stay byte-identical.
+pub fn announce(label: &str, detail: &str) -> Harness {
+    let jobs = resolve_jobs().unwrap_or_else(|e| {
+        eprintln!("{label}: {e}");
+        std::process::exit(2);
+    });
+    let via = if std::env::var(JOBS_ENV).is_ok() { format!(" ({JOBS_ENV})") } else { String::new() };
+    if detail.is_empty() {
+        eprintln!("{label}: {jobs} worker thread(s){via}");
+    } else {
+        eprintln!("{label}: {jobs} worker thread(s){via}, {detail}");
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    Harness::with_jobs(jobs)
+}
+
+/// Standard campaign-binary epilogue: surfaces the harness cache-hit
+/// counters in the section trailer on stderr.
+pub fn finish(label: &str, h: &Harness) {
+    eprintln!(
+        "{label}: builds {} unique ({} cache hits); runs {} unique ({} cache hits)",
+        h.unique_builds(),
+        h.build_hits(),
+        h.run_misses(),
+        h.run_hits(),
+    );
 }
 
 fn build_key(bench: Benchmark, system: &System, profile: &MemoryProfile) -> String {
@@ -456,19 +521,7 @@ pub fn run_record_json(r: &RunRecord, tags: &[&'static str]) -> Json {
             ));
             Json::obj(fields)
         }
-        Err(MeasureError::DoesNotFit(msg)) => Json::obj(vec![
-            ("status", Json::str("dnf")),
-            ("message", Json::str(msg.clone())),
-        ]),
-        Err(MeasureError::CycleLimit(c)) => Json::obj(vec![
-            ("status", Json::str("dnf")),
-            ("message", Json::str(format!("cycle budget exhausted after {c} cycles"))),
-            ("cycles_run", Json::U64(*c)),
-        ]),
-        Err(MeasureError::Failed(msg)) => Json::obj(vec![
-            ("status", Json::str("failed")),
-            ("message", Json::str(msg.clone())),
-        ]),
+        Err(e) => e.json(),
     };
     Json::obj(vec![
         ("bench", Json::str(r.bench.name())),
@@ -560,6 +613,17 @@ mod tests {
         }
         assert_eq!(h.run_misses(), 1);
         assert_eq!(h.run_hits(), 1);
+    }
+
+    #[test]
+    fn jobs_parsing_rejects_zero_and_garbage() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs(" 16 "), Ok(16));
+        assert!(parse_jobs("0").unwrap_err().contains("at least 1"));
+        assert!(parse_jobs("banana").unwrap_err().contains("positive integer"));
+        assert!(parse_jobs("").is_err());
+        assert!(parse_jobs("-2").is_err());
+        assert!(parse_jobs("1.5").is_err());
     }
 
     #[test]

@@ -27,8 +27,10 @@
 //! | [`corruption`]| seeded bit-flip injection vs. the defense stack |
 //! | [`concurrency`]| timer interrupts + preemptive tasks vs. reentrancy |
 //! | [`intermittent`]| harvested-energy traces vs. forward progress      |
+//! | [`campaign`]| fleet-scale config sweep (multi-process work stealing) |
 
 pub mod ablation;
+pub mod campaign;
 pub mod concurrency;
 pub mod corruption;
 pub mod fig1;

@@ -94,6 +94,35 @@ pub enum MeasureError {
     Failed(String),
 }
 
+impl MeasureError {
+    /// The deterministic report status tag: DNF-in-space and DNF-in-time
+    /// both read `"dnf"`, everything else `"failed"`.
+    pub fn status(&self) -> &'static str {
+        match self {
+            MeasureError::DoesNotFit(_) | MeasureError::CycleLimit(_) => "dnf",
+            MeasureError::Failed(_) => "failed",
+        }
+    }
+
+    /// The JSON `result` object for a missing measurement — shared by the
+    /// harness run records and the campaign cell rows so every report
+    /// encodes failure the same way.
+    pub fn json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut fields = vec![("status", Json::str(self.status()))];
+        match self {
+            MeasureError::DoesNotFit(msg) => fields.push(("message", Json::str(msg.clone()))),
+            MeasureError::CycleLimit(c) => {
+                fields
+                    .push(("message", Json::str(format!("cycle budget exhausted after {c} cycles"))));
+                fields.push(("cycles_run", Json::U64(*c)));
+            }
+            MeasureError::Failed(msg) => fields.push(("message", Json::str(msg.clone()))),
+        }
+        Json::obj(fields)
+    }
+}
+
 impl std::fmt::Display for MeasureError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

@@ -33,6 +33,25 @@ impl Table {
         self.notes.push(note.into());
     }
 
+    /// Renders the table as GitHub-flavored markdown (right-aligned
+    /// columns, notes as trailing italics) — the `BENCHMARKS.md` format.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let row = |cells: &[String]| {
+            format!("| {} |", cells.iter().map(|c| c.replace('|', "\\|")).collect::<Vec<_>>().join(" | "))
+        };
+        let _ = writeln!(out, "{}", row(&self.headers));
+        let _ = writeln!(out, "|{}", " ---: |".repeat(self.headers.len()));
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", row(r));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n*{n}*");
+        }
+        out
+    }
+
     /// Renders the table with aligned columns.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
@@ -92,6 +111,19 @@ mod tests {
         assert!(s.contains("== demo =="));
         assert!(s.contains("long-name"));
         assert!(s.contains("note: hello"));
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a|b".into(), "1".into()]);
+        t.note("hello");
+        let s = t.render_markdown();
+        assert!(s.contains("### demo"), "{s}");
+        assert!(s.contains("| name | value |"), "{s}");
+        assert!(s.contains("| ---: | ---: |"), "{s}");
+        assert!(s.contains("| a\\|b | 1 |"), "{s}");
+        assert!(s.contains("*hello*"), "{s}");
     }
 
     #[test]

@@ -136,7 +136,7 @@ pub fn run(h: &Harness, schedules: usize, base_seed: u64) -> Vec<ResilienceRow> 
         let (system, cfg) = system_for(recovery);
         let built = h.build(bench, &system, &profile);
         let built = built.as_ref().as_ref().expect("SwapRAM build fits");
-        episode(built, &cfg, bench, recovery, seed, clean_cycles)
+        episode(built, &cfg, bench, recovery, seed, clean_cycles, Frequency::MHZ_24)
     });
     h.add_section("resilience", rows_json(&rows));
     rows
@@ -160,13 +160,16 @@ fn schedule_seed(base: u64, bench: Benchmark, recovery: RecoveryMode, i: usize) 
 /// Executes one benchmark under one interruption schedule: run until power
 /// loss, reboot (SRAM/registers cleared, app FRAM restored, metadata kept
 /// torn), recover, repeat until the program halts or the budget runs out.
-fn episode(
+/// Also the campaign engine's faulted-cell executor — the `cfg` carries
+/// the swept cache geometry/policy and `freq` the swept operating point.
+pub(crate) fn episode(
     built: &Built,
     cfg: &SwapConfig,
     bench: Benchmark,
     recovery: RecoveryMode,
     seed: u64,
     clean_cycles: u64,
+    freq: Frequency,
 ) -> ResilienceRow {
     let mut rng = SplitMix64::new(seed);
     let losses = 1 + rng.below(3) as u32;
@@ -200,7 +203,7 @@ fn episode(
     };
     let input = input_for(bench, SEED);
 
-    let mut machine = Fr2355::machine(Frequency::MHZ_24);
+    let mut machine = Fr2355::machine(freq);
     machine.load(built.image());
     poke_app_state(&mut machine, built, &input, false);
     machine.attach_fault_plan(plan);

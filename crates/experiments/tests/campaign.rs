@@ -1,0 +1,227 @@
+//! Acceptance tests for the fleet campaign engine (workspace test tier):
+//! the merged `BENCH_campaign.json` must be byte-identical across
+//! {1, 2, 8} worker processes × {1, 16} worker threads, and a campaign
+//! killed mid-run must resume to the same bytes an uninterrupted run
+//! produces.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_campaign");
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir()
+            .join(format!("swapram-campaign-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Runs the campaign binary on the tiny spec with explicit process and
+/// thread counts plus any extra flags.
+fn campaign(scratch: &Scratch, run: &str, procs: usize, jobs: usize, extra: &[&str]) -> Output {
+    let dir = scratch.path(&format!("dir-{run}"));
+    let json = scratch.path(&format!("{run}.json"));
+    Command::new(BIN)
+        .args(["--spec", "tiny", "--procs", &procs.to_string()])
+        .args(["--dir", dir.to_str().unwrap(), "--json", json.to_str().unwrap()])
+        .args(extra)
+        .env("SWAPRAM_JOBS", jobs.to_string())
+        .output()
+        .expect("campaign binary runs")
+}
+
+fn read(scratch: &Scratch, run: &str) -> String {
+    let path = scratch.path(&format!("{run}.json"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn merged_output_is_byte_identical_across_process_and_thread_counts() {
+    let scratch = Scratch::new("det");
+    let reference = campaign(&scratch, "ref", 1, 1, &[]);
+    assert!(reference.status.success(), "reference run failed:\n{}", stderr_of(&reference));
+    let ref_bytes = read(&scratch, "ref");
+    assert!(ref_bytes.contains("\"cells\""), "merged document has a cells array");
+
+    for (run, procs, jobs) in [("p2", 2, 16), ("p8", 8, 1), ("p1j16", 1, 16)] {
+        let out = campaign(&scratch, run, procs, jobs, &[]);
+        assert!(
+            out.status.success(),
+            "{procs}-process/{jobs}-thread run failed:\n{}",
+            stderr_of(&out)
+        );
+        assert_eq!(
+            read(&scratch, run),
+            ref_bytes,
+            "{procs} processes x {jobs} threads must merge to the reference bytes"
+        );
+        // stdout (the rendered report) must match too.
+        assert_eq!(out.stdout, reference.stdout, "rendered report differs for {run}");
+    }
+}
+
+#[test]
+fn killed_campaign_resumes_to_identical_bytes() {
+    let scratch = Scratch::new("resume");
+    let reference = campaign(&scratch, "ref", 1, 2, &[]);
+    assert!(reference.status.success(), "reference run failed:\n{}", stderr_of(&reference));
+    let ref_bytes = read(&scratch, "ref");
+
+    // "Kill" the campaign after 7 cells: the worker stops mid-manifest,
+    // leaving a stale claim and a partially filled shard — exactly the
+    // on-disk state a SIGKILL would leave after its last flush.
+    let truncated = campaign(&scratch, "cut", 1, 2, &["--max-cells", "7"]);
+    assert_eq!(
+        truncated.status.code(),
+        Some(3),
+        "truncated campaign exits 3 (incomplete):\n{}",
+        stderr_of(&truncated)
+    );
+    assert!(
+        !scratch.path("cut.json").exists(),
+        "no merged document until every cell is accounted for"
+    );
+
+    // Resume in the same directory (different thread count on purpose).
+    let dir = scratch.path("dir-cut");
+    let json = scratch.path("cut.json");
+    let resumed = Command::new(BIN)
+        .args(["--spec", "tiny", "--procs", "2"])
+        .args(["--dir", dir.to_str().unwrap(), "--json", json.to_str().unwrap()])
+        .env("SWAPRAM_JOBS", "4")
+        .output()
+        .expect("campaign binary runs");
+    let err = stderr_of(&resumed);
+    assert!(resumed.status.success(), "resumed run failed:\n{err}");
+    assert!(
+        err.contains("24 cells total, 7 done, 17 pending"),
+        "resume skips the 7 completed cells:\n{err}"
+    );
+    assert_eq!(read(&scratch, "cut"), ref_bytes, "resumed bytes match the uninterrupted run");
+}
+
+#[test]
+fn malformed_jobs_and_spec_are_clean_errors() {
+    let scratch = Scratch::new("err");
+    let out = campaign(&scratch, "z", 1, 0, &[]);
+    assert_eq!(out.status.code(), Some(2), "SWAPRAM_JOBS=0 is a usage error");
+    assert!(stderr_of(&out).contains("SWAPRAM_JOBS must be at least 1"), "{}", stderr_of(&out));
+
+    let out = Command::new(BIN)
+        .args(["--spec", "bogus"])
+        .output()
+        .expect("campaign binary runs");
+    assert_eq!(out.status.code(), Some(2), "unknown spec is a usage error");
+    assert!(stderr_of(&out).contains("unknown spec"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn summary_regenerates_markdown_from_merged_json() {
+    let scratch = Scratch::new("md");
+    let run = campaign(&scratch, "ref", 1, 4, &[]);
+    assert!(run.status.success(), "campaign run failed:\n{}", stderr_of(&run));
+    let md_path = scratch.path("BENCHMARKS.md");
+    let json = scratch.path("ref.json");
+    let out = Command::new(BIN)
+        .args(["--summary", "--json", json.to_str().unwrap()])
+        .args(["--out", md_path.to_str().unwrap()])
+        .current_dir(&scratch.0)
+        .output()
+        .expect("campaign binary runs");
+    assert!(out.status.success(), "--summary failed:\n{}", stderr_of(&out));
+    let md = std::fs::read_to_string(&md_path).expect("markdown written");
+    assert!(md.starts_with("# Campaign benchmarks"), "{md}");
+    assert!(md.contains("| ---: |"), "markdown tables present:\n{md}");
+    assert!(md.contains("pareto"), "pareto tables present:\n{md}");
+    // The summary report on stdout matches the one the campaign printed.
+    assert_eq!(out.stdout, run.stdout, "summary re-renders the identical report");
+}
+
+#[test]
+fn exec_sidecar_carries_the_nondeterministic_stats() {
+    let scratch = Scratch::new("exec");
+    let run = campaign(&scratch, "ref", 1, 3, &[]);
+    assert!(run.status.success(), "campaign run failed:\n{}", stderr_of(&run));
+    let sidecar = scratch.path("ref.exec.json");
+    let text = std::fs::read_to_string(&sidecar).expect("exec sidecar written");
+    let doc = experiments::json::parse(&text).expect("sidecar parses");
+    assert_eq!(
+        doc.get("jobs_per_proc").and_then(experiments::json::Json::as_u64),
+        Some(3),
+        "sidecar surfaces the resolved SWAPRAM_JOBS count"
+    );
+    assert!(doc.get("wall_ms").is_some(), "wall-clock lives in the sidecar");
+    // ... and must NOT leak into the deterministic document.
+    let merged = read(&scratch, "ref");
+    assert!(!merged.contains("wall_ms"), "merged JSON stays wall-clock free");
+    assert!(!merged.contains("jobs_per_proc"), "merged JSON stays jobs free");
+    // The worker banner surfaces the resolved thread count (satellite:
+    // every campaign header reports its worker count).
+    assert!(
+        stderr_of(&run).contains("3 worker thread(s) (SWAPRAM_JOBS)"),
+        "{}",
+        stderr_of(&run)
+    );
+}
+
+/// The shard protocol tolerates a torn trailing line: whatever a killed
+/// worker managed to flush is kept, the torn tail cell just reruns.
+#[test]
+fn torn_shard_tail_reruns_instead_of_corrupting() {
+    let scratch = Scratch::new("torn");
+    let reference = campaign(&scratch, "ref", 1, 1, &[]);
+    assert!(reference.status.success(), "reference run failed:\n{}", stderr_of(&reference));
+    let ref_bytes = read(&scratch, "ref");
+
+    // Tear the last shard line mid-JSON (no trailing newline).
+    let shard_dir: &Path = &scratch.path("dir-ref").join("shards");
+    let shard = std::fs::read_dir(shard_dir)
+        .expect("shard dir")
+        .next()
+        .expect("one shard")
+        .expect("entry")
+        .path();
+    let text = std::fs::read_to_string(&shard).expect("read shard");
+    let keep: Vec<&str> = text.lines().collect();
+    let torn = format!(
+        "{}\n{}",
+        keep[..keep.len() - 1].join("\n"),
+        &keep[keep.len() - 1][..keep[keep.len() - 1].len() / 2]
+    );
+    std::fs::write(&shard, torn).expect("write torn shard");
+
+    let rerun = Command::new(BIN)
+        .args(["--spec", "tiny", "--procs", "1"])
+        .args([
+            "--dir",
+            scratch.path("dir-ref").to_str().unwrap(),
+            "--json",
+            scratch.path("ref.json").to_str().unwrap(),
+        ])
+        .env("SWAPRAM_JOBS", "1")
+        .output()
+        .expect("campaign binary runs");
+    let err = stderr_of(&rerun);
+    assert!(rerun.status.success(), "rerun after torn shard failed:\n{err}");
+    assert!(err.contains("1 pending"), "exactly the torn cell reruns:\n{err}");
+    assert_eq!(read(&scratch, "ref"), ref_bytes, "bytes unchanged after torn-tail rerun");
+}
